@@ -1,0 +1,68 @@
+// Ablation (Section 4): the two deadlock-handling designs for out-of-order
+// dispatch -- the deadlock-avoidance buffer (with and without its
+// "takes precedence over the IQ" exclusivity) versus the watchdog timer
+// with full pipeline flush & replay.
+//
+// The paper argues the DAB is the more elegant choice because watchdog
+// flushes carry a non-negligible performance penalty; this bench quantifies
+// that on this substrate.
+#include "bench_common.hpp"
+
+#include "trace/mixes.hpp"
+
+namespace {
+
+struct Variant {
+  const char* name;
+  msim::core::DeadlockMode mode;
+  bool dab_exclusive;
+  std::uint32_t watchdog_timeout;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace msim;
+  bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::print_run_parameters(opts);
+
+  constexpr Variant kVariants[] = {
+      {"dab_exclusive", core::DeadlockMode::kAvoidanceBuffer, true, 450},
+      {"dab_shared", core::DeadlockMode::kAvoidanceBuffer, false, 450},
+      {"watchdog_450", core::DeadlockMode::kWatchdog, true, 450},
+      {"watchdog_64", core::DeadlockMode::kWatchdog, true, 64},
+  };
+
+  sim::BaselineCache baselines(opts.base);
+  for (unsigned threads : {2u, 4u}) {
+    TextTable table({"variant", "hmean_ipc", "hmean_fairness", "dab_inserts",
+                     "watchdog_flushes"});
+    for (const Variant& v : kVariants) {
+      sim::RunConfig base = opts.base;
+      base.deadlock = v.mode;
+      base.dab_exclusive = v.dab_exclusive;
+      base.watchdog_timeout = v.watchdog_timeout;
+      std::vector<double> ipcs, fairs;
+      std::uint64_t dab_inserts = 0, flushes = 0;
+      for (const trace::WorkloadMix& mix : trace::mixes_for(threads)) {
+        if (opts.verbose) std::cerr << "  " << v.name << " " << mix.name << "\n";
+        const sim::MixResult r = sim::run_mix(
+            mix, core::SchedulerKind::kTwoOpBlockOoo, 64, base, baselines);
+        ipcs.push_back(r.throughput_ipc);
+        fairs.push_back(r.fairness);
+        dab_inserts += r.raw.dispatch.dab_inserts;
+        flushes += r.raw.dispatch.watchdog_flushes;
+      }
+      table.begin_row();
+      table.add_cell(v.name);
+      table.add_cell(harmonic_mean(ipcs), 3);
+      table.add_cell(harmonic_mean(fairs), 3);
+      table.add_cell(dab_inserts);
+      table.add_cell(flushes);
+    }
+    table.print(std::cout, "deadlock-handling ablation, " +
+                               std::to_string(threads) +
+                               "-threaded mixes, 64-entry IQ, OOO dispatch");
+  }
+  return 0;
+}

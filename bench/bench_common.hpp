@@ -1,0 +1,109 @@
+// Shared scaffolding for the reproduction benches.
+//
+// Every bench binary accepts `key=value` overrides:
+//   warmup=N horizon=N seed=N iq=32,48,64,96,128 quick=1
+// `quick=1` shrinks the horizons by 4x for smoke runs.  Defaults are sized
+// so the whole bench suite finishes in tens of minutes on one core; the
+// paper used 100M-instruction runs, which `horizon=100000000` reproduces
+// given patience (see DESIGN.md on why short synthetic runs converge).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+
+namespace msim::bench {
+
+struct BenchOptions {
+  sim::RunConfig base;
+  std::vector<std::uint32_t> iq_sizes{32, 48, 64, 96, 128};
+  bool verbose = false;
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  const KvConfig cli =
+      KvConfig::parse({argv + 1, static_cast<std::size_t>(argc - 1)});
+  static constexpr std::string_view kKnown[] = {
+      "warmup", "horizon", "seed", "iq", "quick", "verbose"};
+  const auto unknown = cli.unknown_keys(kKnown);
+  if (!unknown.empty()) {
+    std::string msg = "unknown option(s):";
+    for (const std::string& k : unknown) msg += " " + k;
+    msg += " (known: warmup horizon seed iq quick verbose)";
+    throw std::invalid_argument(msg);
+  }
+  BenchOptions opts;
+  opts.base.warmup = cli.get_uint("warmup", 15'000);
+  opts.base.horizon = cli.get_uint("horizon", 80'000);
+  opts.base.seed = cli.get_uint("seed", 1);
+  const auto iq64 = cli.get_uint_list("iq", {32, 48, 64, 96, 128});
+  opts.iq_sizes.assign(iq64.begin(), iq64.end());
+  if (cli.get_bool("quick", false)) {
+    opts.base.warmup /= 4;
+    opts.base.horizon /= 4;
+  }
+  opts.verbose = cli.get_bool("verbose", false);
+  return opts;
+}
+
+inline std::vector<std::uint32_t> to_u32(const std::vector<std::uint64_t>& xs) {
+  return {xs.begin(), xs.end()};
+}
+
+/// Runs the standard three-way sweep (traditional / 2OP_BLOCK / OOO) used
+/// by Figures 3-8.
+inline std::vector<sim::SweepCell> figure_sweep(unsigned thread_count,
+                                                const BenchOptions& opts,
+                                                sim::BaselineCache& baselines) {
+  sim::SweepRequest req;
+  req.thread_count = thread_count;
+  req.kinds = {core::SchedulerKind::kTraditional, core::SchedulerKind::kTwoOpBlock,
+               core::SchedulerKind::kTwoOpBlockOoo};
+  req.iq_sizes.assign(opts.iq_sizes.begin(), opts.iq_sizes.end());
+  req.base = opts.base;
+  if (opts.verbose) {
+    req.progress = [](std::string_view msg) { std::cerr << "  " << msg << "\n"; };
+  }
+  return run_sweep(req, baselines);
+}
+
+inline void print_figure(std::string_view title,
+                         const std::vector<sim::SweepCell>& cells,
+                         std::span<const core::SchedulerKind> kinds,
+                         const BenchOptions& opts, sim::FigureMetric metric) {
+  std::vector<std::uint32_t> sizes(opts.iq_sizes.begin(), opts.iq_sizes.end());
+  const TextTable table = sim::figure_table(cells, kinds, sizes, metric);
+  table.print(std::cout, title);
+}
+
+inline void print_run_parameters(const BenchOptions& opts) {
+  std::cout << "# warmup=" << opts.base.warmup << " horizon=" << opts.base.horizon
+            << " seed=" << opts.base.seed << " (override with key=value args)\n\n";
+}
+
+/// Standard figure-bench body: sweep one thread count, print one metric.
+inline int run_figure_bench(int argc, char** argv, std::string_view title,
+                            unsigned thread_count, sim::FigureMetric metric) {
+  const BenchOptions opts = parse_options(argc, argv);
+  print_run_parameters(opts);
+  sim::BaselineCache baselines(opts.base);
+  const auto cells = figure_sweep(thread_count, opts, baselines);
+  static constexpr core::SchedulerKind kKinds[] = {
+      core::SchedulerKind::kTraditional, core::SchedulerKind::kTwoOpBlock,
+      core::SchedulerKind::kTwoOpBlockOoo};
+  print_figure(title, cells, kKinds, opts, metric);
+  // Context for the reader: the raw harmonic-mean IPCs behind the speedups.
+  print_figure(std::string(title) + " -- raw harmonic-mean throughput IPC",
+               cells, kKinds, opts, sim::FigureMetric::kThroughputIpc);
+  return 0;
+}
+
+}  // namespace msim::bench

@@ -1,0 +1,77 @@
+// Tables 1-4 of the paper: the simulated machine configuration and the
+// multithreaded workload mixes, as encoded in this reproduction.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "smt/machine_config.hpp"
+#include "trace/mixes.hpp"
+#include "trace/profile.hpp"
+
+int main() {
+  using namespace msim;
+  const smt::MachineConfig mc;
+
+  TextTable t1({"parameter", "configuration"});
+  auto row = [&t1](std::string_view k, const std::string& v) {
+    t1.begin_row();
+    t1.add_cell(k);
+    t1.add_cell(v);
+  };
+  row("machine width", std::to_string(mc.fetch_width) + "-wide fetch, " +
+                           std::to_string(mc.issue_width) + "-wide issue, " +
+                           std::to_string(mc.commit_width) + "-wide commit");
+  row("window", "issue queue as specified; " +
+                    std::to_string(mc.lsq_entries_per_thread) + "-entry LSQ and " +
+                    std::to_string(mc.rob_entries_per_thread) +
+                    "-entry ROB per thread");
+  row("function units",
+      "8 int add (1/1), 4 int mult (3/1) / div (20/19), 4 load/store (2/1), "
+      "8 FP add (2/1), 4 FP mult (4/1) / div (12/12) / sqrt (24/24)");
+  row("physical registers", std::to_string(mc.int_phys_regs) + " integer + " +
+                                std::to_string(mc.fp_phys_regs) + " floating-point");
+  row("L1 I-cache", "64 KB, 2-way, 128-byte lines");
+  row("L1 D-cache", "32 KB, 4-way, 256-byte lines");
+  row("L2 unified", "2 MB, 8-way, 512-byte lines, 10-cycle hit");
+  row("BTB", "2048-entry, 2-way");
+  row("branch predictor", "per-thread 2K-entry gshare, 10-bit global history");
+  row("pipeline", std::to_string(mc.front_end_stages) +
+                      "-stage front end (fetch-dispatch), then schedule / "
+                      "register read / execute / writeback / commit");
+  row("memory", std::to_string(mc.memory.memory_latency) + "-cycle access");
+  row("fetch policy", "ICOUNT, up to " +
+                          std::to_string(mc.fetch_threads_per_cycle) +
+                          " threads per cycle");
+  t1.print(std::cout, "Table 1: configuration of the simulated processor");
+
+  for (unsigned threads : {4u, 3u, 2u}) {
+    TextTable t({"mix", "classification", "benchmarks"});
+    for (const trace::WorkloadMix& mix : trace::mixes_for(threads)) {
+      t.begin_row();
+      t.add_cell(mix.name);
+      t.add_cell(trace::describe_mix(mix));
+      std::string benches;
+      for (const auto b : mix.threads()) {
+        if (!benches.empty()) benches += ", ";
+        benches += b;
+      }
+      t.add_cell(benches);
+    }
+    const std::string title = "Table " + std::to_string(threads == 4 ? 2 : threads == 3 ? 4 : 3) +
+                              ": simulated " + std::to_string(threads) +
+                              "-threaded workloads";
+    t.print(std::cout, title);
+  }
+
+  TextTable tp({"benchmark", "ilp_class", "data_footprint_kb", "code_kb",
+                "branch_frac"});
+  for (const trace::BenchmarkProfile& p : trace::all_profiles()) {
+    tp.begin_row();
+    tp.add_cell(p.name);
+    tp.add_cell(trace::ilp_class_name(p.ilp));
+    tp.add_cell(p.data_footprint / 1024);
+    tp.add_cell(p.code_footprint / 1024);
+    tp.add_cell(p.branch_weight(), 3);
+  }
+  tp.print(std::cout, "synthetic benchmark profiles (SPEC CPU2000 stand-ins)");
+  return 0;
+}

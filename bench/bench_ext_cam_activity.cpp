@@ -1,0 +1,55 @@
+// Extension: the complexity/power side of the paper's argument.  The
+// 2OP_BLOCK family halves the wakeup CAM (one comparator per entry); this
+// bench reports the comparator hardware of each design and the measured
+// CAM activity -- comparator operations per committed instruction -- on the
+// paper's 2-threaded mixes.  (The paper defers circuit-level numbers to
+// [13]; this is the corresponding activity model.)
+#include "bench_common.hpp"
+
+#include "trace/mixes.hpp"
+
+int main(int argc, char** argv) {
+  using namespace msim;
+  bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::print_run_parameters(opts);
+
+  constexpr core::SchedulerKind kKinds[] = {
+      core::SchedulerKind::kTraditional, core::SchedulerKind::kTwoOpBlock,
+      core::SchedulerKind::kTwoOpBlockOoo, core::SchedulerKind::kTagElimination};
+
+  sim::BaselineCache baselines(opts.base);
+  TextTable table({"scheduler", "comparators@64", "hmean_ipc", "broadcasts/instr",
+                   "cam_ops/instr", "wakeups/instr"});
+  for (const core::SchedulerKind kind : kKinds) {
+    std::vector<double> ipcs;
+    std::uint64_t broadcasts = 0, cam_ops = 0, wakeups = 0, committed = 0;
+    for (const trace::WorkloadMix& mix : trace::mixes_for(2)) {
+      if (opts.verbose) {
+        std::cerr << "  " << core::scheduler_kind_name(kind) << " " << mix.name << "\n";
+      }
+      const sim::MixResult r = sim::run_mix(mix, kind, 64, opts.base, baselines);
+      ipcs.push_back(r.throughput_ipc);
+      broadcasts += r.raw.iq.broadcasts;
+      cam_ops += r.raw.iq.comparator_ops;
+      wakeups += r.raw.iq.wakeups;
+      for (const std::uint64_t c : r.raw.per_thread_committed) committed += c;
+    }
+    const core::IqLayout layout =
+        kind == core::SchedulerKind::kTagElimination
+            ? core::IqLayout::tag_eliminated(64)
+            : core::IqLayout::uniform(64, core::reduced_tag(kind) ? 1 : 2);
+    const auto per_instr = [committed](std::uint64_t x) {
+      return committed ? static_cast<double>(x) / static_cast<double>(committed) : 0.0;
+    };
+    table.begin_row();
+    table.add_cell(core::scheduler_kind_name(kind));
+    table.add_cell(std::uint64_t{layout.comparators()});
+    table.add_cell(harmonic_mean(ipcs), 3);
+    table.add_cell(per_instr(broadcasts), 3);
+    table.add_cell(per_instr(cam_ops), 3);
+    table.add_cell(per_instr(wakeups), 3);
+  }
+  table.print(std::cout,
+              "wakeup CAM hardware and activity, 2-threaded mixes, 64-entry IQ");
+  return 0;
+}

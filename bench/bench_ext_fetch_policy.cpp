@@ -1,0 +1,52 @@
+// Extension: fetch-policy interaction with the scheduler designs.  The
+// paper's introduction surveys ICOUNT [16], STALL and FLUSH [15] as the
+// traditional (fetch-side) way of managing shared-resource clogging; its
+// own mechanism works at dispatch instead.  This bench crosses the two
+// axes.  Note the known STALL/FLUSH pathology (the paper's reference [2]):
+// gating fetch on an L2 miss destroys the gated thread's memory-level
+// parallelism.
+#include "bench_common.hpp"
+
+#include "smt/machine_config.hpp"
+#include "trace/mixes.hpp"
+
+int main(int argc, char** argv) {
+  using namespace msim;
+  bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::print_run_parameters(opts);
+
+  constexpr smt::FetchPolicy kPolicies[] = {
+      smt::FetchPolicy::kIcount, smt::FetchPolicy::kRoundRobin,
+      smt::FetchPolicy::kStall, smt::FetchPolicy::kFlush};
+  constexpr core::SchedulerKind kKinds[] = {core::SchedulerKind::kTraditional,
+                                            core::SchedulerKind::kTwoOpBlock,
+                                            core::SchedulerKind::kTwoOpBlockOoo};
+
+  for (unsigned threads : {2u, 4u}) {
+    TextTable table({"fetch_policy", "traditional", "2op_block", "2op_block_ooo"});
+    for (const smt::FetchPolicy policy : kPolicies) {
+      sim::RunConfig base = opts.base;
+      base.fetch_policy = policy;
+      // Baselines must use the same fetch policy for a fair fairness metric.
+      sim::BaselineCache baselines(base);
+      table.begin_row();
+      table.add_cell(smt::fetch_policy_name(policy));
+      for (const core::SchedulerKind kind : kKinds) {
+        std::vector<double> ipcs;
+        for (const trace::WorkloadMix& mix : trace::mixes_for(threads)) {
+          if (opts.verbose) {
+            std::cerr << "  " << smt::fetch_policy_name(policy) << " "
+                      << core::scheduler_kind_name(kind) << " " << mix.name << "\n";
+          }
+          ipcs.push_back(
+              sim::run_mix(mix, kind, 64, base, baselines).throughput_ipc);
+        }
+        table.add_cell(harmonic_mean(ipcs), 3);
+      }
+    }
+    table.print(std::cout, "fetch policy x scheduler design, hmean throughput IPC, " +
+                               std::to_string(threads) +
+                               "-threaded mixes, 64-entry IQ");
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Extension: the statically partitioned tag-elimination queue (Ernst &
+// Austin, ISCA 2002 -- the paper's reference [5]) against the designs the
+// paper evaluates, across IQ sizes.  Tag elimination admits two-non-ready
+// instructions (into its limited pool of 2-comparator entries) while still
+// saving half the comparators, so it sits between the traditional and
+// 2OP_BLOCK designs.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace msim;
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::print_run_parameters(opts);
+
+  for (unsigned threads : {2u, 4u}) {
+    sim::SweepRequest req;
+    req.thread_count = threads;
+    req.kinds = {core::SchedulerKind::kTraditional, core::SchedulerKind::kTwoOpBlock,
+                 core::SchedulerKind::kTwoOpBlockOoo,
+                 core::SchedulerKind::kTagElimination};
+    req.iq_sizes.assign(opts.iq_sizes.begin(), opts.iq_sizes.end());
+    req.base = opts.base;
+    if (opts.verbose) {
+      req.progress = [](std::string_view m) { std::cerr << "  " << m << "\n"; };
+    }
+    sim::BaselineCache baselines(opts.base);
+    const auto cells = sim::run_sweep(req, baselines);
+    bench::print_figure("tag elimination vs the paper's designs, IPC speedup, " +
+                            std::to_string(threads) + "-threaded mixes",
+                        cells, req.kinds, opts, sim::FigureMetric::kIpcSpeedup);
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Extension: wrong-path execution modeling.  The baseline trace-driven
+// model charges a branch misprediction as a fetch stall until resolution;
+// with `model_wrong_path` the front end instead runs down the predicted
+// path, consuming fetch bandwidth, rename registers, IQ entries and cache
+// bandwidth until the resolution squash.  This bench quantifies the
+// difference for the three scheduler designs -- a robustness check that the
+// paper's ordering is not an artifact of the stall approximation.
+#include "bench_common.hpp"
+
+#include "trace/mixes.hpp"
+
+int main(int argc, char** argv) {
+  using namespace msim;
+  bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::print_run_parameters(opts);
+
+  for (const bool wrong_path : {false, true}) {
+    sim::RunConfig base = opts.base;
+    base.model_wrong_path = wrong_path;
+    sim::BaselineCache baselines(base);
+    TextTable table({"scheduler", "hmean_ipc_2T", "hmean_fairness_2T",
+                     "wp_fetched/instr"});
+    for (const core::SchedulerKind kind :
+         {core::SchedulerKind::kTraditional, core::SchedulerKind::kTwoOpBlock,
+          core::SchedulerKind::kTwoOpBlockOoo}) {
+      std::vector<double> ipcs, fairs;
+      std::uint64_t wp_fetched = 0, committed = 0;
+      for (const trace::WorkloadMix& mix : trace::mixes_for(2)) {
+        if (opts.verbose) {
+          std::cerr << "  wp=" << wrong_path << " "
+                    << core::scheduler_kind_name(kind) << " " << mix.name << "\n";
+        }
+        const sim::MixResult r = sim::run_mix(mix, kind, 64, base, baselines);
+        ipcs.push_back(r.throughput_ipc);
+        fairs.push_back(r.fairness);
+        wp_fetched += r.raw.pipeline.wrong_path_fetched;
+        for (const std::uint64_t c : r.raw.per_thread_committed) committed += c;
+      }
+      table.begin_row();
+      table.add_cell(core::scheduler_kind_name(kind));
+      table.add_cell(harmonic_mean(ipcs), 3);
+      table.add_cell(harmonic_mean(fairs), 3);
+      table.add_cell(committed ? static_cast<double>(wp_fetched) /
+                                     static_cast<double>(committed)
+                               : 0.0,
+                     3);
+    }
+    table.print(std::cout, std::string("wrong-path modeling ") +
+                               (wrong_path ? "ON" : "OFF (stall model)") +
+                               ", 2-threaded mixes, 64-entry IQ");
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 1: IPC speedup (harmonic mean across all mixes) of the 2OP_BLOCK
+// scheduler compared to the traditional IQ of the same capacity, for 2-, 3-
+// and 4-threaded workloads across IQ sizes.
+//
+// Paper shape: 4T positive up to 64 entries then negative; 3T positive at
+// 32, break-even near 48, negative after; 2T negative everywhere.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace msim;
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::print_run_parameters(opts);
+
+  TextTable table([&] {
+    std::vector<std::string> headers{"iq_entries"};
+    for (unsigned t : {2u, 3u, 4u}) {
+      headers.push_back(std::to_string(t) + "-threaded");
+    }
+    return headers;
+  }());
+
+  std::vector<std::vector<sim::SweepCell>> per_threads;
+  sim::BaselineCache baselines(opts.base);
+  for (unsigned threads : {2u, 3u, 4u}) {
+    sim::SweepRequest req;
+    req.thread_count = threads;
+    req.kinds = {core::SchedulerKind::kTraditional,
+                 core::SchedulerKind::kTwoOpBlock};
+    req.iq_sizes.assign(opts.iq_sizes.begin(), opts.iq_sizes.end());
+    req.base = opts.base;
+    if (opts.verbose) {
+      req.progress = [threads](std::string_view msg) {
+        std::cerr << "  [" << threads << "T] " << msg << "\n";
+      };
+    }
+    per_threads.push_back(sim::run_sweep(req, baselines));
+  }
+
+  for (const std::uint32_t iq : opts.iq_sizes) {
+    table.begin_row();
+    table.add_cell(std::uint64_t{iq});
+    for (const auto& cells : per_threads) {
+      const sim::SweepCell& cell =
+          sim::cell_for(cells, core::SchedulerKind::kTwoOpBlock, iq);
+      table.add_cell(format_percent(cell.ipc_speedup_vs_trad - 1.0));
+    }
+  }
+  table.print(std::cout,
+              "Figure 1: 2OP_BLOCK IPC speedup vs traditional IQ of same capacity");
+  return 0;
+}

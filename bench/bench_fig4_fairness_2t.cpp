@@ -1,0 +1,10 @@
+// Figure 4: improvement in the fairness metric (harmonic mean of weighted
+// IPCs) for 2-threaded workloads, relative to the traditional scheduler of
+// the same capacity.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return msim::bench::run_figure_bench(
+      argc, argv, "Figure 4: fairness-metric improvement, 2-threaded workloads", 2,
+      msim::sim::FigureMetric::kFairnessGain);
+}

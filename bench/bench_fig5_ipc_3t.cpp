@@ -1,0 +1,11 @@
+// Figure 5: throughput IPC speedup for 3-threaded workloads.
+//
+// Paper shape: OOO dispatch above 2OP_BLOCK at all sizes (up to +21% at 64)
+// and above traditional up to 64 entries, roughly even at 96.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return msim::bench::run_figure_bench(
+      argc, argv, "Figure 5: throughput IPC speedup, 3-threaded workloads", 3,
+      msim::sim::FigureMetric::kIpcSpeedup);
+}

@@ -1,0 +1,8 @@
+// Figure 6: improvement in the fairness metric for 3-threaded workloads.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return msim::bench::run_figure_bench(
+      argc, argv, "Figure 6: fairness-metric improvement, 3-threaded workloads", 3,
+      msim::sim::FigureMetric::kFairnessGain);
+}

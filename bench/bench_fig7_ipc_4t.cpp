@@ -1,0 +1,12 @@
+// Figure 7: throughput IPC speedup for 4-threaded workloads.
+//
+// Paper shape: OOO dispatch above 2OP_BLOCK for every size larger than 32
+// entries (slightly below it at 32, where TLP alone fills the small queue),
+// and above traditional at every size.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return msim::bench::run_figure_bench(
+      argc, argv, "Figure 7: throughput IPC speedup, 4-threaded workloads", 4,
+      msim::sim::FigureMetric::kIpcSpeedup);
+}

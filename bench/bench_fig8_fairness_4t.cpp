@@ -1,0 +1,8 @@
+// Figure 8: improvement in the fairness metric for 4-threaded workloads.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return msim::bench::run_figure_bench(
+      argc, argv, "Figure 8: fairness-metric improvement, 4-threaded workloads", 4,
+      msim::sim::FigureMetric::kFairnessGain);
+}

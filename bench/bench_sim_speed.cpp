@@ -1,0 +1,59 @@
+// Microbenchmark (google-benchmark): simulator throughput in simulated
+// instructions per wall-clock second, per scheduler design and thread
+// count.  Useful for sizing experiment horizons.
+#include <benchmark/benchmark.h>
+
+#include "smt/pipeline.hpp"
+#include "trace/profile.hpp"
+
+namespace {
+
+using msim::core::SchedulerKind;
+
+void run_pipeline(benchmark::State& state, SchedulerKind kind,
+                  std::initializer_list<const char*> benchmarks) {
+  std::vector<msim::trace::BenchmarkProfile> workload;
+  for (const char* name : benchmarks) {
+    workload.push_back(msim::trace::profile_or_throw(name));
+  }
+  msim::smt::MachineConfig mc;
+  mc.thread_count = static_cast<unsigned>(workload.size());
+  mc.scheduler.kind = kind;
+  mc.scheduler.iq_entries = 64;
+
+  std::uint64_t committed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    msim::smt::Pipeline pipe(mc, workload, 1);
+    state.ResumeTiming();
+    pipe.run(20'000);
+    committed += pipe.total_committed();
+  }
+  state.counters["sim_instructions_per_second"] = benchmark::Counter(
+      static_cast<double>(committed), benchmark::Counter::kIsRate);
+}
+
+void BM_Traditional1T(benchmark::State& state) {
+  run_pipeline(state, SchedulerKind::kTraditional, {"gzip"});
+}
+void BM_Traditional4T(benchmark::State& state) {
+  run_pipeline(state, SchedulerKind::kTraditional,
+               {"gzip", "equake", "gcc", "mesa"});
+}
+void BM_TwoOpBlock4T(benchmark::State& state) {
+  run_pipeline(state, SchedulerKind::kTwoOpBlock,
+               {"gzip", "equake", "gcc", "mesa"});
+}
+void BM_TwoOpBlockOoo4T(benchmark::State& state) {
+  run_pipeline(state, SchedulerKind::kTwoOpBlockOoo,
+               {"gzip", "equake", "gcc", "mesa"});
+}
+
+BENCHMARK(BM_Traditional1T)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Traditional4T)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TwoOpBlock4T)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TwoOpBlockOoo4T)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Section 4 text statistics about Hidden Dispatchable Instructions:
+//   * ~90% of the instructions piled up behind a blocking NDI are HDIs;
+//   * only ~10% of HDIs dispatched out of program order depend (directly or
+//     transitively) on a bypassed NDI;
+//   * idealized zero-overhead filtering of NDI-dependent HDIs buys only
+//     ~1.2% IPC on average, so blind out-of-order dispatch loses little.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace msim;
+  bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::print_run_parameters(opts);
+
+  sim::BaselineCache baselines(opts.base);
+  sim::SweepRequest req;
+  req.thread_count = 2;
+  req.kinds = {core::SchedulerKind::kTwoOpBlock, core::SchedulerKind::kTwoOpBlockOoo,
+               core::SchedulerKind::kTwoOpBlockOooFiltered};
+  req.iq_sizes = {64};
+  req.base = opts.base;
+  if (opts.verbose) {
+    req.progress = [](std::string_view m) { std::cerr << "  " << m << "\n"; };
+  }
+  const auto cells = sim::run_sweep(req, baselines);
+  const sim::SweepCell& block =
+      sim::cell_for(cells, core::SchedulerKind::kTwoOpBlock, 64);
+  const sim::SweepCell& ooo =
+      sim::cell_for(cells, core::SchedulerKind::kTwoOpBlockOoo, 64);
+  const sim::SweepCell& filtered =
+      sim::cell_for(cells, core::SchedulerKind::kTwoOpBlockOooFiltered, 64);
+
+  // Aggregate the HDI counters across the 12 mixes.
+  auto hdi_fraction = [](const sim::SweepCell& cell) {
+    std::uint64_t hdis = 0, examined = 0;
+    for (const sim::MixResult& m : cell.mixes) {
+      hdis += m.raw.dispatch.behind_ndi_hdis;
+      examined += m.raw.dispatch.behind_ndi_examined;
+    }
+    return examined ? static_cast<double>(hdis) / static_cast<double>(examined) : 0.0;
+  };
+  auto dependent_fraction = [](const sim::SweepCell& cell) {
+    std::uint64_t dep = 0, total = 0;
+    for (const sim::MixResult& m : cell.mixes) {
+      dep += m.raw.dispatch.ooo_dispatches_dependent;
+      total += m.raw.dispatch.ooo_dispatches;
+    }
+    return total ? static_cast<double>(dep) / static_cast<double>(total) : 0.0;
+  };
+
+  TextTable table({"statistic", "paper", "measured"});
+  auto row = [&table](std::string_view what, std::string_view paper, double v) {
+    table.begin_row();
+    table.add_cell(what);
+    table.add_cell(paper);
+    table.add_cell(v, 3);
+  };
+  row("HDI fraction of instructions piled behind an NDI (2OP_BLOCK)", "~0.90",
+      hdi_fraction(block));
+  row("fraction of OOO-dispatched HDIs dependent on a bypassed NDI", "~0.10",
+      dependent_fraction(ooo));
+  row("IPC gain of idealized filtering over blind OOO dispatch", "~0.012",
+      filtered.hmean_ipc / ooo.hmean_ipc - 1.0);
+  table.print(std::cout,
+              "Section 4: Hidden Dispatchable Instruction statistics "
+              "(2-threaded mixes, 64-entry IQ)");
+  return 0;
+}

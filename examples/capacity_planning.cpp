@@ -1,0 +1,75 @@
+// Capacity planning: the design question the paper motivates.  A reduced-tag
+// scheduler (one comparator per IQ entry) is smaller, faster and cooler --
+// but how many entries does each scheduler design need to reach a target
+// fraction of peak throughput on a given workload?
+//
+//   ./capacity_planning [mix=4T-mix6] [target=0.95] [horizon=80000]
+//
+// Prints the throughput of every (design, size) point and the smallest IQ
+// each design needs to hit the target, taking the best observed throughput
+// across all points as "peak".
+#include <iostream>
+#include <optional>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+#include "trace/mixes.hpp"
+
+int main(int argc, char** argv) {
+  using namespace msim;
+  const KvConfig cli = KvConfig::parse({argv + 1, static_cast<std::size_t>(argc - 1)});
+
+  sim::RunConfig base;
+  base.warmup = cli.get_uint("warmup", 15'000);
+  base.horizon = cli.get_uint("horizon", 80'000);
+  base.seed = cli.get_uint("seed", 1);
+  const double target = cli.get_double("target", 0.95);
+  const trace::WorkloadMix& mix = trace::mix_or_throw(cli.get_string("mix", "4T-mix6"));
+
+  constexpr core::SchedulerKind kKinds[] = {core::SchedulerKind::kTraditional,
+                                            core::SchedulerKind::kTwoOpBlock,
+                                            core::SchedulerKind::kTwoOpBlockOoo};
+  constexpr std::uint32_t kSizes[] = {16, 24, 32, 48, 64, 96, 128};
+
+  std::cout << "workload " << mix.name << " (" << trace::describe_mix(mix)
+            << "), target = " << target << " of peak throughput\n\n";
+
+  sim::BaselineCache baselines(base);
+  double ipc[3][std::size(kSizes)] = {};
+  double peak = 0.0;
+  TextTable sweep({"iq_entries", "traditional", "2op_block", "2op_block_ooo"});
+  for (std::size_t s = 0; s < std::size(kSizes); ++s) {
+    sweep.begin_row();
+    sweep.add_cell(std::uint64_t{kSizes[s]});
+    for (std::size_t k = 0; k < 3; ++k) {
+      const sim::MixResult r = sim::run_mix(mix, kKinds[k], kSizes[s], base, baselines);
+      ipc[k][s] = r.throughput_ipc;
+      peak = std::max(peak, r.throughput_ipc);
+      sweep.add_cell(r.throughput_ipc, 3);
+    }
+  }
+  sweep.print(std::cout, "throughput IPC by scheduler design and IQ size");
+
+  TextTable plan({"scheduler", "comparators/entry", "smallest IQ for target",
+                  "throughput there"});
+  for (std::size_t k = 0; k < 3; ++k) {
+    std::optional<std::size_t> chosen;
+    for (std::size_t s = 0; s < std::size(kSizes) && !chosen; ++s) {
+      if (ipc[k][s] >= target * peak) chosen = s;
+    }
+    plan.begin_row();
+    plan.add_cell(core::scheduler_kind_name(kKinds[k]));
+    plan.add_cell(core::reduced_tag(kKinds[k]) ? "1" : "2");
+    if (chosen) {
+      plan.add_cell(std::uint64_t{kSizes[*chosen]});
+      plan.add_cell(ipc[k][*chosen], 3);
+    } else {
+      plan.add_cell("unreached");
+      plan.add_cell(ipc[k][std::size(kSizes) - 1], 3);
+    }
+  }
+  plan.print(std::cout, "capacity plan");
+  std::cout << "peak throughput observed: " << peak << " IPC\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Deadlock laboratory: out-of-order dispatch can deadlock (Section 4 of the
+// paper) -- younger dependent instructions fill the IQ while the oldest
+// instruction waits for an entry.  This example squeezes a memory-bound
+// 2-thread mix through a deliberately tiny IQ and shows both remedies
+// keeping the machine live:
+//   * the deadlock-avoidance buffer (DAB), the paper's preferred design;
+//   * the watchdog timer with full pipeline flush & replay.
+//
+//   ./deadlock_lab [iq=6] [horizon=30000] [watchdog=200]
+#include <iostream>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "sim/run.hpp"
+
+int main(int argc, char** argv) {
+  using namespace msim;
+  const KvConfig cli = KvConfig::parse({argv + 1, static_cast<std::size_t>(argc - 1)});
+
+  sim::RunConfig base;
+  base.benchmarks = {"art", "lucas"};
+  base.kind = core::SchedulerKind::kTwoOpBlockOoo;
+  base.iq_entries = static_cast<std::uint32_t>(cli.get_uint("iq", 6));
+  base.warmup = cli.get_uint("warmup", 5'000);
+  base.horizon = cli.get_uint("horizon", 30'000);
+  base.max_cycles = 20'000'000;  // a deadlock would otherwise hang forever
+
+  std::cout << "2OP_BLOCK + out-of-order dispatch, art+lucas, "
+            << base.iq_entries << "-entry IQ\n\n";
+
+  TextTable table({"deadlock handling", "ipc", "dab_inserts", "dab_issues",
+                   "watchdog_flushes", "flushed_instructions", "completed"});
+  auto report = [&table](std::string_view name, const sim::RunResult& r) {
+    table.begin_row();
+    table.add_cell(name);
+    table.add_cell(r.throughput_ipc, 3);
+    table.add_cell(r.dispatch.dab_inserts);
+    table.add_cell(r.dispatch.dab_issues);
+    table.add_cell(r.dispatch.watchdog_flushes);
+    table.add_cell(r.pipeline.watchdog_flushed_instructions);
+    table.add_cell(r.truncated ? "TIMED OUT" : "yes");
+  };
+
+  {
+    sim::RunConfig cfg = base;
+    cfg.deadlock = core::DeadlockMode::kAvoidanceBuffer;
+    report("avoidance buffer", sim::run_simulation(cfg));
+  }
+  {
+    sim::RunConfig cfg = base;
+    cfg.deadlock = core::DeadlockMode::kWatchdog;
+    cfg.watchdog_timeout = static_cast<std::uint32_t>(cli.get_uint("watchdog", 200));
+    report("watchdog timer", sim::run_simulation(cfg));
+  }
+
+  table.print(std::cout, "forward progress under a deliberately starved IQ");
+  std::cout << "Both designs complete the run; the DAB does it without ever\n"
+               "flushing, which is why the paper prefers it (Section 4).\n";
+  return 0;
+}

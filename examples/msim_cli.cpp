@@ -1,0 +1,181 @@
+// msim_cli: a full command-line driver for the simulator, in the spirit of
+// SimpleScalar's sim-outorder.  Runs one configuration and prints a complete
+// statistics report from every component.
+//
+//   ./msim_cli benchmarks=equake,gzip sched=2op_block_ooo iq=64 \
+//              fetch=icount deadlock=dab horizon=200000
+//
+// Keys:
+//   benchmarks  comma-separated profile names (1-8 threads)  [gcc]
+//   sched       traditional | 2op_block | 2op_block_ooo |
+//               2op_block_ooo_filtered | tag_elimination     [traditional]
+//   fetch       icount | round_robin | stall | flush          [icount]
+//   deadlock    dab | dab_shared | watchdog                   [dab]
+//   iq, scan_depth, watchdog_timeout, oracle_disambiguation, wrong_path,
+//   warmup, horizon, seed, max_cycles
+#include <iostream>
+#include <stdexcept>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "sim/run.hpp"
+#include "trace/profile.hpp"
+
+namespace {
+
+using namespace msim;
+
+core::SchedulerKind parse_sched(const std::string& name) {
+  for (const auto kind :
+       {core::SchedulerKind::kTraditional, core::SchedulerKind::kTwoOpBlock,
+        core::SchedulerKind::kTwoOpBlockOoo,
+        core::SchedulerKind::kTwoOpBlockOooFiltered,
+        core::SchedulerKind::kTagElimination}) {
+    if (name == core::scheduler_kind_name(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown sched: '" + name + "'");
+}
+
+smt::FetchPolicy parse_fetch(const std::string& name) {
+  for (const auto policy :
+       {smt::FetchPolicy::kIcount, smt::FetchPolicy::kRoundRobin,
+        smt::FetchPolicy::kStall, smt::FetchPolicy::kFlush}) {
+    if (name == smt::fetch_policy_name(policy)) return policy;
+  }
+  throw std::invalid_argument("unknown fetch: '" + name + "'");
+}
+
+std::vector<std::string> split_names(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const auto comma = csv.find(',', start);
+    const auto end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const KvConfig cli = KvConfig::parse({argv + 1, static_cast<std::size_t>(argc - 1)});
+
+  sim::RunConfig cfg;
+  cfg.benchmarks = split_names(cli.get_string("benchmarks", "gcc"));
+  cfg.kind = parse_sched(cli.get_string("sched", "traditional"));
+  cfg.fetch_policy = parse_fetch(cli.get_string("fetch", "icount"));
+  cfg.iq_entries = static_cast<std::uint32_t>(cli.get_uint("iq", 64));
+  cfg.scan_depth = static_cast<std::uint32_t>(cli.get_uint("scan_depth", 0));
+  cfg.watchdog_timeout =
+      static_cast<std::uint32_t>(cli.get_uint("watchdog_timeout", 450));
+  cfg.oracle_disambiguation = cli.get_bool("oracle_disambiguation", true);
+  cfg.model_wrong_path = cli.get_bool("wrong_path", false);
+  cfg.warmup = cli.get_uint("warmup", 20'000);
+  cfg.horizon = cli.get_uint("horizon", 100'000);
+  cfg.seed = cli.get_uint("seed", 1);
+  cfg.max_cycles = cli.get_uint("max_cycles", 0);
+  const std::string deadlock = cli.get_string("deadlock", "dab");
+  if (deadlock == "dab") {
+    cfg.deadlock = core::DeadlockMode::kAvoidanceBuffer;
+  } else if (deadlock == "dab_shared") {
+    cfg.deadlock = core::DeadlockMode::kAvoidanceBuffer;
+    cfg.dab_exclusive = false;
+  } else if (deadlock == "watchdog") {
+    cfg.deadlock = core::DeadlockMode::kWatchdog;
+  } else {
+    throw std::invalid_argument("unknown deadlock: '" + deadlock + "'");
+  }
+
+  std::cout << "msim-ooo: " << core::scheduler_kind_name(cfg.kind) << ", "
+            << cfg.iq_entries << "-entry IQ, fetch "
+            << smt::fetch_policy_name(cfg.fetch_policy) << ", "
+            << cfg.benchmarks.size() << " thread(s)\n";
+  for (std::size_t t = 0; t < cfg.benchmarks.size(); ++t) {
+    const auto& p = trace::profile_or_throw(cfg.benchmarks[t]);
+    std::cout << "  thread " << t << ": " << p.name << " ("
+              << trace::ilp_class_name(p.ilp) << " ILP)\n";
+  }
+  std::cout << "\n";
+
+  const sim::RunResult r = sim::run_simulation(cfg);
+
+  TextTable perf({"thread", "benchmark", "committed", "ipc"});
+  for (std::size_t t = 0; t < cfg.benchmarks.size(); ++t) {
+    perf.begin_row();
+    perf.add_cell(std::to_string(t));
+    perf.add_cell(cfg.benchmarks[t]);
+    perf.add_cell(r.per_thread_committed[t]);
+    perf.add_cell(r.per_thread_ipc[t], 3);
+  }
+  perf.print(std::cout, "performance");
+  std::cout << "cycles " << r.cycles << ", throughput IPC " << r.throughput_ipc
+            << (r.truncated ? "  [TRUNCATED at max_cycles]" : "") << "\n\n";
+
+  TextTable sched({"metric", "value"});
+  auto row = [&sched](std::string_view k, double v, int prec = 3) {
+    sched.begin_row();
+    sched.add_cell(k);
+    sched.add_cell(v, prec);
+  };
+  auto rowu = [&sched](std::string_view k, std::uint64_t v) {
+    sched.begin_row();
+    sched.add_cell(k);
+    sched.add_cell(v);
+  };
+  rowu("instructions dispatched", r.dispatch.dispatched);
+  rowu("  with 0 non-ready sources", r.dispatch.dispatched_by_nonready[0]);
+  rowu("  with 1 non-ready source", r.dispatch.dispatched_by_nonready[1]);
+  rowu("  with 2 non-ready sources", r.dispatch.dispatched_by_nonready[2]);
+  row("all-thread NDI stall fraction", r.dispatch.all_stall_fraction());
+  row("HDI fraction behind NDIs", r.dispatch.hdi_fraction_behind_ndi());
+  rowu("out-of-order dispatches", r.dispatch.ooo_dispatches);
+  row("  fraction dependent on an NDI", r.dispatch.ooo_dependent_fraction());
+  rowu("DAB inserts", r.dispatch.dab_inserts);
+  rowu("watchdog flushes", r.dispatch.watchdog_flushes);
+  row("IQ mean occupancy", r.iq_mean_occupancy, 1);
+  row("IQ mean residency (cycles)", r.iq.mean_residency(), 1);
+  rowu("IQ comparator operations", r.iq.comparator_ops);
+  sched.print(std::cout, "scheduler");
+
+  TextTable mem({"structure", "accesses", "misses", "miss_rate"});
+  auto cache_row = [&mem](std::string_view name, const mem::CacheStats& s) {
+    mem.begin_row();
+    mem.add_cell(name);
+    mem.add_cell(s.accesses);
+    mem.add_cell(s.misses);
+    mem.add_cell(s.miss_rate(), 3);
+  };
+  cache_row("L1I", r.memory.l1i);
+  cache_row("L1D", r.memory.l1d);
+  cache_row("L2", r.memory.l2);
+  mem.print(std::cout, "memory hierarchy");
+  std::cout << "main-memory accesses: " << r.memory.memory_accesses << "\n\n";
+
+  TextTable front({"metric", "value"});
+  front.begin_row();
+  front.add_cell("branches");
+  front.add_cell(r.bpred.branches);
+  front.begin_row();
+  front.add_cell("mispredict rate");
+  front.add_cell(r.bpred.mispredict_rate(), 4);
+  front.begin_row();
+  front.add_cell("fetch cycles lost to I-cache misses");
+  front.add_cell(r.pipeline.fetch_icache_stall_cycles);
+  front.begin_row();
+  front.add_cell("fetch opportunities gated by L2 misses");
+  front.add_cell(r.pipeline.fetch_l2_gated);
+  front.begin_row();
+  front.add_cell("FLUSH-policy squashes");
+  front.add_cell(r.pipeline.policy_flushes);
+  front.begin_row();
+  front.add_cell("wrong-path instructions fetched");
+  front.add_cell(r.pipeline.wrong_path_fetched);
+  front.begin_row();
+  front.add_cell("wrong-path squashes");
+  front.add_cell(r.pipeline.wrong_path_squashes);
+  front.print(std::cout, "front end");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "bpred/predictor.hpp"
+
+#include "common/check.hpp"
+
+namespace msim::bpred {
+
+BranchPredictor::BranchPredictor(const PredictorConfig& config, unsigned thread_count)
+    : btb_(config.btb) {
+  MSIM_CHECK(thread_count >= 1 && thread_count <= kMaxThreads);
+  gshare_.reserve(thread_count);
+  stats_.resize(thread_count);
+  for (unsigned t = 0; t < thread_count; ++t) {
+    gshare_.emplace_back(config.gshare);
+  }
+}
+
+bool BranchPredictor::predict_and_train(ThreadId tid, Addr pc, bool taken, Addr target) {
+  bool correct = false;
+  (void)predict_and_train_full(tid, pc, taken, target, &correct);
+  return correct;
+}
+
+BranchPredictor::Prediction BranchPredictor::predict_and_train_full(
+    ThreadId tid, Addr pc, bool taken, Addr target, bool* correct_path) {
+  Gshare& dir = gshare_.at(tid);
+  Prediction out;
+  out.taken = dir.predict(pc);
+  dir.update(pc, taken);
+  if (out.taken) {
+    const auto btb_target = btb_.lookup(tid, pc);
+    out.have_target = btb_target.has_value();
+    out.target = btb_target.value_or(0);
+  }
+
+  bool correct = out.taken == taken;
+  if (correct && taken) {
+    // Direction right, but the front end also needs the target address.
+    correct = out.have_target && out.target == target;
+  }
+  if (taken) {
+    btb_.update(tid, pc, target);
+  }
+
+  PredictorStats& s = stats_.at(tid);
+  ++s.branches;
+  if (!correct) ++s.mispredicts;
+  *correct_path = correct;
+  return out;
+}
+
+BranchPredictor::Prediction BranchPredictor::predict_only(ThreadId tid, Addr pc) {
+  Prediction out;
+  out.taken = gshare_.at(tid).predict(pc);
+  if (out.taken) {
+    const auto btb_target = btb_.lookup(tid, pc);
+    out.have_target = btb_target.has_value();
+    out.target = btb_target.value_or(0);
+  }
+  return out;
+}
+
+PredictorStats BranchPredictor::total_stats() const noexcept {
+  PredictorStats total;
+  for (const PredictorStats& s : stats_) {
+    total.branches += s.branches;
+    total.mispredicts += s.mispredicts;
+  }
+  return total;
+}
+
+}  // namespace msim::bpred

@@ -1,0 +1,26 @@
+// Lightweight always-on invariant checks for the simulator.
+//
+// Simulator bugs manifest as silently wrong statistics, so structural
+// invariants (queue occupancy, register-file accounting, program-order
+// monotonicity) are checked even in release builds.  The checks are cheap
+// (integer compares) relative to the per-cycle work of the pipeline.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace msim::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "MSIM_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace msim::detail
+
+#define MSIM_CHECK(expr)                                            \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::msim::detail::check_failed(#expr, __FILE__, __LINE__);      \
+    }                                                               \
+  } while (false)

@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation for synthetic workloads.
+//
+// The whole simulator must be reproducible from a single 64-bit seed: a run
+// with the same configuration produces bit-identical statistics.  We use
+// xoshiro256** (Blackman & Vigna) rather than std::mt19937 because it is
+// faster, has a tiny state, and -- unlike the standard distributions -- the
+// derived distributions below are specified here and therefore identical
+// across standard-library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace msim {
+
+/// xoshiro256** 1.0 generator with SplitMix64 seeding.
+class Rng {
+ public:
+  /// Seeds the four 64-bit words of state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept { reseed(seed); }
+
+  /// Re-initializes the state from `seed`; equivalent to constructing anew.
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Bernoulli trial: true with probability `p` (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Geometric sample: number of failures before the first success with
+  /// per-trial success probability `p` in (0, 1].  Mean = (1-p)/p.
+  std::uint64_t next_geometric(double p) noexcept;
+
+  /// Samples an index from a discrete distribution given cumulative weights.
+  /// `cumulative` must be non-empty and non-decreasing with a positive back().
+  std::size_t next_index(std::span<const double> cumulative) noexcept;
+
+  /// Splits off an independent generator, e.g. one per thread context.
+  /// Derived from the current state, so the split sequence is deterministic.
+  Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Builds the cumulative weight vector used by Rng::next_index from raw
+/// (non-negative, not all zero) weights.
+std::array<double, 8> cumulative_from_weights(std::span<const double> weights);
+
+}  // namespace msim

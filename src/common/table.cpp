@@ -1,0 +1,107 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace msim {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  MSIM_CHECK(!headers_.empty());
+}
+
+void TextTable::begin_row() {
+  if (!rows_.empty()) {
+    MSIM_CHECK(rows_.back().size() == headers_.size());
+  }
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+}
+
+void TextTable::add_cell(std::string value) {
+  MSIM_CHECK(!rows_.empty() && rows_.back().size() < headers_.size());
+  rows_.back().push_back(std::move(value));
+}
+
+void TextTable::add_cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  add_cell(std::string(buf));
+}
+
+void TextTable::add_cell(std::uint64_t value) {
+  add_cell(std::to_string(value));
+}
+
+void TextTable::add_cell(int value) { add_cell(std::to_string(value)); }
+
+std::string TextTable::to_ascii() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      if (c < row.size()) widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      out += "| ";
+      out += cell;
+      out.append(widths[c] - cell.size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += "|";
+    out.append(widths[c] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string TextTable::to_csv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out += ',';
+      out += csv_escape(cells[c]);
+    }
+    out += '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+void TextTable::print(std::ostream& os, std::string_view title) const {
+  os << "== " << title << " ==\n" << to_ascii() << "# CSV\n" << to_csv() << "\n";
+}
+
+std::string format_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f%%", precision, fraction * 100.0);
+  return std::string(buf);
+}
+
+}  // namespace msim

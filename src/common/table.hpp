@@ -1,0 +1,47 @@
+// Plain-text result tables: the bench harness prints each paper table/figure
+// as an aligned ASCII table for humans plus a CSV block for scripts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msim {
+
+/// A small column-oriented text table.  Cells are strings; numeric helpers
+/// format with a fixed precision.  Rendering pads columns to the widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add_cell calls fill it left to right.
+  void begin_row();
+  void add_cell(std::string value);
+  void add_cell(std::string_view value) { add_cell(std::string(value)); }
+  void add_cell(const char* value) { add_cell(std::string(value)); }
+  /// Formats `value` with `precision` digits after the decimal point.
+  void add_cell(double value, int precision = 3);
+  void add_cell(std::uint64_t value);
+  void add_cell(int value);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept { return headers_.size(); }
+
+  /// Renders an aligned ASCII table (header, rule, rows).
+  [[nodiscard]] std::string to_ascii() const;
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas or quotes).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Convenience: ASCII table followed by a "# CSV" block, for bench output.
+  void print(std::ostream& os, std::string_view title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double as e.g. "+15.2%" — the paper reports speedups this way.
+[[nodiscard]] std::string format_percent(double fraction, int precision = 1);
+
+}  // namespace msim

@@ -1,0 +1,40 @@
+// Basic scalar types shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace msim {
+
+/// Simulated clock cycle count.
+using Cycle = std::uint64_t;
+
+/// Monotonically increasing per-thread dynamic instruction sequence number.
+/// Sequence numbers define program order within a thread.
+using SeqNum = std::uint64_t;
+
+/// Hardware thread context identifier (0-based).
+using ThreadId = std::uint8_t;
+
+/// Simulated byte address.
+using Addr = std::uint64_t;
+
+/// Physical register index into the shared register file.
+using PhysReg = std::uint16_t;
+
+/// Architectural register index (per thread).
+using ArchReg = std::uint8_t;
+
+/// Sentinel for "no physical register" (zero-register / immediate operand).
+inline constexpr PhysReg kNoPhysReg = std::numeric_limits<PhysReg>::max();
+
+/// Sentinel for "no architectural register".
+inline constexpr ArchReg kNoArchReg = std::numeric_limits<ArchReg>::max();
+
+/// Sentinel cycle meaning "not yet scheduled / unknown".
+inline constexpr Cycle kCycleNever = std::numeric_limits<Cycle>::max();
+
+/// Maximum number of hardware thread contexts the pipeline supports.
+inline constexpr unsigned kMaxThreads = 8;
+
+}  // namespace msim

@@ -1,0 +1,154 @@
+#include "core/issue_queue.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace msim::core {
+
+IssueQueue::IssueQueue(const IqLayout& layout)
+    : layout_(layout), capacity_(layout.total()) {
+  MSIM_CHECK(capacity_ > 0);
+  entries_.resize(capacity_);
+  // Lay entries out class-major and seed the per-class free lists.
+  std::uint32_t slot = 0;
+  for (unsigned cmp = 0; cmp <= isa::kMaxSources; ++cmp) {
+    const std::uint32_t count = layout_.entries_by_comparators[cmp];
+    if (count > 0) max_cmp_ = static_cast<std::uint8_t>(cmp);
+    free_by_cmp_[cmp].reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i, ++slot) {
+      entries_[slot].comparators = static_cast<std::uint8_t>(cmp);
+      free_by_cmp_[cmp].push_back(slot);
+    }
+  }
+  MSIM_CHECK(max_cmp_ >= 1);  // a queue of only 0-comparator entries is unusable
+}
+
+bool IssueQueue::has_entry_for(unsigned non_ready) const noexcept {
+  for (unsigned cmp = non_ready; cmp <= isa::kMaxSources; ++cmp) {
+    if (!free_by_cmp_[cmp].empty()) return true;
+  }
+  return false;
+}
+
+std::uint32_t IssueQueue::dispatch(const SchedInst& inst,
+                                   std::span<const PhysReg> waiting, Cycle now) {
+  MSIM_CHECK(waiting.size() <= isa::kMaxSources);
+  // Smallest adequate entry class first, to save the big entries for the
+  // instructions that need them.
+  std::uint32_t slot = capacity_;
+  for (unsigned cmp = static_cast<unsigned>(waiting.size());
+       cmp <= isa::kMaxSources; ++cmp) {
+    if (!free_by_cmp_[cmp].empty()) {
+      slot = free_by_cmp_[cmp].back();
+      free_by_cmp_[cmp].pop_back();
+      break;
+    }
+  }
+  MSIM_CHECK(slot < capacity_);  // caller must check has_entry_for first
+
+  Entry& e = entries_[slot];
+  e.inst = inst;
+  e.pending = 0;
+  e.waiting[0] = e.waiting[1] = kNoPhysReg;
+  for (std::size_t i = 0; i < waiting.size(); ++i) {
+    MSIM_CHECK(waiting[i] != kNoPhysReg);
+    e.waiting[i] = waiting[i];
+    ++e.pending;
+  }
+  MSIM_CHECK(e.pending <= e.comparators);
+  e.dispatched_at = now;
+  e.age_stamp = next_stamp_++;
+  e.valid = true;
+  ++live_;
+  ++per_thread_.at(inst.tid);
+  ++stats_.dispatched;
+  return slot;
+}
+
+void IssueQueue::broadcast(PhysReg tag) noexcept {
+  ++stats_.broadcasts;
+  if (live_ == 0) return;
+  for (Entry& e : entries_) {
+    if (!e.valid) continue;
+    // Every comparator of an occupied entry observes the broadcast; that
+    // is the CAM energy the reduced-tag designs halve.
+    stats_.comparator_ops += e.comparators;
+    if (e.pending == 0) continue;
+    for (PhysReg& w : e.waiting) {
+      if (w == tag) {
+        w = kNoPhysReg;
+        MSIM_CHECK(e.pending > 0);
+        --e.pending;
+        ++stats_.wakeups;
+      }
+    }
+  }
+}
+
+void IssueQueue::collect_ready(std::vector<std::uint32_t>& out) const {
+  const std::size_t first = out.size();
+  for (std::uint32_t i = 0; i < capacity_; ++i) {
+    const Entry& e = entries_[i];
+    if (e.valid && e.pending == 0) out.push_back(i);
+  }
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return entries_[a].age_stamp < entries_[b].age_stamp;
+            });
+}
+
+const SchedInst& IssueQueue::at(std::uint32_t slot) const {
+  MSIM_CHECK(slot < capacity_ && entries_[slot].valid);
+  return entries_[slot].inst;
+}
+
+bool IssueQueue::ready(std::uint32_t slot) const {
+  MSIM_CHECK(slot < capacity_ && entries_[slot].valid);
+  return entries_[slot].pending == 0;
+}
+
+void IssueQueue::release_slot(std::uint32_t slot) noexcept {
+  Entry& e = entries_[slot];
+  e.valid = false;
+  free_by_cmp_[e.comparators].push_back(slot);
+  MSIM_CHECK(live_ > 0);
+  --live_;
+  MSIM_CHECK(per_thread_.at(e.inst.tid) > 0);
+  --per_thread_.at(e.inst.tid);
+}
+
+void IssueQueue::issue(std::uint32_t slot, Cycle now) {
+  MSIM_CHECK(slot < capacity_);
+  Entry& e = entries_[slot];
+  MSIM_CHECK(e.valid && e.pending == 0);
+  stats_.residency.add(static_cast<double>(now - e.dispatched_at));
+  ++stats_.issued;
+  release_slot(slot);
+}
+
+void IssueQueue::squash_younger(ThreadId tid, SeqNum after_seq) noexcept {
+  for (std::uint32_t i = 0; i < capacity_; ++i) {
+    Entry& e = entries_[i];
+    if (e.valid && e.inst.tid == tid && e.inst.seq > after_seq) {
+      release_slot(i);
+    }
+  }
+}
+
+void IssueQueue::clear() noexcept {
+  for (auto& free_list : free_by_cmp_) free_list.clear();
+  for (std::uint32_t i = 0; i < capacity_; ++i) {
+    entries_[i].valid = false;
+    free_by_cmp_[entries_[i].comparators].push_back(i);
+  }
+  live_ = 0;
+  per_thread_.fill(0);
+}
+
+void IssueQueue::tick_stats() noexcept {
+  stats_.occupancy_integral += live_;
+  ++stats_.occupancy_samples;
+}
+
+}  // namespace msim::core

@@ -1,0 +1,24 @@
+#include "core/sched_types.hpp"
+
+namespace msim::core {
+
+std::string_view scheduler_kind_name(SchedulerKind kind) noexcept {
+  switch (kind) {
+    case SchedulerKind::kTraditional:          return "traditional";
+    case SchedulerKind::kTwoOpBlock:           return "2op_block";
+    case SchedulerKind::kTwoOpBlockOoo:        return "2op_block_ooo";
+    case SchedulerKind::kTwoOpBlockOooFiltered: return "2op_block_ooo_filtered";
+    case SchedulerKind::kTagElimination:         return "tag_elimination";
+  }
+  return "unknown";
+}
+
+std::string_view deadlock_mode_name(DeadlockMode mode) noexcept {
+  switch (mode) {
+    case DeadlockMode::kAvoidanceBuffer: return "avoidance_buffer";
+    case DeadlockMode::kWatchdog:        return "watchdog";
+  }
+  return "unknown";
+}
+
+}  // namespace msim::core

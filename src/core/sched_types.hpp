@@ -1,0 +1,101 @@
+// Shared vocabulary types for the scheduler designs under study.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace msim::core {
+
+/// The scheduler designs compared in the paper.
+enum class SchedulerKind : std::uint8_t {
+  /// Conventional issue queue: two tag comparators per entry, strictly
+  /// in-order dispatch within each thread.  The paper's baseline.
+  kTraditional,
+  /// Sharkey & Ponomarev (HPCA'06): one comparator per entry; an
+  /// instruction with two non-ready sources blocks its thread at dispatch.
+  kTwoOpBlock,
+  /// This paper's contribution: 2OP_BLOCK plus out-of-order dispatch of
+  /// Hidden Dispatchable Instructions past blocked NDIs.
+  kTwoOpBlockOoo,
+  /// Ablation from Section 4: idealized zero-overhead filtering that only
+  /// dispatches HDIs *independent* of every older in-buffer NDI.
+  kTwoOpBlockOooFiltered,
+  /// Related work (Ernst & Austin, ISCA 2002): a statically partitioned
+  /// queue with 0-, 1- and 2-comparator entries and in-order dispatch; an
+  /// instruction waits for a free entry with enough comparators.
+  kTagElimination,
+};
+
+/// Deadlock handling for the out-of-order dispatch variants (Section 4).
+enum class DeadlockMode : std::uint8_t {
+  /// Deadlock-avoidance buffer: the paper's preferred design.
+  kAvoidanceBuffer,
+  /// Watchdog timer + full pipeline flush & replay.
+  kWatchdog,
+};
+
+[[nodiscard]] std::string_view scheduler_kind_name(SchedulerKind kind) noexcept;
+[[nodiscard]] std::string_view deadlock_mode_name(DeadlockMode mode) noexcept;
+
+/// True for the kinds whose issue queue has one comparator per entry
+/// (the 2OP_BLOCK family).
+[[nodiscard]] constexpr bool reduced_tag(SchedulerKind kind) noexcept {
+  return kind == SchedulerKind::kTwoOpBlock ||
+         kind == SchedulerKind::kTwoOpBlockOoo ||
+         kind == SchedulerKind::kTwoOpBlockOooFiltered;
+}
+
+/// True for the kinds that dispatch out of program order within a thread.
+[[nodiscard]] constexpr bool ooo_dispatch(SchedulerKind kind) noexcept {
+  return kind == SchedulerKind::kTwoOpBlockOoo ||
+         kind == SchedulerKind::kTwoOpBlockOooFiltered;
+}
+
+/// Scheduler configuration knob set.
+struct SchedulerConfig {
+  SchedulerKind kind = SchedulerKind::kTraditional;
+  std::uint32_t iq_entries = 64;
+  /// Per-thread rename (dispatch) buffer capacity; also the upper bound on
+  /// the out-of-order dispatch scan depth.
+  std::uint32_t rename_buffer_entries = 32;
+  /// How many buffer entries the OOO dispatch scan may examine per thread
+  /// per cycle, counting both bypassed NDIs and dispatched instructions
+  /// (0 = whole buffer).  Models the scan/dispatch port budget of a
+  /// hardware implementation.
+  std::uint32_t scan_depth = 0;
+  DeadlockMode deadlock = DeadlockMode::kAvoidanceBuffer;
+  /// Watchdog countdown start (Section 4 suggests 2-3x the memory latency;
+  /// default 3 * 150).
+  std::uint32_t watchdog_timeout = 450;
+  /// When true (the paper's chosen variant), instructions in the
+  /// deadlock-avoidance buffer take absolute precedence: IQ selection is
+  /// disabled on cycles when the DAB is occupied.
+  bool dab_exclusive = true;
+
+  [[nodiscard]] std::uint32_t effective_scan_depth() const noexcept {
+    return scan_depth == 0 ? rename_buffer_entries : scan_depth;
+  }
+};
+
+/// A renamed instruction as the scheduler sees it.
+struct SchedInst {
+  ThreadId tid = 0;
+  SeqNum seq = 0;             ///< program order within the thread
+  isa::OpClass op = isa::OpClass::kIntAlu;
+  PhysReg src[isa::kMaxSources] = {kNoPhysReg, kNoPhysReg};
+  PhysReg dest = kNoPhysReg;
+};
+
+/// Why a thread could not dispatch its next in-order instruction this cycle.
+enum class DispatchBlock : std::uint8_t {
+  kNone,         ///< dispatched, or buffer empty
+  kEmptyBuffer,  ///< nothing renamed and waiting
+  kIqFull,       ///< no free issue-queue entry of any kind
+  kTwoNonReady,  ///< NDI: needs 2 comparators, entries only have 1
+  kWidth,        ///< machine dispatch width exhausted this cycle
+};
+
+}  // namespace msim::core

@@ -1,0 +1,323 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace msim::core {
+
+Scheduler::Scheduler(const SchedulerConfig& config, unsigned thread_count,
+                     unsigned dispatch_width, unsigned issue_width)
+    : config_(config),
+      thread_count_(thread_count),
+      dispatch_width_(dispatch_width),
+      issue_width_(issue_width),
+      iq_(config.kind == SchedulerKind::kTagElimination
+              ? IqLayout::tag_eliminated(config.iq_entries)
+              : IqLayout::uniform(config.iq_entries,
+                                  reduced_tag(config.kind) ? std::uint8_t{1}
+                                                           : std::uint8_t{2})),
+      buffers_(thread_count),
+      dab_(thread_count),
+      scan_(thread_count),
+      block_reason_(thread_count, DispatchBlock::kNone),
+      last_inserted_seq_(thread_count, 0),
+      insert_seq_valid_(thread_count, 0),
+      watchdog_remaining_(config.watchdog_timeout) {
+  MSIM_CHECK(thread_count_ >= 1 && thread_count_ <= kMaxThreads);
+  MSIM_CHECK(dispatch_width_ >= 1 && issue_width_ >= 1);
+  MSIM_CHECK(config_.rename_buffer_entries >= 1);
+  for (auto& buf : buffers_) buf.reserve(config_.rename_buffer_entries);
+}
+
+bool Scheduler::buffer_has_space(ThreadId tid) const {
+  return buffers_.at(tid).size() < config_.rename_buffer_entries;
+}
+
+std::uint32_t Scheduler::buffer_size(ThreadId tid) const {
+  return static_cast<std::uint32_t>(buffers_.at(tid).size());
+}
+
+void Scheduler::insert(const SchedInst& inst) {
+  auto& buf = buffers_.at(inst.tid);
+  MSIM_CHECK(buf.size() < config_.rename_buffer_entries);
+  // Renaming is in order within a thread even under out-of-order dispatch
+  // (Section 4), so insertions must arrive in consecutive program order.
+  // (A watchdog flush resets the expectation: replay restarts at an older
+  // sequence number.)
+  if (insert_seq_valid_[inst.tid]) {
+    MSIM_CHECK(inst.seq == last_inserted_seq_[inst.tid] + 1);
+  }
+  insert_seq_valid_[inst.tid] = 1;
+  last_inserted_seq_[inst.tid] = inst.seq;
+  buf.push_back(inst);
+}
+
+unsigned Scheduler::non_ready_sources(const SchedInst& inst, const DispatchEnv& env) {
+  unsigned count = 0;
+  PhysReg first_unready = kNoPhysReg;
+  for (PhysReg src : inst.src) {
+    if (src == kNoPhysReg || env.is_ready(src)) continue;
+    if (src == first_unready) continue;  // one comparator covers both slots
+    first_unready = src;
+    ++count;
+  }
+  return count;
+}
+
+bool Scheduler::reads_any(const SchedInst& inst, const std::vector<PhysReg>& regs) {
+  for (PhysReg src : inst.src) {
+    if (src == kNoPhysReg) continue;
+    if (std::find(regs.begin(), regs.end(), src) != regs.end()) return true;
+  }
+  return false;
+}
+
+void Scheduler::dispatch_into_iq(const SchedInst& inst, const DispatchEnv& env,
+                                 Cycle now) {
+  // Collect the distinct non-ready tags the IQ entry must watch.
+  PhysReg waiting[isa::kMaxSources];
+  std::size_t n = 0;
+  for (PhysReg src : inst.src) {
+    if (src == kNoPhysReg || env.is_ready(src)) continue;
+    bool dup = false;
+    for (std::size_t i = 0; i < n; ++i) dup = dup || waiting[i] == src;
+    if (!dup) {
+      MSIM_CHECK(n < isa::kMaxSources);
+      waiting[n] = src;
+      ++n;
+    }
+  }
+  iq_.dispatch(inst, {waiting, n}, now);
+}
+
+void Scheduler::sample_behind_ndi(ThreadId tid, const DispatchEnv& env) {
+  const auto& buf = buffers_[tid];
+  // buf[0] is the blocking NDI; classify everything piled up behind it.
+  // This feeds the Section-4 observation that ~90% of such instructions
+  // are HDIs.  Note HDI status here considers only the comparator
+  // constraint, not momentary IQ occupancy, matching the paper's usage.
+  for (std::size_t i = 1; i < buf.size(); ++i) {
+    ++dstats_.behind_ndi_examined;
+    if (non_ready_sources(buf[i], env) <= 1) ++dstats_.behind_ndi_hdis;
+  }
+}
+
+bool Scheduler::try_dispatch_one(ThreadId tid, Cycle now, const DispatchEnv& env) {
+  auto& buf = buffers_[tid];
+  ScanState& scan = scan_[tid];
+  if (scan.exhausted) return false;
+  if (buf.empty()) {
+    block_reason_[tid] = DispatchBlock::kEmptyBuffer;
+    scan.exhausted = true;
+    return false;
+  }
+
+  if (!ooo_dispatch(config_.kind)) {
+    // In-order policies: only the head is ever considered.  An instruction
+    // with more non-ready sources than any entry class can watch is an NDI
+    // in the 2OP_BLOCK sense (it blocks until an operand arrives); one that
+    // merely lacks a *free* adequate entry right now waits on queue
+    // occupancy (the tag-elimination and traditional cases).
+    const SchedInst& head = buf.front();
+    const unsigned non_ready = non_ready_sources(head, env);
+    if (non_ready > iq_.max_comparators()) {
+      if (block_reason_[tid] != DispatchBlock::kTwoNonReady) {
+        block_reason_[tid] = DispatchBlock::kTwoNonReady;
+        sample_behind_ndi(tid, env);  // once per blocked cycle
+      }
+      scan.exhausted = true;
+      return false;
+    }
+    if (!iq_.has_entry_for(non_ready)) {
+      block_reason_[tid] = DispatchBlock::kIqFull;
+      scan.exhausted = true;
+      return false;
+    }
+    dispatch_into_iq(head, env, now);
+    ++dstats_.dispatched_by_nonready[std::min(non_ready, 2u)];
+    buf.erase(buf.begin());
+    block_reason_[tid] = DispatchBlock::kNone;
+    return true;
+  }
+
+  // Out-of-order dispatch: scan past NDIs up to the configured depth.
+  const bool filtered = config_.kind == SchedulerKind::kTwoOpBlockOooFiltered;
+  const std::uint32_t depth = config_.effective_scan_depth();
+  while (scan.pos < buf.size() && scan.examined < depth) {
+    const SchedInst& cand = buf[scan.pos];
+    const unsigned non_ready = non_ready_sources(cand, env);
+    const bool tainted = reads_any(cand, scan.tainted);
+    if (non_ready <= iq_.max_comparators() && !iq_.has_entry_for(non_ready)) {
+      scan.saw_iq_full = true;
+      // Deadlock avoidance (Section 4): when the thread's oldest ROB
+      // instruction cannot get an IQ entry, park it in the DAB, from
+      // which it will issue with priority.  It is the oldest in the ROB,
+      // so all of its sources are ready by definition.
+      if (config_.deadlock == DeadlockMode::kAvoidanceBuffer && !dab_[tid] &&
+          env.is_oldest_in_rob(tid, buf.front().seq)) {
+        MSIM_CHECK(non_ready_sources(buf.front(), env) == 0);
+        dab_[tid] = buf.front();
+        buf.erase(buf.begin());
+        if (scan.pos > 0) --scan.pos;
+        ++dstats_.dab_inserts;
+        block_reason_[tid] = DispatchBlock::kNone;
+        return true;  // consumed a dispatch slot
+      }
+      block_reason_[tid] = DispatchBlock::kIqFull;
+      scan.exhausted = true;
+      return false;
+    }
+    if (non_ready > iq_.max_comparators()) {
+      // NDI: bypass it; its destination taints dependents.
+      scan.saw_ndi = true;
+      if (cand.dest != kNoPhysReg) scan.tainted.push_back(cand.dest);
+      ++scan.pos;
+      ++scan.examined;
+      continue;
+    }
+    if (filtered && tainted) {
+      // Idealized filtering: an HDI dependent (directly or transitively)
+      // on a bypassed NDI is held back.
+      ++dstats_.filtered_suppressed;
+      if (cand.dest != kNoPhysReg) scan.tainted.push_back(cand.dest);
+      ++scan.pos;
+      ++scan.examined;
+      continue;
+    }
+
+    // Dispatchable: take it.
+    if (scan.saw_ndi) {
+      ++dstats_.ooo_dispatches;
+      if (tainted) {
+        ++dstats_.ooo_dispatches_dependent;
+        if (cand.dest != kNoPhysReg) scan.tainted.push_back(cand.dest);
+      }
+    }
+    dispatch_into_iq(cand, env, now);
+    ++dstats_.dispatched_by_nonready[std::min(non_ready, 2u)];
+    ++scan.examined;
+    buf.erase(buf.begin() + scan.pos);  // pos now indexes the next entry
+    block_reason_[tid] = DispatchBlock::kNone;
+    return true;
+  }
+
+  scan.exhausted = true;
+  if (scan.saw_ndi && block_reason_[tid] == DispatchBlock::kNone) {
+    block_reason_[tid] = DispatchBlock::kTwoNonReady;
+  }
+  return false;
+}
+
+DispatchCycleResult Scheduler::run_dispatch(Cycle now, const DispatchEnv& env) {
+  ++dstats_.cycles;
+  for (ThreadId t = 0; t < thread_count_; ++t) {
+    scan_[t] = ScanState{};
+    block_reason_[t] = DispatchBlock::kNone;
+  }
+
+  DispatchCycleResult result;
+  rr_start_ = (rr_start_ + 1) % thread_count_;
+  bool progress = true;
+  while (result.dispatched < dispatch_width_ && progress) {
+    progress = false;
+    for (unsigned i = 0; i < thread_count_ && result.dispatched < dispatch_width_; ++i) {
+      const auto tid = static_cast<ThreadId>((rr_start_ + i) % thread_count_);
+      if (try_dispatch_one(tid, now, env)) {
+        ++result.dispatched;
+        progress = true;
+      }
+    }
+  }
+  dstats_.dispatched += result.dispatched;
+
+  // Classify the cycle for the Section-3 stall statistic: "the dispatch of
+  // all threads stalls due to all threads having instructions with two
+  // non-ready sources".  Every thread must actually hold an instruction
+  // blocked by the comparator constraint -- a thread with an empty buffer
+  // is fetch-starved, not stalled by the 2OP_BLOCK rule.
+  if (result.dispatched == 0) {
+    ++dstats_.no_dispatch_cycles;
+    bool all_ndi = true;
+    for (ThreadId t = 0; t < thread_count_; ++t) {
+      all_ndi = all_ndi && block_reason_[t] == DispatchBlock::kTwoNonReady;
+    }
+    if (all_ndi) ++dstats_.all_threads_ndi_stall_cycles;
+  }
+  for (ThreadId t = 0; t < thread_count_; ++t) {
+    if (block_reason_[t] == DispatchBlock::kTwoNonReady) ++dstats_.ndi_blocked_thread_cycles;
+    if (block_reason_[t] == DispatchBlock::kIqFull) ++dstats_.iq_full_thread_cycles;
+  }
+
+  // Watchdog (Section 4): counts down on dispatch-free cycles while work is
+  // waiting; any dispatch resets it.
+  if (config_.deadlock == DeadlockMode::kWatchdog && ooo_dispatch(config_.kind)) {
+    bool work_waiting = false;
+    for (const auto& buf : buffers_) work_waiting = work_waiting || !buf.empty();
+    if (result.dispatched > 0 || !work_waiting) {
+      watchdog_remaining_ = config_.watchdog_timeout;
+    } else if (watchdog_remaining_ == 0 || --watchdog_remaining_ == 0) {
+      result.watchdog_fired = true;
+      ++dstats_.watchdog_flushes;
+      watchdog_remaining_ = config_.watchdog_timeout;
+    }
+  }
+  return result;
+}
+
+unsigned Scheduler::run_select(Cycle now, IssueEnv& env) {
+  unsigned issued = 0;
+  bool dab_occupied = false;
+  for (ThreadId t = 0; t < thread_count_ && issued < issue_width_; ++t) {
+    const auto tid = static_cast<ThreadId>((rr_start_ + t) % thread_count_);
+    if (!dab_[tid]) continue;
+    dab_occupied = true;
+    if (env.try_issue(*dab_[tid], /*from_dab=*/true)) {
+      dab_[tid].reset();
+      ++issued;
+      ++dstats_.dab_issues;
+    }
+  }
+  for (const auto& slot : dab_) dab_occupied = dab_occupied || slot.has_value();
+
+  // The paper's chosen DAB variant disables IQ selection while the DAB
+  // holds instructions ("instructions in this buffer ... simply take
+  // precedence over the instructions in the IQ").
+  if (dab_occupied && config_.dab_exclusive) return issued;
+
+  ready_scratch_.clear();
+  iq_.collect_ready(ready_scratch_);
+  for (std::uint32_t slot : ready_scratch_) {
+    if (issued >= issue_width_) break;
+    if (env.try_issue(iq_.at(slot), /*from_dab=*/false)) {
+      iq_.issue(slot, now);
+      ++issued;
+    }
+  }
+  return issued;
+}
+
+void Scheduler::squash_younger(ThreadId tid, SeqNum after_seq) noexcept {
+  auto& buf = buffers_.at(tid);
+  while (!buf.empty() && buf.back().seq > after_seq) buf.pop_back();
+  if (dab_.at(tid) && dab_.at(tid)->seq > after_seq) dab_.at(tid).reset();
+  iq_.squash_younger(tid, after_seq);
+  // Replay restarts at an older sequence number.
+  insert_seq_valid_.at(tid) = 0;
+}
+
+void Scheduler::flush() noexcept {
+  for (auto& buf : buffers_) buf.clear();
+  for (auto& slot : dab_) slot.reset();
+  std::fill(insert_seq_valid_.begin(), insert_seq_valid_.end(), std::uint8_t{0});
+  iq_.clear();
+  watchdog_remaining_ = config_.watchdog_timeout;
+}
+
+bool Scheduler::dab_occupied(ThreadId tid) const { return dab_.at(tid).has_value(); }
+
+std::uint32_t Scheduler::held_instructions(ThreadId tid) const {
+  return buffer_size(tid) + (dab_.at(tid) ? 1u : 0u) + iq_.size_for(tid);
+}
+
+}  // namespace msim::core

@@ -1,0 +1,196 @@
+// The dynamic scheduling logic under study: per-thread rename (dispatch)
+// buffers feeding an issue queue, under one of five dispatch policies
+// (Sections 3, 4 and 6 of the paper):
+//
+//   kTraditional           in-order dispatch, 2 comparators per IQ entry
+//   kTwoOpBlock            in-order dispatch, 1 comparator per IQ entry;
+//                          an instruction with two non-ready sources (an
+//                          NDI) blocks its whole thread at dispatch
+//   kTwoOpBlockOoo         the paper's contribution: HDIs (dispatchable
+//                          instructions hidden behind an NDI) may bypass
+//                          it and dispatch out of program order
+//   kTwoOpBlockOooFiltered the Section-4 ablation: only HDIs *independent*
+//                          of every older in-buffer NDI may bypass
+//   kTagElimination        related work (paper ref [5], Ernst & Austin):
+//                          in-order dispatch into a statically partitioned
+//                          queue of 0-/1-/2-comparator entries
+//
+// Out-of-order dispatch introduces a deadlock risk (Section 4); the
+// scheduler implements both remedies: the deadlock-avoidance buffer (DAB)
+// and the watchdog timer (the pipeline performs the actual flush).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/issue_queue.hpp"
+#include "core/sched_types.hpp"
+
+namespace msim::core {
+
+/// Queries the scheduler needs answered by the surrounding pipeline during
+/// the dispatch phase.
+class DispatchEnv {
+ public:
+  virtual ~DispatchEnv() = default;
+  /// True when the physical register's value is available (or will be
+  /// bypassed to instructions issuing this cycle).
+  [[nodiscard]] virtual bool is_ready(PhysReg reg) const = 0;
+  /// True when (tid, seq) is the oldest instruction in its thread's ROB,
+  /// i.e. every older instruction of the thread has committed.
+  [[nodiscard]] virtual bool is_oldest_in_rob(ThreadId tid, SeqNum seq) const = 0;
+};
+
+/// Receives issue offers during the select phase.  Returns true when the
+/// instruction was accepted (function unit + memory-order constraints met).
+class IssueEnv {
+ public:
+  virtual ~IssueEnv() = default;
+  virtual bool try_issue(const SchedInst& inst, bool from_dab) = 0;
+};
+
+/// Counters for the paper's dispatch-related statistics.
+struct DispatchStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t dispatched = 0;
+  /// Instructions dispatched with 0 / 1 / 2 distinct non-ready sources.
+  std::uint64_t dispatched_by_nonready[3] = {0, 0, 0};
+  std::uint64_t no_dispatch_cycles = 0;
+  /// Section 3: cycles when the dispatch of ALL threads is stalled by
+  /// instructions with two non-ready sources (the 2OP_BLOCK pathology).
+  std::uint64_t all_threads_ndi_stall_cycles = 0;
+  /// Thread-cycles with the thread's next in-order instruction blocked as
+  /// an NDI / blocked by a full IQ.
+  std::uint64_t ndi_blocked_thread_cycles = 0;
+  std::uint64_t iq_full_thread_cycles = 0;
+  /// Section 4: of the instructions piled up behind a blocking NDI, how
+  /// many are HDIs (would be dispatchable)?  Sampled every blocked cycle.
+  std::uint64_t behind_ndi_examined = 0;
+  std::uint64_t behind_ndi_hdis = 0;
+  /// Out-of-order dispatches (bypassed at least one NDI), and how many of
+  /// those were directly or transitively dependent on a bypassed NDI.
+  std::uint64_t ooo_dispatches = 0;
+  std::uint64_t ooo_dispatches_dependent = 0;
+  /// Ablation: HDIs whose dispatch the filtered policy suppressed.
+  std::uint64_t filtered_suppressed = 0;
+  std::uint64_t dab_inserts = 0;
+  std::uint64_t dab_issues = 0;
+  std::uint64_t watchdog_flushes = 0;
+
+  [[nodiscard]] double all_stall_fraction() const noexcept {
+    return cycles ? static_cast<double>(all_threads_ndi_stall_cycles) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+  }
+  [[nodiscard]] double hdi_fraction_behind_ndi() const noexcept {
+    return behind_ndi_examined ? static_cast<double>(behind_ndi_hdis) /
+                                     static_cast<double>(behind_ndi_examined)
+                               : 0.0;
+  }
+  [[nodiscard]] double ooo_dependent_fraction() const noexcept {
+    return ooo_dispatches ? static_cast<double>(ooo_dispatches_dependent) /
+                                static_cast<double>(ooo_dispatches)
+                          : 0.0;
+  }
+};
+
+/// Result of one dispatch phase.
+struct DispatchCycleResult {
+  std::uint32_t dispatched = 0;
+  bool watchdog_fired = false;
+};
+
+class Scheduler {
+ public:
+  Scheduler(const SchedulerConfig& config, unsigned thread_count,
+            unsigned dispatch_width, unsigned issue_width);
+
+  // ---- rename side -------------------------------------------------------
+  [[nodiscard]] bool buffer_has_space(ThreadId tid) const;
+  [[nodiscard]] std::uint32_t buffer_size(ThreadId tid) const;
+  /// Inserts a renamed instruction; program order per thread is enforced.
+  void insert(const SchedInst& inst);
+
+  // ---- per-cycle phases --------------------------------------------------
+  /// Dispatch phase: moves instructions from rename buffers into the IQ
+  /// (and possibly the DAB) under the configured policy.
+  DispatchCycleResult run_dispatch(Cycle now, const DispatchEnv& env);
+
+  /// Wakeup: result-tag broadcast into the IQ CAM.
+  void broadcast(PhysReg tag) noexcept { iq_.broadcast(tag); }
+
+  /// Select phase: offers ready instructions (DAB first, then the IQ in
+  /// oldest-first order) to `env`, up to `issue_width` acceptances.
+  /// Returns the number issued.
+  unsigned run_select(Cycle now, IssueEnv& env);
+
+  /// Squashes all scheduler state (watchdog flush path).
+  void flush() noexcept;
+
+  /// Partial squash (FLUSH fetch policy): removes every instruction of
+  /// `tid` younger than `after_seq` from the rename buffer, the IQ and the
+  /// DAB.  Rename-order expectations are reset for the thread.
+  void squash_younger(ThreadId tid, SeqNum after_seq) noexcept;
+
+  /// Occupancy bookkeeping; call once per simulated cycle.
+  void tick_stats() noexcept { iq_.tick_stats(); }
+
+  /// Zeroes dispatch and IQ statistics (post-warm-up reset).
+  void reset_stats() {
+    dstats_ = DispatchStats{};
+    iq_.reset_stats();
+  }
+
+  // ---- introspection -----------------------------------------------------
+  [[nodiscard]] const SchedulerConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const IssueQueue& iq() const noexcept { return iq_; }
+  [[nodiscard]] const DispatchStats& dispatch_stats() const noexcept { return dstats_; }
+  [[nodiscard]] bool dab_occupied(ThreadId tid) const;
+  /// Total instructions held (buffers + IQ + DAB); used by ICOUNT fetch.
+  [[nodiscard]] std::uint32_t held_instructions(ThreadId tid) const;
+
+ private:
+  struct ScanState {
+    std::uint32_t pos = 0;        ///< next buffer index to examine
+    std::uint32_t examined = 0;
+    bool exhausted = false;
+    bool saw_iq_full = false;
+    bool saw_ndi = false;
+    /// Destinations of bypassed NDIs and of instructions (dispatched or
+    /// suppressed) that transitively depend on one.
+    std::vector<PhysReg> tainted;
+  };
+
+  /// Distinct non-ready register sources of `inst` under `env`.
+  [[nodiscard]] static unsigned non_ready_sources(const SchedInst& inst,
+                                                  const DispatchEnv& env);
+  [[nodiscard]] static bool reads_any(const SchedInst& inst,
+                                      const std::vector<PhysReg>& regs);
+
+  /// Attempts one dispatch for thread `tid`; returns true on success.
+  bool try_dispatch_one(ThreadId tid, Cycle now, const DispatchEnv& env);
+  void dispatch_into_iq(const SchedInst& inst, const DispatchEnv& env, Cycle now);
+  /// Samples the HDI-behind-NDI statistic for a thread blocked at its head.
+  void sample_behind_ndi(ThreadId tid, const DispatchEnv& env);
+
+  SchedulerConfig config_;
+  unsigned thread_count_;
+  unsigned dispatch_width_;
+  unsigned issue_width_;
+
+  IssueQueue iq_;
+  std::vector<std::vector<SchedInst>> buffers_;       ///< per thread, program order
+  std::vector<std::optional<SchedInst>> dab_;         ///< one slot per thread
+  std::vector<ScanState> scan_;                       ///< per thread, per cycle
+  std::vector<DispatchBlock> block_reason_;           ///< per thread, per cycle
+  std::vector<SeqNum> last_inserted_seq_;             ///< program-order check
+  std::vector<std::uint8_t> insert_seq_valid_;        ///< last_inserted_seq_ meaningful?
+  std::vector<std::uint32_t> ready_scratch_;
+
+  std::uint32_t watchdog_remaining_;
+  unsigned rr_start_ = 0;  ///< rotating round-robin origin
+  DispatchStats dstats_;
+};
+
+}  // namespace msim::core

@@ -1,0 +1,55 @@
+// Dynamic instruction record produced by the trace generator and consumed by
+// the pipeline front end.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "isa/opclass.hpp"
+
+namespace msim::isa {
+
+/// Architectural register file shape: 32 integer + 32 floating-point
+/// registers per thread, indexed 0..31 and 32..63 in one flat space.
+inline constexpr unsigned kIntArchRegs = 32;
+inline constexpr unsigned kFpArchRegs = 32;
+inline constexpr unsigned kArchRegCount = kIntArchRegs + kFpArchRegs;
+
+/// True when flat architectural register index `r` is a floating-point reg.
+[[nodiscard]] constexpr bool is_fp_arch_reg(ArchReg r) noexcept {
+  return r >= kIntArchRegs && r < kArchRegCount;
+}
+
+/// Maximum register source operands per instruction.  Both the 2OP_BLOCK
+/// scheduler and the out-of-order dispatch scheme assume this is 2.
+inline constexpr unsigned kMaxSources = 2;
+
+/// One dynamic instruction as it leaves the (synthetic) instruction stream.
+/// All dependence information is expressed through architectural register
+/// names; the rename stage turns those into physical registers.
+struct DynInst {
+  SeqNum seq = 0;           ///< program-order index within the thread
+  Addr pc = 0;              ///< instruction address (drives I-cache & bpred)
+  Addr next_pc = 0;         ///< actual successor address (fallthrough/target)
+  Addr mem_addr = 0;        ///< effective address for loads/stores
+  OpClass op = OpClass::kIntAlu;
+  ArchReg dest = kNoArchReg;
+  ArchReg src[kMaxSources] = {kNoArchReg, kNoArchReg};
+  bool taken = false;       ///< branches: resolved direction
+
+  [[nodiscard]] bool is_load() const noexcept { return op == OpClass::kLoad; }
+  [[nodiscard]] bool is_store() const noexcept { return op == OpClass::kStore; }
+  [[nodiscard]] bool is_mem() const noexcept { return is_load() || is_store(); }
+  [[nodiscard]] bool is_branch() const noexcept { return op == OpClass::kBranch; }
+  [[nodiscard]] bool has_dest() const noexcept { return dest != kNoArchReg; }
+
+  [[nodiscard]] unsigned source_count() const noexcept {
+    unsigned n = 0;
+    for (ArchReg s : src) {
+      if (s != kNoArchReg) ++n;
+    }
+    return n;
+  }
+};
+
+}  // namespace msim::isa

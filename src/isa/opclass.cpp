@@ -1,0 +1,32 @@
+#include "isa/opclass.hpp"
+
+namespace msim::isa {
+
+std::string_view op_class_name(OpClass op) noexcept {
+  switch (op) {
+    case OpClass::kIntAlu:  return "int_alu";
+    case OpClass::kIntMult: return "int_mult";
+    case OpClass::kIntDiv:  return "int_div";
+    case OpClass::kLoad:    return "load";
+    case OpClass::kStore:   return "store";
+    case OpClass::kFpAdd:   return "fp_add";
+    case OpClass::kFpMult:  return "fp_mult";
+    case OpClass::kFpDiv:   return "fp_div";
+    case OpClass::kFpSqrt:  return "fp_sqrt";
+    case OpClass::kBranch:  return "branch";
+  }
+  return "unknown";
+}
+
+std::string_view fu_kind_name(FuKind kind) noexcept {
+  switch (kind) {
+    case FuKind::kIntAlu:     return "int_alu";
+    case FuKind::kIntMultDiv: return "int_mult_div";
+    case FuKind::kLoadStore:  return "load_store";
+    case FuKind::kFpAdd:      return "fp_add";
+    case FuKind::kFpMultDiv:  return "fp_mult_div_sqrt";
+  }
+  return "unknown";
+}
+
+}  // namespace msim::isa

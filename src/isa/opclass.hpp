@@ -1,0 +1,119 @@
+// Operation classes and the function-unit latency table.
+//
+// The simulated ISA is a generic RISC with at most two register source
+// operands per instruction (the property both the 2OP_BLOCK scheduler and
+// this paper depend on; the Alpha ISA the original evaluation used has the
+// same property).  Latencies and issue intervals follow Table 1 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace msim::isa {
+
+/// Dynamic operation classes.  Branches and address generation execute on the
+/// integer ALUs; loads/stores additionally occupy a load/store port.
+enum class OpClass : std::uint8_t {
+  kIntAlu,    ///< integer add/sub/logic/shift/compare, branch condition eval
+  kIntMult,   ///< integer multiply
+  kIntDiv,    ///< integer divide (non-pipelined)
+  kLoad,      ///< memory read
+  kStore,     ///< memory write
+  kFpAdd,     ///< FP add/sub/convert/compare
+  kFpMult,    ///< FP multiply
+  kFpDiv,     ///< FP divide (non-pipelined)
+  kFpSqrt,    ///< FP square root (non-pipelined)
+  kBranch,    ///< control transfer (conditional or unconditional)
+};
+
+inline constexpr unsigned kOpClassCount = 10;
+
+/// Function-unit pools, matching Table 1 of the paper.
+enum class FuKind : std::uint8_t {
+  kIntAlu,     ///< 8 units, latency 1, fully pipelined
+  kIntMultDiv, ///< 4 units; mult 3/1, div 20/19
+  kLoadStore,  ///< 4 ports; address+access 2/1 (L1 hit adds the cache time)
+  kFpAdd,      ///< 8 units, latency 2, fully pipelined
+  kFpMultDiv,  ///< 4 units; mult 4/1, div 12/12, sqrt 24/24
+};
+
+inline constexpr unsigned kFuKindCount = 5;
+
+/// Execution timing of one operation class on its function unit.
+struct OpTiming {
+  /// Cycles from issue to result availability (for loads: address
+  /// generation + L1 access on a hit; misses extend this dynamically).
+  std::uint32_t latency;
+  /// Cycles before the same unit can accept another operation
+  /// (1 = fully pipelined).
+  std::uint32_t issue_interval;
+};
+
+/// Which pool executes `op`.
+[[nodiscard]] constexpr FuKind fu_kind(OpClass op) noexcept {
+  switch (op) {
+    case OpClass::kIntAlu:
+    case OpClass::kBranch:
+      return FuKind::kIntAlu;
+    case OpClass::kIntMult:
+    case OpClass::kIntDiv:
+      return FuKind::kIntMultDiv;
+    case OpClass::kLoad:
+    case OpClass::kStore:
+      return FuKind::kLoadStore;
+    case OpClass::kFpAdd:
+      return FuKind::kFpAdd;
+    case OpClass::kFpMult:
+    case OpClass::kFpDiv:
+    case OpClass::kFpSqrt:
+      return FuKind::kFpMultDiv;
+  }
+  return FuKind::kIntAlu;  // unreachable for valid enumerators
+}
+
+/// Timing of `op` per Table 1 of the paper.
+[[nodiscard]] constexpr OpTiming op_timing(OpClass op) noexcept {
+  switch (op) {
+    case OpClass::kIntAlu:  return {1, 1};
+    case OpClass::kBranch:  return {1, 1};
+    case OpClass::kIntMult: return {3, 1};
+    case OpClass::kIntDiv:  return {20, 19};
+    case OpClass::kLoad:    return {2, 1};
+    case OpClass::kStore:   return {2, 1};
+    case OpClass::kFpAdd:   return {2, 1};
+    case OpClass::kFpMult:  return {4, 1};
+    case OpClass::kFpDiv:   return {12, 12};
+    case OpClass::kFpSqrt:  return {24, 24};
+  }
+  return {1, 1};  // unreachable for valid enumerators
+}
+
+/// Number of units in the pool, per Table 1.
+[[nodiscard]] constexpr unsigned fu_pool_size(FuKind kind) noexcept {
+  switch (kind) {
+    case FuKind::kIntAlu:     return 8;
+    case FuKind::kIntMultDiv: return 4;
+    case FuKind::kLoadStore:  return 4;
+    case FuKind::kFpAdd:      return 8;
+    case FuKind::kFpMultDiv:  return 4;
+  }
+  return 1;  // unreachable for valid enumerators
+}
+
+/// True when the destination register of `op` is a floating-point register.
+[[nodiscard]] constexpr bool writes_fp_reg(OpClass op) noexcept {
+  switch (op) {
+    case OpClass::kFpAdd:
+    case OpClass::kFpMult:
+    case OpClass::kFpDiv:
+    case OpClass::kFpSqrt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+[[nodiscard]] std::string_view op_class_name(OpClass op) noexcept;
+[[nodiscard]] std::string_view fu_kind_name(FuKind kind) noexcept;
+
+}  // namespace msim::isa

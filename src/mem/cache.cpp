@@ -1,0 +1,112 @@
+#include "mem/cache.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace msim::mem {
+
+Cache::Cache(const CacheConfig& config) : config_(config), set_count_(config.set_count()) {
+  MSIM_CHECK(config_.assoc > 0 && config_.line_bytes > 0);
+  MSIM_CHECK(config_.size_bytes % (static_cast<std::uint64_t>(config_.assoc) * config_.line_bytes) == 0);
+  MSIM_CHECK(set_count_ > 0);
+  MSIM_CHECK(config_.mshr_count > 0);
+  lines_.resize(static_cast<std::size_t>(set_count_) * config_.assoc);
+}
+
+void Cache::prune_outstanding(Cycle now) {
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    if (it->second <= now) {
+      it = outstanding_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Cache::AccessResult Cache::access(Addr addr, bool is_store, Cycle now) {
+  ++stats_.accesses;
+  const Addr laddr = line_addr(addr);
+  const std::uint32_t set = set_index(laddr);
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
+  for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == laddr) {
+      line.last_used = now;
+      line.dirty = line.dirty || is_store;
+      // The tag may belong to a line whose fill is still in flight; such
+      // accesses wait for the fill to complete (miss coalescing).
+      std::uint32_t wait = 0;
+      if (!outstanding_.empty()) {
+        if (const auto it = outstanding_.find(laddr);
+            it != outstanding_.end() && it->second > now) {
+          wait = static_cast<std::uint32_t>(it->second - now);
+          ++stats_.coalesced_misses;
+        }
+      }
+      return {.hit = true, .extra_latency = config_.hit_extra + wait, .miss_start = now};
+    }
+  }
+  ++stats_.misses;
+  prune_outstanding(now);
+
+  // Coalesce with an in-flight miss to the same line.
+  if (const auto it = outstanding_.find(laddr); it != outstanding_.end()) {
+    ++stats_.coalesced_misses;
+    const auto wait = static_cast<std::uint32_t>(it->second - now);
+    return {.hit = true, .extra_latency = config_.hit_extra + wait, .miss_start = now};
+  }
+
+  // MSHR saturation delays the start of the next-level access until the
+  // earliest outstanding miss completes.
+  Cycle miss_start = now;
+  if (outstanding_.size() >= config_.mshr_count) {
+    Cycle earliest = kCycleNever;
+    for (const auto& [line, fill_time] : outstanding_) {
+      earliest = std::min(earliest, fill_time);
+    }
+    miss_start = earliest;
+    stats_.mshr_stall_cycles += miss_start - now;
+  }
+  return {.hit = false, .extra_latency = config_.hit_extra, .miss_start = miss_start};
+}
+
+void Cache::fill(Addr addr, bool is_store, Cycle now, Cycle fill_time) {
+  const Addr laddr = line_addr(addr);
+  const std::uint32_t set = set_index(laddr);
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
+
+  // Victim selection: first invalid way, else true-LRU by last_used.
+  Line* victim = base;
+  for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+    Line& line = base[w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.last_used < victim->last_used) victim = &line;
+  }
+  if (victim->valid && victim->dirty) ++stats_.dirty_evictions;
+
+  victim->valid = true;
+  victim->tag = laddr;
+  victim->last_used = fill_time;
+  victim->dirty = is_store;
+
+  prune_outstanding(now);
+  if (fill_time > now) {
+    outstanding_.emplace(laddr, fill_time);
+  }
+}
+
+bool Cache::probe(Addr addr) const noexcept {
+  const Addr laddr = line_addr(addr);
+  const std::uint32_t set = set_index(laddr);
+  const Line* base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
+  for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+    if (base[w].valid && base[w].tag == laddr) return true;
+  }
+  return false;
+}
+
+}  // namespace msim::mem

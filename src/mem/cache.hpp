@@ -1,0 +1,105 @@
+// Set-associative cache timing model with LRU replacement, write-back /
+// write-allocate policy, and MSHR-style miss coalescing.
+//
+// This is a *timing* model: no data is stored, only tags and dirty bits.
+// An access returns the number of cycles beyond the pipeline's built-in
+// access latency before the data is available.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace msim::mem {
+
+struct CacheConfig {
+  std::string name = "cache";
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t assoc = 4;
+  std::uint32_t line_bytes = 64;
+  /// Additional cycles charged on a hit beyond the pipeline's base latency
+  /// (0 for L1s whose hit time is folded into the load latency; 10 for the
+  /// paper's L2).
+  std::uint32_t hit_extra = 0;
+  /// Maximum outstanding misses (MSHRs); further misses queue behind the
+  /// earliest completing one.
+  std::uint32_t mshr_count = 8;
+
+  [[nodiscard]] std::uint32_t set_count() const {
+    return static_cast<std::uint32_t>(size_bytes / (static_cast<std::uint64_t>(assoc) * line_bytes));
+  }
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t coalesced_misses = 0;  ///< merged into an in-flight miss
+  std::uint64_t mshr_stall_cycles = 0; ///< extra latency waiting for an MSHR
+  std::uint64_t dirty_evictions = 0;
+
+  [[nodiscard]] double miss_rate() const noexcept {
+    return accesses ? static_cast<double>(misses) / static_cast<double>(accesses) : 0.0;
+  }
+};
+
+/// One level of cache.  `access` updates tag state and returns the extra
+/// latency of this level; the caller (MemoryHierarchy) chains levels.
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// Result of a lookup at this level.
+  struct AccessResult {
+    bool hit = false;
+    /// Cycles beyond the base pipeline latency until this level supplies
+    /// the line, *excluding* the next level's latency on a miss (the
+    /// hierarchy adds that and then calls `fill`).
+    std::uint32_t extra_latency = 0;
+    /// For misses: when the MSHR slot frees up and the next-level access
+    /// can begin (>= now when MSHRs are saturated).
+    Cycle miss_start = 0;
+  };
+
+  /// Looks up `addr` at time `now`.  On a hit the line's LRU state is
+  /// refreshed; on a miss the caller must later call `fill`.
+  AccessResult access(Addr addr, bool is_store, Cycle now);
+
+  /// Installs the line for a miss that completes at `fill_time` and
+  /// registers it in the outstanding-miss table (so later accesses to the
+  /// same line coalesce instead of re-missing).
+  void fill(Addr addr, bool is_store, Cycle now, Cycle fill_time);
+
+  /// True when the line is present (test/introspection helper).
+  [[nodiscard]] bool probe(Addr addr) const noexcept;
+
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  struct Line {
+    Addr tag = 0;
+    Cycle last_used = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  [[nodiscard]] Addr line_addr(Addr addr) const noexcept { return addr / config_.line_bytes; }
+  [[nodiscard]] std::uint32_t set_index(Addr laddr) const noexcept {
+    return static_cast<std::uint32_t>(laddr % set_count_);
+  }
+
+  void prune_outstanding(Cycle now);
+
+  CacheConfig config_;
+  std::uint32_t set_count_;
+  std::vector<Line> lines_;  ///< set-major: lines_[set * assoc + way]
+  /// line address -> fill completion time, for coalescing & MSHR occupancy.
+  std::map<Addr, Cycle> outstanding_;
+  CacheStats stats_;
+};
+
+}  // namespace msim::mem

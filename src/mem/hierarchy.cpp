@@ -1,0 +1,43 @@
+#include "mem/hierarchy.hpp"
+
+namespace msim::mem {
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config)
+    : config_(config), l1i_(config.l1i), l1d_(config.l1d), l2_(config.l2) {}
+
+std::uint32_t MemoryHierarchy::access_through(Cache& l1, Addr addr, bool is_store,
+                                              Cycle now) {
+  const Cache::AccessResult r1 = l1.access(addr, is_store, now);
+  if (r1.hit) return r1.extra_latency;
+
+  // L1 miss: the L2 access begins once an L1 MSHR is available.
+  const Cycle l2_start = r1.miss_start;
+  const Cache::AccessResult r2 = l2_.access(addr, is_store, l2_start);
+  Cycle fill_time;
+  if (r2.hit) {
+    fill_time = l2_start + r2.extra_latency;
+  } else {
+    ++memory_accesses_;
+    fill_time = r2.miss_start + config_.l2.hit_extra + config_.memory_latency;
+    l2_.fill(addr, is_store, l2_start, fill_time);
+  }
+  l1.fill(addr, is_store, now, fill_time);
+  return static_cast<std::uint32_t>(fill_time - now);
+}
+
+std::uint32_t MemoryHierarchy::access_data(Addr addr, bool is_store, Cycle now) {
+  return access_through(l1d_, addr, is_store, now);
+}
+
+std::uint32_t MemoryHierarchy::access_inst(Addr pc, Cycle now) {
+  return access_through(l1i_, pc, /*is_store=*/false, now);
+}
+
+HierarchyStats MemoryHierarchy::stats() const {
+  return {.l1i = l1i_.stats(),
+          .l1d = l1d_.stats(),
+          .l2 = l2_.stats(),
+          .memory_accesses = memory_accesses_};
+}
+
+}  // namespace msim::mem

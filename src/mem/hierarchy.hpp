@@ -1,0 +1,74 @@
+// Two-level memory hierarchy (L1I + L1D over a unified L2 over DRAM),
+// configured per Table 1 of the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "mem/cache.hpp"
+
+namespace msim::mem {
+
+struct HierarchyConfig {
+  // MSHR counts are generous by default: the paper's M-Sim substrate
+  // (SimpleScalar-derived) does not bound outstanding misses, and the
+  // out-of-order dispatch mechanism's benefit on memory-bound workloads
+  // comes precisely from the extra memory-level parallelism a deeper
+  // window exposes.  The caps remain configurable for ablations.
+  CacheConfig l1i{.name = "L1I", .size_bytes = 64 * 1024, .assoc = 2,
+                  .line_bytes = 128, .hit_extra = 0, .mshr_count = 16};
+  CacheConfig l1d{.name = "L1D", .size_bytes = 32 * 1024, .assoc = 4,
+                  .line_bytes = 256, .hit_extra = 0, .mshr_count = 64};
+  CacheConfig l2{.name = "L2", .size_bytes = 2 * 1024 * 1024, .assoc = 8,
+                 .line_bytes = 512, .hit_extra = 10, .mshr_count = 128};
+  /// Main-memory access latency in cycles (Table 1: 150).
+  std::uint32_t memory_latency = 150;
+};
+
+struct HierarchyStats {
+  CacheStats l1i;
+  CacheStats l1d;
+  CacheStats l2;
+  std::uint64_t memory_accesses = 0;
+};
+
+/// Chains the cache levels and returns, for each access, the extra latency
+/// beyond the pipeline's base operation latency.
+class MemoryHierarchy {
+ public:
+  explicit MemoryHierarchy(const HierarchyConfig& config = {});
+
+  /// Data access (load or store) at `now`; returns extra cycles until the
+  /// value is available (0 on an L1D hit).
+  std::uint32_t access_data(Addr addr, bool is_store, Cycle now);
+
+  /// Instruction fetch of the line containing `pc` at `now`; returns extra
+  /// cycles until fetch can proceed (0 on an L1I hit).
+  std::uint32_t access_inst(Addr pc, Cycle now);
+
+  [[nodiscard]] HierarchyStats stats() const;
+  [[nodiscard]] const HierarchyConfig& config() const noexcept { return config_; }
+
+  /// Zeroes counters; cache contents (tags) are preserved.
+  void reset_stats() noexcept {
+    l1i_.reset_stats();
+    l1d_.reset_stats();
+    l2_.reset_stats();
+    memory_accesses_ = 0;
+  }
+
+  [[nodiscard]] Cache& l1d() noexcept { return l1d_; }
+  [[nodiscard]] Cache& l1i() noexcept { return l1i_; }
+  [[nodiscard]] Cache& l2() noexcept { return l2_; }
+
+ private:
+  std::uint32_t access_through(Cache& l1, Addr addr, bool is_store, Cycle now);
+
+  HierarchyConfig config_;
+  Cache l1i_;
+  Cache l1d_;
+  Cache l2_;
+  std::uint64_t memory_accesses_ = 0;
+};
+
+}  // namespace msim::mem

@@ -1,0 +1,146 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace msim::sim {
+
+double BaselineCache::alone_ipc(std::string_view benchmark, std::uint32_t iq_entries) {
+  const auto key = std::make_pair(std::string(benchmark), iq_entries);
+  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+
+  RunConfig cfg = base_;
+  cfg.benchmarks = {key.first};
+  cfg.kind = core::SchedulerKind::kTraditional;
+  cfg.iq_entries = iq_entries;
+  const RunResult result = run_simulation(cfg);
+  MSIM_CHECK(result.throughput_ipc > 0.0);
+  cache_.emplace(key, result.throughput_ipc);
+  return result.throughput_ipc;
+}
+
+MixResult run_mix(const trace::WorkloadMix& mix, core::SchedulerKind kind,
+                  std::uint32_t iq_entries, const RunConfig& base,
+                  BaselineCache& baselines) {
+  RunConfig cfg = base;
+  cfg.benchmarks.clear();
+  for (const std::string_view bench : mix.threads()) {
+    cfg.benchmarks.emplace_back(bench);
+  }
+  cfg.kind = kind;
+  cfg.iq_entries = iq_entries;
+
+  MixResult out;
+  out.mix_name = mix.name;
+  out.raw = run_simulation(cfg);
+  out.throughput_ipc = out.raw.throughput_ipc;
+
+  std::vector<double> alone;
+  alone.reserve(cfg.benchmarks.size());
+  for (const std::string& bench : cfg.benchmarks) {
+    alone.push_back(baselines.alone_ipc(bench, iq_entries));
+  }
+  out.fairness = hmean_weighted_ipc(out.raw.per_thread_ipc, alone);
+  return out;
+}
+
+namespace {
+
+SweepCell aggregate_cell(core::SchedulerKind kind, std::uint32_t iq,
+                         std::vector<MixResult> mixes) {
+  SweepCell cell;
+  cell.kind = kind;
+  cell.iq_entries = iq;
+  std::vector<double> ipcs;
+  std::vector<double> fairs;
+  StreamingStat stall;
+  StreamingStat residency;
+  for (const MixResult& m : mixes) {
+    ipcs.push_back(m.throughput_ipc);
+    fairs.push_back(m.fairness);
+    stall.add(m.raw.dispatch.all_stall_fraction());
+    residency.add(m.raw.iq.mean_residency());
+  }
+  cell.hmean_ipc = harmonic_mean(ipcs);
+  cell.hmean_fairness = harmonic_mean(fairs);
+  cell.mean_all_stall_fraction = stall.mean();
+  cell.mean_iq_residency = residency.mean();
+  cell.mixes = std::move(mixes);
+  return cell;
+}
+
+}  // namespace
+
+std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& baselines) {
+  MSIM_CHECK(!request.iq_sizes.empty());
+  const auto mixes = trace::mixes_for(request.thread_count);
+  auto note = [&](const std::string& msg) {
+    if (request.progress) request.progress(msg);
+  };
+
+  // The traditional scheduler anchors every speedup; run it first.
+  std::vector<core::SchedulerKind> kinds = request.kinds;
+  const bool traditional_requested =
+      std::find(kinds.begin(), kinds.end(), core::SchedulerKind::kTraditional) !=
+      kinds.end();
+  if (!traditional_requested) {
+    kinds.insert(kinds.begin(), core::SchedulerKind::kTraditional);
+  }
+
+  // kind -> iq -> cell
+  std::vector<SweepCell> cells;
+  std::map<std::uint32_t, const SweepCell*> trad_by_iq;
+  for (const core::SchedulerKind kind : kinds) {
+    for (const std::uint32_t iq : request.iq_sizes) {
+      std::vector<MixResult> results;
+      results.reserve(mixes.size());
+      for (const trace::WorkloadMix& mix : mixes) {
+        note(std::string(core::scheduler_kind_name(kind)) + " iq=" +
+             std::to_string(iq) + " " + std::string(mix.name));
+        results.push_back(run_mix(mix, kind, iq, request.base, baselines));
+      }
+      cells.push_back(aggregate_cell(kind, iq, std::move(results)));
+    }
+  }
+
+  // Compute per-mix speedups against traditional at the same capacity.
+  for (const SweepCell& cell : cells) {
+    if (cell.kind == core::SchedulerKind::kTraditional) {
+      trad_by_iq[cell.iq_entries] = &cell;
+    }
+  }
+  for (SweepCell& cell : cells) {
+    const SweepCell* trad = trad_by_iq.at(cell.iq_entries);
+    std::vector<double> ipc_ratios;
+    std::vector<double> fair_ratios;
+    MSIM_CHECK(trad->mixes.size() == cell.mixes.size());
+    for (std::size_t i = 0; i < cell.mixes.size(); ++i) {
+      MSIM_CHECK(trad->mixes[i].mix_name == cell.mixes[i].mix_name);
+      ipc_ratios.push_back(cell.mixes[i].throughput_ipc /
+                           trad->mixes[i].throughput_ipc);
+      fair_ratios.push_back(cell.mixes[i].fairness / trad->mixes[i].fairness);
+    }
+    cell.ipc_speedup_vs_trad = harmonic_mean(ipc_ratios);
+    cell.fairness_gain_vs_trad = harmonic_mean(fair_ratios);
+  }
+
+  if (!traditional_requested) {
+    std::erase_if(cells, [](const SweepCell& c) {
+      return c.kind == core::SchedulerKind::kTraditional;
+    });
+  }
+  return cells;
+}
+
+const SweepCell& cell_for(const std::vector<SweepCell>& cells,
+                          core::SchedulerKind kind, std::uint32_t iq_entries) {
+  for (const SweepCell& cell : cells) {
+    if (cell.kind == kind && cell.iq_entries == iq_entries) return cell;
+  }
+  throw std::invalid_argument("no sweep cell for requested (kind, iq)");
+}
+
+}  // namespace msim::sim

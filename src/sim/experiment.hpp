@@ -1,0 +1,85 @@
+// Experiment harness: runs workload mixes across scheduler kinds and IQ
+// sizes and aggregates results the way the paper does (harmonic means across
+// the 12 mixes of a thread count; speedups relative to the traditional
+// scheduler of the same capacity; fairness = harmonic mean of weighted IPCs
+// using cached single-threaded baseline runs).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/sched_types.hpp"
+#include "sim/run.hpp"
+#include "trace/mixes.hpp"
+
+namespace msim::sim {
+
+/// Memoizes single-threaded IPC of each benchmark on the traditional
+/// scheduler of a given IQ size: the denominator of the weighted-IPC
+/// fairness metric (Section 2, citing [8,16]).
+class BaselineCache {
+ public:
+  explicit BaselineCache(RunConfig base) : base_(std::move(base)) {}
+
+  /// IPC of `benchmark` running alone (traditional scheduler, `iq_entries`).
+  double alone_ipc(std::string_view benchmark, std::uint32_t iq_entries);
+
+  [[nodiscard]] std::size_t entries() const noexcept { return cache_.size(); }
+
+ private:
+  RunConfig base_;
+  std::map<std::pair<std::string, std::uint32_t>, double> cache_;
+};
+
+/// One mix under one scheduler configuration.
+struct MixResult {
+  std::string mix_name;
+  double throughput_ipc = 0.0;
+  double fairness = 0.0;  ///< harmonic mean of per-thread weighted IPCs
+  RunResult raw;
+};
+
+/// Runs one workload mix; `base` supplies everything except benchmarks,
+/// kind and IQ size.
+MixResult run_mix(const trace::WorkloadMix& mix, core::SchedulerKind kind,
+                  std::uint32_t iq_entries, const RunConfig& base,
+                  BaselineCache& baselines);
+
+/// Aggregate of the 12 mixes for one (kind, IQ size) cell.
+struct SweepCell {
+  core::SchedulerKind kind = core::SchedulerKind::kTraditional;
+  std::uint32_t iq_entries = 0;
+  double hmean_ipc = 0.0;
+  double hmean_fairness = 0.0;
+  /// Harmonic mean across mixes of per-mix throughput speedup vs the
+  /// traditional scheduler of the same capacity (1.0 for kTraditional).
+  double ipc_speedup_vs_trad = 1.0;
+  double fairness_gain_vs_trad = 1.0;
+  double mean_all_stall_fraction = 0.0;  ///< Section-3 stall statistic
+  double mean_iq_residency = 0.0;        ///< cycles from dispatch to issue
+  std::vector<MixResult> mixes;
+};
+
+struct SweepRequest {
+  unsigned thread_count = 2;  ///< selects the paper's 12 mixes of that size
+  std::vector<core::SchedulerKind> kinds;
+  std::vector<std::uint32_t> iq_sizes;
+  RunConfig base;  ///< benchmarks/kind/iq fields are ignored
+  /// Optional progress sink (benches report to stderr).
+  std::function<void(std::string_view)> progress;
+};
+
+/// Runs the full cross product.  kTraditional is always run (it anchors the
+/// speedups) even when absent from `request.kinds`; it is returned only if
+/// requested.  Cells are ordered kind-major in request order.
+std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& baselines);
+
+/// Finds the cell for (kind, iq); throws std::invalid_argument if missing.
+const SweepCell& cell_for(const std::vector<SweepCell>& cells,
+                          core::SchedulerKind kind, std::uint32_t iq_entries);
+
+}  // namespace msim::sim

@@ -1,0 +1,58 @@
+#include "sim/report.hpp"
+
+#include <string>
+
+namespace msim::sim {
+
+double metric_value(const SweepCell& cell, FigureMetric metric) {
+  switch (metric) {
+    case FigureMetric::kIpcSpeedup:       return cell.ipc_speedup_vs_trad;
+    case FigureMetric::kFairnessGain:     return cell.fairness_gain_vs_trad;
+    case FigureMetric::kThroughputIpc:    return cell.hmean_ipc;
+    case FigureMetric::kAllStallFraction: return cell.mean_all_stall_fraction;
+    case FigureMetric::kIqResidency:      return cell.mean_iq_residency;
+  }
+  return 0.0;
+}
+
+TextTable figure_table(const std::vector<SweepCell>& cells,
+                       std::span<const core::SchedulerKind> kinds,
+                       std::span<const std::uint32_t> iq_sizes,
+                       FigureMetric metric) {
+  const bool percent = metric == FigureMetric::kIpcSpeedup ||
+                       metric == FigureMetric::kFairnessGain;
+  std::vector<std::string> headers{"iq_entries"};
+  for (const core::SchedulerKind kind : kinds) {
+    headers.emplace_back(core::scheduler_kind_name(kind));
+  }
+  TextTable table(std::move(headers));
+  for (const std::uint32_t iq : iq_sizes) {
+    table.begin_row();
+    table.add_cell(std::uint64_t{iq});
+    for (const core::SchedulerKind kind : kinds) {
+      const double value = metric_value(cell_for(cells, kind, iq), metric);
+      if (percent) {
+        table.add_cell(format_percent(value - 1.0));
+      } else {
+        table.add_cell(value, 3);
+      }
+    }
+  }
+  return table;
+}
+
+TextTable mix_table(const SweepCell& cell) {
+  TextTable table({"mix", "throughput_ipc", "fairness", "all_stall_frac",
+                   "iq_residency"});
+  for (const MixResult& m : cell.mixes) {
+    table.begin_row();
+    table.add_cell(m.mix_name);
+    table.add_cell(m.throughput_ipc, 3);
+    table.add_cell(m.fairness, 3);
+    table.add_cell(m.raw.dispatch.all_stall_fraction(), 3);
+    table.add_cell(m.raw.iq.mean_residency(), 1);
+  }
+  return table;
+}
+
+}  // namespace msim::sim

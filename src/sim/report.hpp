@@ -1,0 +1,35 @@
+// Table builders that render sweep results in the shape of the paper's
+// figures (speedup-vs-IQ-size series per scheduler kind).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+
+namespace msim::sim {
+
+/// Which aggregate a figure plots.
+enum class FigureMetric {
+  kIpcSpeedup,       ///< Figures 1, 3, 5, 7
+  kFairnessGain,     ///< Figures 4, 6, 8
+  kThroughputIpc,    ///< raw harmonic-mean IPC
+  kAllStallFraction, ///< Section-3 dispatch stall statistic
+  kIqResidency,      ///< mean cycles between dispatch and issue
+};
+
+[[nodiscard]] double metric_value(const SweepCell& cell, FigureMetric metric);
+
+/// Rows = IQ sizes, one column per scheduler kind.  Speedup metrics are
+/// rendered as signed percentages relative to the traditional scheduler of
+/// the same capacity (exactly how the paper's figures are labelled).
+[[nodiscard]] TextTable figure_table(const std::vector<SweepCell>& cells,
+                                     std::span<const core::SchedulerKind> kinds,
+                                     std::span<const std::uint32_t> iq_sizes,
+                                     FigureMetric metric);
+
+/// Per-mix drill-down for one (kind, IQ) cell: one row per workload mix.
+[[nodiscard]] TextTable mix_table(const SweepCell& cell);
+
+}  // namespace msim::sim

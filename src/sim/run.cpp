@@ -1,0 +1,58 @@
+#include "sim/run.hpp"
+
+#include "common/check.hpp"
+#include "trace/profile.hpp"
+
+namespace msim::sim {
+
+smt::MachineConfig RunConfig::machine() const {
+  smt::MachineConfig mc;
+  mc.thread_count = static_cast<unsigned>(benchmarks.size());
+  mc.scheduler.kind = kind;
+  mc.scheduler.iq_entries = iq_entries;
+  mc.scheduler.deadlock = deadlock;
+  mc.scheduler.scan_depth = scan_depth;
+  mc.scheduler.dab_exclusive = dab_exclusive;
+  mc.scheduler.watchdog_timeout = watchdog_timeout;
+  mc.oracle_disambiguation = oracle_disambiguation;
+  mc.fetch_policy = fetch_policy;
+  mc.model_wrong_path = model_wrong_path;
+  return mc;
+}
+
+RunResult run_simulation(const RunConfig& config) {
+  MSIM_CHECK(!config.benchmarks.empty() && config.benchmarks.size() <= kMaxThreads);
+  std::vector<trace::BenchmarkProfile> profiles;
+  profiles.reserve(config.benchmarks.size());
+  for (const std::string& name : config.benchmarks) {
+    profiles.push_back(trace::profile_or_throw(name));
+  }
+
+  smt::Pipeline pipe(config.machine(), profiles, config.seed);
+  pipe.run(config.warmup, config.max_cycles);
+  pipe.reset_stats();
+  pipe.run(config.horizon, config.max_cycles);
+
+  RunResult out;
+  out.cycles = pipe.cycles();
+  if (config.max_cycles != 0) {
+    out.truncated = true;
+    for (ThreadId t = 0; t < pipe.thread_count(); ++t) {
+      if (pipe.committed(t) >= config.horizon) out.truncated = false;
+    }
+  }
+  for (ThreadId t = 0; t < pipe.thread_count(); ++t) {
+    out.per_thread_ipc.push_back(pipe.ipc(t));
+    out.per_thread_committed.push_back(pipe.committed(t));
+  }
+  out.throughput_ipc = pipe.total_ipc();
+  out.dispatch = pipe.scheduler().dispatch_stats();
+  out.iq = pipe.scheduler().iq().stats();
+  out.iq_mean_occupancy = pipe.scheduler().iq().stats().mean_occupancy();
+  out.memory = pipe.memory().stats();
+  out.bpred = pipe.predictor().total_stats();
+  out.pipeline = pipe.stats();
+  return out;
+}
+
+}  // namespace msim::sim

@@ -1,0 +1,70 @@
+// Single-simulation driver: builds a Pipeline for a workload + scheduler
+// configuration, runs warm-up, measures, and snapshots every statistic the
+// experiments need.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bpred/predictor.hpp"
+#include "core/scheduler.hpp"
+#include "mem/hierarchy.hpp"
+#include "smt/machine_config.hpp"
+#include "smt/pipeline.hpp"
+
+namespace msim::sim {
+
+struct RunConfig {
+  /// Benchmark profile names, one per hardware thread.
+  std::vector<std::string> benchmarks;
+  core::SchedulerKind kind = core::SchedulerKind::kTraditional;
+  std::uint32_t iq_entries = 64;
+  core::DeadlockMode deadlock = core::DeadlockMode::kAvoidanceBuffer;
+  /// 0 = scan the whole rename buffer (the default OOO dispatch depth).
+  std::uint32_t scan_depth = 0;
+  bool dab_exclusive = true;
+  std::uint32_t watchdog_timeout = 450;
+  /// Perfect memory disambiguation in the LSQ (ablation knob).
+  bool oracle_disambiguation = true;
+  /// Fetch policy (ICOUNT is the paper's baseline).
+  smt::FetchPolicy fetch_policy = smt::FetchPolicy::kIcount;
+  /// Model wrong-path execution (see smt::MachineConfig).
+  bool model_wrong_path = false;
+
+  std::uint64_t seed = 1;
+  /// Committed instructions (from any thread) before statistics reset.
+  std::uint64_t warmup = 30'000;
+  /// Committed instructions (from any thread, post-warm-up) to measure.
+  /// This mirrors the paper's "stop after 100M from any thread" rule.
+  std::uint64_t horizon = 150'000;
+  /// Safety valve: abort the run after this many cycles (0 = none).
+  std::uint64_t max_cycles = 0;
+
+  /// Builds the Table-1 machine with this run's scheduler settings applied.
+  [[nodiscard]] smt::MachineConfig machine() const;
+};
+
+/// Snapshot of one run's results.
+struct RunResult {
+  Cycle cycles = 0;
+  std::vector<double> per_thread_ipc;
+  std::vector<std::uint64_t> per_thread_committed;
+  double throughput_ipc = 0.0;
+
+  core::DispatchStats dispatch;
+  core::IqStats iq;
+  double iq_mean_occupancy = 0.0;
+  mem::HierarchyStats memory;
+  bpred::PredictorStats bpred;
+  smt::PipelineStats pipeline;
+
+  /// True when the run hit `max_cycles` before committing `horizon`.
+  bool truncated = false;
+};
+
+/// Runs one simulation to completion and returns the measured statistics.
+/// Throws std::invalid_argument for unknown benchmark names.
+[[nodiscard]] RunResult run_simulation(const RunConfig& config);
+
+}  // namespace msim::sim

@@ -1,0 +1,112 @@
+// Per-thread load/store queue (Table 1: 48 entries per thread) with
+// conservative memory disambiguation and store-to-load forwarding.
+//
+// A load may issue only when every older store in its thread has a resolved
+// address (address source register ready).  If the youngest older store
+// with a matching address has its data ready the load forwards from it
+// (no cache access); if the data is not ready the load must wait.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace msim::smt {
+
+enum class LoadVerdict : std::uint8_t {
+  kAccess,   ///< proceed to the data cache
+  kForward,  ///< store-to-load forwarding; value bypassed in the LSQ
+  kBlocked,  ///< an older store is unresolved or its data is not ready
+};
+
+struct LsqStats {
+  std::uint64_t loads_checked = 0;
+  std::uint64_t forwards = 0;
+  std::uint64_t blocked_checks = 0;
+};
+
+class LoadStoreQueue {
+ public:
+  /// With `oracle_disambiguation` (the default, matching the perfect
+  /// memory-disambiguation configuration of SimpleScalar-era simulators),
+  /// a load is blocked only by an older store to the SAME address whose
+  /// data is not ready.  Without it, any older store with an unresolved
+  /// address blocks the load (conservative hardware).
+  explicit LoadStoreQueue(std::uint32_t capacity, bool oracle_disambiguation = true)
+      : capacity_(capacity), oracle_(oracle_disambiguation) {
+    MSIM_CHECK(capacity_ > 0);
+  }
+
+  [[nodiscard]] bool full() const noexcept { return entries_.size() >= capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Allocates an entry at rename, in program order.
+  void allocate(SeqNum seq, bool is_store, Addr addr, PhysReg addr_src,
+                PhysReg data_src) {
+    MSIM_CHECK(!full());
+    MSIM_CHECK(entries_.empty() || seq > entries_.back().seq);
+    entries_.push_back({seq, addr, addr_src, data_src, is_store});
+  }
+
+  /// Memory-order check for a load about to issue.  `ready` reports
+  /// physical-register readiness (kNoPhysReg counts as ready).
+  template <typename ReadyFn>
+  [[nodiscard]] LoadVerdict check_load(SeqNum load_seq, Addr addr, ReadyFn&& ready) {
+    ++stats_.loads_checked;
+    const Entry* forward_from = nullptr;
+    for (const Entry& e : entries_) {
+      if (e.seq >= load_seq) break;
+      if (!e.is_store) continue;
+      if (!oracle_ && e.addr_src != kNoPhysReg && !ready(e.addr_src)) {
+        ++stats_.blocked_checks;
+        return LoadVerdict::kBlocked;  // unresolved older store address
+      }
+      if (e.addr == addr) forward_from = &e;  // youngest match wins
+    }
+    if (forward_from == nullptr) return LoadVerdict::kAccess;
+    if (forward_from->data_src == kNoPhysReg || ready(forward_from->data_src)) {
+      ++stats_.forwards;
+      return LoadVerdict::kForward;
+    }
+    ++stats_.blocked_checks;
+    return LoadVerdict::kBlocked;  // matching store's data not yet produced
+  }
+
+  /// Commit-time release; must match the oldest entry.
+  void pop(SeqNum seq) {
+    MSIM_CHECK(!entries_.empty() && entries_.front().seq == seq);
+    entries_.pop_front();
+  }
+
+  /// Drops entries younger than `after_seq` (partial squash; they are at
+  /// the tail because allocation is in program order).
+  void squash_younger(SeqNum after_seq) noexcept {
+    while (!entries_.empty() && entries_.back().seq > after_seq) {
+      entries_.pop_back();
+    }
+  }
+
+  void clear() noexcept { entries_.clear(); }
+
+  [[nodiscard]] const LsqStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  struct Entry {
+    SeqNum seq;
+    Addr addr;
+    PhysReg addr_src;
+    PhysReg data_src;
+    bool is_store;
+  };
+
+  std::uint32_t capacity_;
+  bool oracle_;
+  std::deque<Entry> entries_;
+  LsqStats stats_;
+};
+
+}  // namespace msim::smt

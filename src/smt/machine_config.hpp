@@ -1,0 +1,66 @@
+// SMT machine configuration, with defaults matching Table 1 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "bpred/predictor.hpp"
+#include "core/sched_types.hpp"
+#include "mem/hierarchy.hpp"
+
+namespace msim::smt {
+
+/// Instruction fetch policies.  ICOUNT is the paper's baseline (Section 2);
+/// the others reproduce the related-work policies its introduction surveys.
+enum class FetchPolicy : std::uint8_t {
+  kIcount,      ///< priority to the thread with fewest in-flight front-end insts
+  kRoundRobin,  ///< rotate fetch priority each cycle
+  kStall,       ///< ICOUNT + stop fetching a thread with an outstanding L2 miss
+  kFlush,       ///< STALL + squash the thread's post-miss instructions [Tullsen'01]
+};
+
+[[nodiscard]] std::string_view fetch_policy_name(FetchPolicy p) noexcept;
+
+struct MachineConfig {
+  unsigned thread_count = 2;
+
+  // Machine width (Table 1: 8-wide fetch, 8-wide issue, 8-wide commit).
+  unsigned fetch_width = 8;
+  unsigned fetch_threads_per_cycle = 2;  ///< ICOUNT.2.8 (Section 2)
+  unsigned rename_width = 8;
+  unsigned dispatch_width = 8;
+  unsigned issue_width = 8;
+  unsigned commit_width = 8;
+
+  // Window (Table 1: 48-entry LSQ, 96-entry ROB per thread).
+  unsigned rob_entries_per_thread = 96;
+  unsigned lsq_entries_per_thread = 48;
+  /// Perfect memory disambiguation (see smt::LoadStoreQueue).
+  bool oracle_disambiguation = true;
+
+  // Registers (Table 1: 256 integer + 256 floating-point physical).
+  unsigned int_phys_regs = 256;
+  unsigned fp_phys_regs = 256;
+
+  // Front end (Table 1: 5-stage fetch-to-dispatch pipeline).
+  unsigned front_end_stages = 5;
+  unsigned fetch_queue_entries = 16;  ///< per thread
+  FetchPolicy fetch_policy = FetchPolicy::kIcount;
+  /// Model wrong-path execution: on a misprediction the front end follows
+  /// the predicted path (synthesized from the static CFG), consuming real
+  /// resources and polluting caches until the branch resolves and the
+  /// wrong-path suffix is squashed.  Off by default: the baseline
+  /// trace-driven model charges the misprediction as a fetch stall instead.
+  bool model_wrong_path = false;
+
+  core::SchedulerConfig scheduler{};
+  mem::HierarchyConfig memory{};
+  bpred::PredictorConfig predictor{};
+
+  /// Cycles an instruction spends between fetch and rename eligibility.
+  [[nodiscard]] unsigned front_end_delay() const noexcept {
+    return front_end_stages - 1;
+  }
+};
+
+}  // namespace msim::smt

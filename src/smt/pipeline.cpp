@@ -1,0 +1,600 @@
+#include "smt/pipeline.hpp"
+
+#include <algorithm>
+
+#include <array>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace msim::smt {
+
+std::string_view fetch_policy_name(FetchPolicy p) noexcept {
+  switch (p) {
+    case FetchPolicy::kIcount:     return "icount";
+    case FetchPolicy::kRoundRobin: return "round_robin";
+    case FetchPolicy::kStall:      return "stall";
+    case FetchPolicy::kFlush:      return "flush";
+  }
+  return "unknown";
+}
+
+// ---- environment adapters --------------------------------------------------
+
+class Pipeline::DispatchEnvImpl final : public core::DispatchEnv {
+ public:
+  explicit DispatchEnvImpl(Pipeline& self) : self_(self) {}
+
+  [[nodiscard]] bool is_ready(PhysReg reg) const override {
+    return self_.rename_.is_ready(reg);
+  }
+
+  [[nodiscard]] bool is_oldest_in_rob(ThreadId tid, SeqNum seq) const override {
+    const ReorderBuffer& rob = self_.threads_.at(tid)->rob;
+    return !rob.empty() && rob.head_seq() == seq;
+  }
+
+ private:
+  Pipeline& self_;
+};
+
+class Pipeline::IssueEnvImpl final : public core::IssueEnv {
+ public:
+  explicit IssueEnvImpl(Pipeline& self) : self_(self) {}
+
+  void set_cycle(Cycle now) noexcept { now_ = now; }
+
+  bool try_issue(const core::SchedInst& inst, bool /*from_dab*/) override {
+    Pipeline& p = self_;
+    ThreadState& ts = *p.threads_.at(inst.tid);
+    RobEntry& e = ts.rob.entry(inst.seq);
+    MSIM_CHECK(!e.issued);
+    const isa::OpTiming timing = isa::op_timing(e.inst.op);
+    const Cycle now = now_;
+
+    Cycle complete;
+    if (e.inst.is_load()) {
+      const LoadVerdict verdict = ts.lsq.check_load(
+          inst.seq, e.inst.mem_addr,
+          [&p](PhysReg r) { return p.rename_.is_ready(r); });
+      if (verdict == LoadVerdict::kBlocked) {
+        ++p.pstats_.load_issue_blocked;
+        return false;
+      }
+      if (!p.fu_.try_allocate(e.inst.op, now)) return false;
+      if (verdict == LoadVerdict::kForward) {
+        complete = now + timing.latency;
+      } else {
+        // Address generation takes the first cycle; the D-cache access
+        // begins in the next one.
+        const std::uint32_t extra =
+            p.mem_.access_data(e.inst.mem_addr, /*is_store=*/false, now + 1);
+        complete = now + timing.latency + extra;
+        // STALL / FLUSH fetch policies react to L2 misses (Tullsen &
+        // Brown, MICRO 2001): gate the thread's fetch until the miss
+        // returns; FLUSH additionally squashes everything younger.
+        const bool l2_miss = extra >= p.config_.memory.memory_latency;
+        if (l2_miss && (p.config_.fetch_policy == FetchPolicy::kStall ||
+                        p.config_.fetch_policy == FetchPolicy::kFlush)) {
+          ts.l2_stall_until = std::max(ts.l2_stall_until, complete);
+          // Squashing in reaction to a wrong-path miss would be pointless:
+          // the branch resolution squash already covers that suffix.
+          if (p.config_.fetch_policy == FetchPolicy::kFlush && !e.wrong_path) {
+            auto& pending = p.pending_policy_flush_.at(inst.tid);
+            pending = pending ? std::min(*pending, inst.seq) : inst.seq;
+          }
+        }
+      }
+    } else {
+      if (!p.fu_.try_allocate(e.inst.op, now)) return false;
+      complete = now + timing.latency;
+    }
+
+    e.issued = true;
+    e.issued_at = now;
+    e.complete_at = complete;
+    ++p.pstats_.issued;
+    if (e.wrong_path) ++p.pstats_.wrong_path_issued;
+    if (e.dest_phys != kNoPhysReg) {
+      p.broadcasts_[complete].push_back(e.dest_phys);
+    }
+    if (e.mispredicted) {
+      if (ts.on_wrong_path && ts.wp_branch_seq == inst.seq) {
+        // Wrong-path mode: schedule the resolution squash.
+        ts.wp_squash_at = complete;
+      } else {
+        // Stall mode: fetch resumes one cycle after the branch resolves.
+        MSIM_CHECK(ts.awaiting_branch && ts.awaited_branch_seq == inst.seq);
+        ts.fetch_stalled_until = complete + 1;
+        ts.awaiting_branch = false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  Pipeline& self_;
+  Cycle now_ = 0;
+};
+
+// ---- construction -----------------------------------------------------------
+
+Pipeline::Pipeline(const MachineConfig& config,
+                   std::span<const trace::BenchmarkProfile> workload,
+                   std::uint64_t seed)
+    : config_(config),
+      rename_(config.thread_count, config.int_phys_regs, config.fp_phys_regs),
+      mem_(config.memory),
+      bpred_(config.predictor, config.thread_count) {
+  MSIM_CHECK(workload.size() == config_.thread_count);
+  MSIM_CHECK(config_.thread_count >= 1 && config_.thread_count <= kMaxThreads);
+  scheduler_ = std::make_unique<core::Scheduler>(
+      config_.scheduler, config_.thread_count, config_.dispatch_width,
+      config_.issue_width);
+  Rng seeder(seed);
+  threads_.reserve(config_.thread_count);
+  for (ThreadId t = 0; t < config_.thread_count; ++t) {
+    threads_.push_back(std::make_unique<ThreadState>(workload[t], seeder.next_u64(),
+                                                     t, config_));
+  }
+  dispatch_env_ = std::make_unique<DispatchEnvImpl>(*this);
+  issue_env_ = std::make_unique<IssueEnvImpl>(*this);
+}
+
+Pipeline::~Pipeline() = default;
+
+// ---- per-cycle stages --------------------------------------------------------
+
+void Pipeline::do_commit(Cycle now) {
+  unsigned remaining = config_.commit_width;
+  bool progress = true;
+  const unsigned start = static_cast<unsigned>(now % config_.thread_count);
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (unsigned i = 0; i < config_.thread_count && remaining > 0; ++i) {
+      const auto tid = static_cast<ThreadId>((start + i) % config_.thread_count);
+      ThreadState& ts = *threads_[tid];
+      if (ts.rob.empty()) continue;
+      RobEntry& head = ts.rob.head();
+      MSIM_CHECK(!head.wrong_path);
+      if (!head.done(now)) continue;
+      if (head.inst.is_mem()) {
+        if (head.inst.is_store()) {
+          // Stores update the data cache at commit; the latency is absorbed
+          // by the write buffer and does not stall retirement.
+          (void)mem_.access_data(head.inst.mem_addr, /*is_store=*/true, now);
+        }
+        ts.lsq.pop(head.inst.seq);
+      }
+      rename_.commit(tid, head.inst.dest, head.dest_phys, head.prev_dest_phys);
+      ts.rob.pop_head();
+      ++ts.committed;
+      --remaining;
+      progress = true;
+    }
+  }
+}
+
+void Pipeline::apply_broadcasts(Cycle now) {
+  while (!broadcasts_.empty() && broadcasts_.begin()->first <= now) {
+    for (const PhysReg tag : broadcasts_.begin()->second) {
+      rename_.set_ready(tag);
+      scheduler_->broadcast(tag);
+    }
+    broadcasts_.erase(broadcasts_.begin());
+  }
+}
+
+void Pipeline::do_issue(Cycle now) {
+  issue_env_->set_cycle(now);
+  scheduler_->run_select(now, *issue_env_);
+}
+
+void Pipeline::do_dispatch(Cycle now) {
+  const core::DispatchCycleResult result = scheduler_->run_dispatch(now, *dispatch_env_);
+  if (result.watchdog_fired) watchdog_flush(now);
+}
+
+void Pipeline::do_rename(Cycle now) {
+  unsigned remaining = config_.rename_width;
+  bool progress = true;
+  const unsigned start = static_cast<unsigned>(now % config_.thread_count);
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (unsigned i = 0; i < config_.thread_count && remaining > 0; ++i) {
+      const auto tid = static_cast<ThreadId>((start + i) % config_.thread_count);
+      ThreadState& ts = *threads_[tid];
+      if (ts.fetch_queue.empty()) continue;
+      const FetchedInst& f = ts.fetch_queue.front();
+      if (f.fetched_at + config_.front_end_delay() > now) continue;
+      const isa::DynInst& di = f.inst;
+      if (ts.rob.full()) continue;
+      if (di.is_mem() && ts.lsq.full()) continue;
+      if (!scheduler_->buffer_has_space(tid)) continue;
+      if (!rename_.can_allocate(di.dest)) continue;
+
+      const RenameResult rr = rename_.rename(tid, di);
+      RobEntry& e = ts.rob.allocate(di.seq);
+      e.inst = di;
+      e.src_phys[0] = rr.src[0];
+      e.src_phys[1] = rr.src[1];
+      e.dest_phys = rr.dest;
+      e.prev_dest_phys = rr.prev_dest;
+      e.fetched_at = f.fetched_at;
+      e.renamed_at = now;
+      e.mispredicted = f.mispredicted;
+      e.wrong_path = f.wrong_path;
+      if (di.is_mem()) {
+        ts.lsq.allocate(di.seq, di.is_store(), di.mem_addr, rr.src[0], rr.src[1]);
+      }
+      core::SchedInst si;
+      si.tid = tid;
+      si.seq = di.seq;
+      si.op = di.op;
+      si.src[0] = rr.src[0];
+      si.src[1] = rr.src[1];
+      si.dest = rr.dest;
+      scheduler_->insert(si);
+
+      ts.fetch_queue.pop_front();
+      --remaining;
+      progress = true;
+    }
+  }
+}
+
+std::uint32_t Pipeline::icount(ThreadId tid) const {
+  const ThreadState& ts = *threads_[tid];
+  return static_cast<std::uint32_t>(ts.fetch_queue.size()) +
+         scheduler_->held_instructions(tid);
+}
+
+const isa::DynInst& Pipeline::peek_next_inst(ThreadState& ts) {
+  if (!ts.pending) {
+    if (!ts.replay.empty()) {
+      ts.pending = ts.replay.front();
+      ts.replay.pop_front();
+    } else {
+      ts.pending = ts.gen.next();
+    }
+  }
+  return *ts.pending;
+}
+
+unsigned Pipeline::fetch_from_thread(ThreadId tid, unsigned budget, Cycle now) {
+  ThreadState& ts = *threads_[tid];
+  const std::uint64_t line_bytes = config_.memory.l1i.line_bytes;
+  unsigned fetched = 0;
+  while (fetched < budget && ts.fetch_queue.size() < config_.fetch_queue_entries) {
+    const isa::DynInst& di = peek_next_inst(ts);
+
+    const Addr line = di.pc / line_bytes;
+    if (line != ts.last_fetch_line) {
+      const std::uint32_t extra = mem_.access_inst(di.pc, now);
+      ts.last_fetch_line = line;
+      if (extra > 0) {
+        ts.fetch_stalled_until = now + extra;
+        ++pstats_.fetch_icache_stall_cycles;
+        break;  // the instruction stays pending and is fetched after the fill
+      }
+    }
+
+    FetchedInst f{di, now, /*mispredicted=*/false, /*wrong_path=*/false};
+    bool stop_after = false;
+    if (di.is_branch()) {
+      bool correct_path = false;
+      const auto prediction =
+          bpred_.predict_and_train_full(tid, di.pc, di.taken, di.next_pc,
+                                        &correct_path);
+      if (!correct_path) {
+        f.mispredicted = true;
+        stop_after = true;
+        // Where would the front end go?  Predicted-taken needs a BTB
+        // target; without one (or without wrong-path modeling) the thread
+        // simply stalls until the branch resolves (DESIGN.md).
+        const bool can_redirect =
+            config_.model_wrong_path && (!prediction.taken || prediction.have_target);
+        if (can_redirect) {
+          ts.on_wrong_path = true;
+          ts.wp_fetch_done = false;
+          ts.wp_pc = prediction.taken ? prediction.target
+                                      : ts.gen.fallthrough_of(di.pc);
+          ts.wp_branch_seq = di.seq;
+          ts.wp_next_seq = di.seq + 1;
+          ts.wp_squash_at = kCycleNever;  // set when the branch issues
+        } else {
+          ts.awaiting_branch = true;
+          ts.awaited_branch_seq = di.seq;
+        }
+      } else if (di.taken) {
+        stop_after = true;  // cannot fetch across a taken branch this cycle
+      }
+    }
+    ts.fetch_queue.push_back(f);
+    ts.pending.reset();
+    ++ts.fetched;
+    ++fetched;
+    if (stop_after) break;
+  }
+  return fetched;
+}
+
+unsigned Pipeline::fetch_wrong_path(ThreadId tid, unsigned budget, Cycle now) {
+  ThreadState& ts = *threads_[tid];
+  if (ts.wp_fetch_done) return 0;
+  const std::uint64_t line_bytes = config_.memory.l1i.line_bytes;
+  unsigned fetched = 0;
+  while (fetched < budget && ts.fetch_queue.size() < config_.fetch_queue_entries) {
+    isa::DynInst wi = ts.gen.synthesize_wrong_path(ts.wp_pc, ts.wp_rng);
+    wi.seq = ts.wp_next_seq;
+
+    // Wrong-path fetch misses the I-cache like any other fetch (in fact
+    // this is cache pollution: the fills may evict useful lines).
+    const Addr line = wi.pc / line_bytes;
+    if (line != ts.last_fetch_line) {
+      const std::uint32_t extra = mem_.access_inst(wi.pc, now);
+      ts.last_fetch_line = line;
+      if (extra > 0) {
+        ts.fetch_stalled_until = now + extra;
+        ++pstats_.fetch_icache_stall_cycles;
+        break;
+      }
+    }
+
+    bool stop_after = false;
+    if (wi.is_branch()) {
+      // No architectural outcome exists on the wrong path: follow the
+      // predictor without training it.
+      const auto prediction = bpred_.predict_only(tid, wi.pc);
+      if (prediction.taken && !prediction.have_target) {
+        ts.wp_fetch_done = true;  // nowhere to go until resolution
+      } else if (prediction.taken) {
+        ts.wp_pc = prediction.target;
+        stop_after = true;  // fetch discontinuity
+      } else {
+        ts.wp_pc = ts.gen.fallthrough_of(wi.pc);
+      }
+    } else {
+      ts.wp_pc = wi.next_pc;
+    }
+
+    ts.fetch_queue.push_back(
+        FetchedInst{wi, now, /*mispredicted=*/false, /*wrong_path=*/true});
+    ++ts.wp_next_seq;
+    ++pstats_.wrong_path_fetched;
+    ++fetched;
+    if (stop_after || ts.wp_fetch_done) break;
+  }
+  return fetched;
+}
+
+void Pipeline::do_fetch(Cycle now) {
+  // Priority order: ICOUNT (Section 2) gives the threads with the fewest
+  // in-flight front-end instructions first pick; round-robin simply
+  // rotates.  STALL and FLUSH use ICOUNT order plus L2-miss gating.
+  std::array<ThreadId, kMaxThreads> order;
+  for (unsigned t = 0; t < config_.thread_count; ++t) {
+    order[t] = static_cast<ThreadId>((now + t) % config_.thread_count);
+  }
+  if (config_.fetch_policy != FetchPolicy::kRoundRobin) {
+    std::stable_sort(order.begin(), order.begin() + config_.thread_count,
+                     [this](ThreadId a, ThreadId b) { return icount(a) < icount(b); });
+  }
+  const bool l2_gating = config_.fetch_policy == FetchPolicy::kStall ||
+                         config_.fetch_policy == FetchPolicy::kFlush;
+
+  unsigned threads_used = 0;
+  unsigned total = 0;
+  for (unsigned i = 0; i < config_.thread_count; ++i) {
+    if (threads_used >= config_.fetch_threads_per_cycle) break;
+    if (total >= config_.fetch_width) break;
+    const ThreadId tid = order[i];
+    ThreadState& ts = *threads_[tid];
+    if (ts.awaiting_branch || ts.fetch_stalled_until > now) continue;
+    if (l2_gating && ts.l2_stall_until > now) {
+      ++pstats_.fetch_l2_gated;
+      continue;
+    }
+    if (ts.fetch_queue.size() >= config_.fetch_queue_entries) continue;
+    total += ts.on_wrong_path
+                 ? fetch_wrong_path(tid, config_.fetch_width - total, now)
+                 : fetch_from_thread(tid, config_.fetch_width - total, now);
+    ++threads_used;  // the thread consumed a fetch port even on an I-miss
+  }
+}
+
+void Pipeline::watchdog_flush(Cycle now) {
+  for (ThreadId t = 0; t < config_.thread_count; ++t) {
+    ThreadState& ts = *threads_[t];
+    std::vector<PhysReg> squashed;
+    std::deque<isa::DynInst> new_replay;
+    ts.rob.for_each([&](const RobEntry& e) {
+      if (!e.wrong_path) new_replay.push_back(e.inst);
+      if (e.dest_phys != kNoPhysReg) squashed.push_back(e.dest_phys);
+    });
+    for (const FetchedInst& f : ts.fetch_queue) {
+      if (!f.wrong_path) new_replay.push_back(f.inst);
+    }
+    if (ts.pending) new_replay.push_back(*ts.pending);
+    for (const isa::DynInst& di : ts.replay) new_replay.push_back(di);
+    pstats_.watchdog_flushed_instructions += new_replay.size() - ts.replay.size();
+    ts.replay = std::move(new_replay);
+
+    rename_.flush_thread(t, squashed);
+    ts.rob.clear();
+    ts.lsq.clear();
+    ts.fetch_queue.clear();
+    ts.pending.reset();
+    ts.awaiting_branch = false;
+    ts.on_wrong_path = false;
+    ts.wp_fetch_done = false;
+    ts.wp_squash_at = kCycleNever;
+    ts.fetch_stalled_until = now + 1;
+    ts.last_fetch_line = ~Addr{0};
+  }
+  scheduler_->flush();
+  fu_.clear();
+  broadcasts_.clear();
+}
+
+void Pipeline::apply_pending_policy_flushes(Cycle now) {
+  if (config_.fetch_policy != FetchPolicy::kFlush) return;
+  for (ThreadId t = 0; t < config_.thread_count; ++t) {
+    auto& pending = pending_policy_flush_.at(t);
+    if (!pending) continue;
+    flush_thread_after(t, *pending, now, /*requeue=*/true);
+    pending.reset();
+  }
+}
+
+void Pipeline::flush_thread_after(ThreadId tid, SeqNum after_seq, Cycle now,
+                                  bool requeue) {
+  ThreadState& ts = *threads_[tid];
+  MSIM_CHECK(ts.rob.contains(after_seq));
+  const SeqNum youngest = ts.rob.head_seq() + ts.rob.size() - 1;
+
+  // Rewind the rename map youngest-first along the squashed suffix, recycle
+  // the squashed destination registers, and cancel their pending result
+  // broadcasts; collect the squashed correct-path instructions for replay
+  // (oldest first).  Wrong-path instructions are synthetic and are dropped.
+  std::deque<isa::DynInst> refetch;
+  for (SeqNum seq = youngest; seq > after_seq; --seq) {
+    const RobEntry& e = ts.rob.entry(seq);
+    if (e.dest_phys != kNoPhysReg) {
+      rename_.rewind_mapping(tid, e.inst.dest, e.dest_phys, e.prev_dest_phys);
+      if (e.issued && e.complete_at > now) {
+        if (const auto it = broadcasts_.find(e.complete_at); it != broadcasts_.end()) {
+          std::erase(it->second, e.dest_phys);
+        }
+      }
+    }
+    if (!e.wrong_path) refetch.push_front(e.inst);
+  }
+  ts.rob.truncate_to(after_seq);
+  ts.lsq.squash_younger(after_seq);
+  scheduler_->squash_younger(tid, after_seq);
+
+  // Front-end contents are all younger than anything in the ROB.
+  for (const FetchedInst& f : ts.fetch_queue) {
+    if (!f.wrong_path) refetch.push_back(f.inst);
+  }
+  ts.fetch_queue.clear();
+  if (requeue) {
+    if (ts.pending) {
+      refetch.push_back(*ts.pending);
+      ts.pending.reset();
+    }
+    pstats_.policy_flushed_instructions += refetch.size();
+    ++pstats_.policy_flushes;
+    for (auto it = refetch.rbegin(); it != refetch.rend(); ++it) {
+      ts.replay.push_front(*it);
+    }
+  } else {
+    // Branch resolution: the squashed suffix was wrong-path only; the
+    // correct-path stream continues from ts.pending / the generator.
+    MSIM_CHECK(refetch.empty());
+  }
+
+  if (ts.awaiting_branch && ts.awaited_branch_seq > after_seq) {
+    ts.awaiting_branch = false;
+    ts.fetch_stalled_until = now + 1;
+  }
+  // If the mispredicted branch itself was squashed (requeue path), leave
+  // wrong-path mode; the branch will re-fetch and re-predict.  If the
+  // squash keeps the branch (a FLUSH inside the wrong-path suffix), the
+  // synthesized stream resumes at the truncation point.
+  if (ts.on_wrong_path) {
+    if (after_seq < ts.wp_branch_seq) {
+      ts.on_wrong_path = false;
+      ts.wp_fetch_done = false;
+      ts.wp_squash_at = kCycleNever;
+    } else {
+      ts.wp_next_seq = after_seq + 1;
+      ts.wp_fetch_done = false;
+    }
+  }
+  ts.last_fetch_line = ~Addr{0};
+}
+
+void Pipeline::apply_wrong_path_squashes(Cycle now) {
+  if (!config_.model_wrong_path) return;
+  for (ThreadId t = 0; t < config_.thread_count; ++t) {
+    ThreadState& ts = *threads_[t];
+    if (!ts.on_wrong_path || ts.wp_squash_at > now) continue;
+    flush_thread_after(t, ts.wp_branch_seq, now, /*requeue=*/false);
+    ts.on_wrong_path = false;
+    ts.wp_fetch_done = false;
+    ts.wp_squash_at = kCycleNever;
+    ts.fetch_stalled_until = std::max(ts.fetch_stalled_until, now + 1);
+    ++pstats_.wrong_path_squashes;
+  }
+}
+
+void Pipeline::tick() {
+  const Cycle now = cycle_;
+  apply_wrong_path_squashes(now);
+  do_commit(now);
+  apply_broadcasts(now);
+  do_issue(now);
+  apply_pending_policy_flushes(now);
+  do_dispatch(now);
+  do_rename(now);
+  do_fetch(now);
+  scheduler_->tick_stats();
+  ++cycle_;
+}
+
+Cycle Pipeline::run(std::uint64_t horizon, Cycle max_cycles) {
+  const Cycle start = cycle_;
+  auto reached = [&] {
+    for (const auto& ts : threads_) {
+      if (ts->committed - ts->committed_base >= horizon) return true;
+    }
+    return false;
+  };
+  while (!reached()) {
+    if (max_cycles != 0 && cycle_ - start >= max_cycles) break;
+    tick();
+  }
+  return cycle_ - start;
+}
+
+void Pipeline::reset_stats() {
+  stats_base_cycle_ = cycle_;
+  pstats_ = {};
+  for (const auto& ts : threads_) {
+    ts->committed_base = ts->committed;
+    ts->lsq.reset_stats();
+  }
+  scheduler_->reset_stats();
+  mem_.reset_stats();
+  bpred_.reset_stats();
+  fu_.reset_stats();
+}
+
+std::uint64_t Pipeline::committed(ThreadId tid) const {
+  const ThreadState& ts = *threads_.at(tid);
+  return ts.committed - ts.committed_base;
+}
+
+std::uint64_t Pipeline::total_committed() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& ts : threads_) total += ts->committed - ts->committed_base;
+  return total;
+}
+
+double Pipeline::ipc(ThreadId tid) const {
+  const Cycle c = cycles();
+  return c ? static_cast<double>(committed(tid)) / static_cast<double>(c) : 0.0;
+}
+
+double Pipeline::total_ipc() const {
+  const Cycle c = cycles();
+  return c ? static_cast<double>(total_committed()) / static_cast<double>(c) : 0.0;
+}
+
+const LsqStats& Pipeline::lsq_stats(ThreadId tid) const {
+  return threads_.at(tid)->lsq.stats();
+}
+
+}  // namespace msim::smt

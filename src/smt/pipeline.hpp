@@ -1,0 +1,176 @@
+// The SMT out-of-order pipeline: an execution-driven (synthetic-trace)
+// cycle-level model of the processor in Table 1 of the paper.
+//
+// Stage order within one simulated cycle (younger stages first so that an
+// instruction spends at least one cycle in each structure):
+//
+//   commit -> wakeup(broadcast) -> select/issue -> dispatch -> rename -> fetch
+//
+// Threads share the issue queue, physical registers, function units and
+// caches; each thread has its own rename map, ROB, LSQ, fetch queue and
+// gshare predictor, exactly as in the paper's M-Sim configuration.
+#pragma once
+
+#include <cstdint>
+#include <array>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bpred/predictor.hpp"
+#include "core/scheduler.hpp"
+#include "mem/hierarchy.hpp"
+#include "smt/fu.hpp"
+#include "smt/lsq.hpp"
+#include "smt/machine_config.hpp"
+#include "smt/rename.hpp"
+#include "smt/rob.hpp"
+#include "trace/generator.hpp"
+
+namespace msim::smt {
+
+/// Aggregate per-run counters not owned by a sub-component.
+struct PipelineStats {
+  std::uint64_t issued = 0;
+  std::uint64_t load_issue_blocked = 0;  ///< LSQ disambiguation rejections
+  std::uint64_t fetch_icache_stall_cycles = 0;
+  std::uint64_t watchdog_flushed_instructions = 0;
+  /// STALL/FLUSH fetch policies: thread-fetch opportunities gated by an
+  /// outstanding L2 miss, FLUSH squashes performed, instructions squashed.
+  std::uint64_t fetch_l2_gated = 0;
+  std::uint64_t policy_flushes = 0;
+  std::uint64_t policy_flushed_instructions = 0;
+  /// Wrong-path modeling: synthesized instructions fetched, and those that
+  /// actually issued (consuming function units / cache bandwidth) before
+  /// the resolution squash.
+  std::uint64_t wrong_path_fetched = 0;
+  std::uint64_t wrong_path_issued = 0;
+  std::uint64_t wrong_path_squashes = 0;
+};
+
+class Pipeline {
+ public:
+  /// One trace generator per hardware thread, in thread order.
+  Pipeline(const MachineConfig& config,
+           std::span<const trace::BenchmarkProfile> workload, std::uint64_t seed);
+  ~Pipeline();
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Advances the machine one cycle.
+  void tick();
+
+  /// Runs until some thread has committed `horizon` instructions (the
+  /// paper's stop rule) or `max_cycles` elapses; returns cycles executed.
+  Cycle run(std::uint64_t horizon, Cycle max_cycles = 0);
+
+  /// Zeroes the cycle-counter-relative statistics (post-warm-up reset);
+  /// machine state (caches, predictors, in-flight work) is preserved.
+  void reset_stats();
+
+  // ---- observation -------------------------------------------------------
+  [[nodiscard]] Cycle cycles() const noexcept { return cycle_ - stats_base_cycle_; }
+  [[nodiscard]] unsigned thread_count() const noexcept { return config_.thread_count; }
+  [[nodiscard]] std::uint64_t committed(ThreadId tid) const;
+  [[nodiscard]] std::uint64_t total_committed() const noexcept;
+  [[nodiscard]] double ipc(ThreadId tid) const;
+  [[nodiscard]] double total_ipc() const;
+
+  [[nodiscard]] const core::Scheduler& scheduler() const noexcept { return *scheduler_; }
+  [[nodiscard]] const mem::MemoryHierarchy& memory() const noexcept { return mem_; }
+  [[nodiscard]] const bpred::BranchPredictor& predictor() const noexcept { return bpred_; }
+  [[nodiscard]] const PipelineStats& stats() const noexcept { return pstats_; }
+  [[nodiscard]] const LsqStats& lsq_stats(ThreadId tid) const;
+  [[nodiscard]] const FuStats& fu_stats() const noexcept { return fu_.stats(); }
+  [[nodiscard]] const MachineConfig& config() const noexcept { return config_; }
+
+ private:
+  struct FetchedInst {
+    isa::DynInst inst;
+    Cycle fetched_at = 0;
+    bool mispredicted = false;
+    bool wrong_path = false;
+  };
+
+  struct ThreadState {
+    ThreadState(const trace::BenchmarkProfile& profile, std::uint64_t seed,
+                ThreadId tid, const MachineConfig& config)
+        : gen(profile, seed, trace::AddressSpace::for_thread(tid)),
+          rob(config.rob_entries_per_thread),
+          lsq(config.lsq_entries_per_thread, config.oracle_disambiguation) {}
+
+    trace::TraceGenerator gen;
+    std::deque<isa::DynInst> replay;       ///< refilled by watchdog flushes
+    std::optional<isa::DynInst> pending;   ///< one-instruction fetch lookahead
+    std::deque<FetchedInst> fetch_queue;
+    ReorderBuffer rob;
+    LoadStoreQueue lsq;
+    Cycle fetch_stalled_until = 0;
+    /// STALL/FLUSH policies: fetch gated until the latest outstanding L2
+    /// miss returns.
+    Cycle l2_stall_until = 0;
+    bool awaiting_branch = false;          ///< mispredicted branch unresolved
+    // Wrong-path mode (model_wrong_path): the front end is running down a
+    // mispredicted path, synthesizing instructions from the static CFG.
+    bool on_wrong_path = false;
+    bool wp_fetch_done = false;            ///< predicted-taken BTB miss: stop
+    Addr wp_pc = 0;
+    SeqNum wp_branch_seq = 0;              ///< the mispredicted branch
+    SeqNum wp_next_seq = 0;
+    Cycle wp_squash_at = kCycleNever;      ///< branch resolution time
+    Rng wp_rng{0xdecafbadULL};
+    SeqNum awaited_branch_seq = 0;
+    Addr last_fetch_line = ~Addr{0};
+    std::uint64_t committed = 0;
+    std::uint64_t committed_base = 0;      ///< value at last reset_stats
+    std::uint64_t fetched = 0;
+  };
+
+  class DispatchEnvImpl;
+  class IssueEnvImpl;
+
+  void do_commit(Cycle now);
+  void apply_broadcasts(Cycle now);
+  void do_issue(Cycle now);
+  void do_dispatch(Cycle now);
+  void do_rename(Cycle now);
+  void do_fetch(Cycle now);
+  unsigned fetch_from_thread(ThreadId tid, unsigned budget, Cycle now);
+  const isa::DynInst& peek_next_inst(ThreadState& ts);
+  void watchdog_flush(Cycle now);
+  /// Squashes every instruction of `tid` younger than `after_seq` from the
+  /// whole machine.  With `requeue` (FLUSH fetch policy) the squashed
+  /// correct-path instructions are queued for refetch; without it (branch
+  /// resolution) everything squashed is wrong-path garbage and is dropped.
+  void flush_thread_after(ThreadId tid, SeqNum after_seq, Cycle now, bool requeue);
+  void apply_pending_policy_flushes(Cycle now);
+  void apply_wrong_path_squashes(Cycle now);
+  unsigned fetch_wrong_path(ThreadId tid, unsigned budget, Cycle now);
+  [[nodiscard]] std::uint32_t icount(ThreadId tid) const;
+
+  MachineConfig config_;
+  std::vector<std::unique_ptr<ThreadState>> threads_;
+  RenameUnit rename_;
+  std::unique_ptr<core::Scheduler> scheduler_;
+  FuPools fu_;
+  mem::MemoryHierarchy mem_;
+  bpred::BranchPredictor bpred_;
+  /// Scheduled result-tag broadcasts: completion cycle -> tags.
+  std::map<Cycle, std::vector<PhysReg>> broadcasts_;
+
+  /// FLUSH policy: per-thread squash point requested during issue, applied
+  /// between the issue and dispatch phases of the same cycle.
+  std::array<std::optional<SeqNum>, kMaxThreads> pending_policy_flush_{};
+
+  Cycle cycle_ = 0;
+  Cycle stats_base_cycle_ = 0;
+  PipelineStats pstats_;
+  std::unique_ptr<DispatchEnvImpl> dispatch_env_;
+  std::unique_ptr<IssueEnvImpl> issue_env_;
+};
+
+}  // namespace msim::smt

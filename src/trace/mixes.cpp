@@ -1,0 +1,109 @@
+#include "trace/mixes.hpp"
+
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "trace/profile.hpp"
+
+namespace msim::trace {
+namespace {
+
+// Paper Table 3 (2-threaded workloads).
+constexpr WorkloadMix k2T[] = {
+    {"2T-mix1", 2, {"equake", "lucas"}},
+    {"2T-mix2", 2, {"twolf", "vpr"}},
+    {"2T-mix3", 2, {"gcc", "bzip2"}},
+    {"2T-mix4", 2, {"mgrid", "galgel"}},
+    {"2T-mix5", 2, {"facerec", "wupwise"}},
+    {"2T-mix6", 2, {"crafty", "gzip"}},
+    {"2T-mix7", 2, {"parser", "vortex"}},
+    {"2T-mix8", 2, {"swim", "gap"}},
+    {"2T-mix9", 2, {"twolf", "bzip2"}},
+    {"2T-mix10", 2, {"equake", "gcc"}},
+    {"2T-mix11", 2, {"applu", "mesa"}},
+    {"2T-mix12", 2, {"ammp", "gzip"}},
+};
+
+// Paper Table 4 (3-threaded workloads).
+constexpr WorkloadMix k3T[] = {
+    {"3T-mix1", 3, {"mgrid", "equake", "art"}},
+    {"3T-mix2", 3, {"twolf", "vpr", "swim"}},
+    {"3T-mix3", 3, {"applu", "ammp", "mgrid"}},
+    {"3T-mix4", 3, {"gcc", "bzip2", "eon"}},
+    {"3T-mix5", 3, {"facerec", "crafty", "perlbmk"}},
+    {"3T-mix6", 3, {"wupwise", "gzip", "vortex"}},
+    {"3T-mix7", 3, {"parser", "equake", "mesa"}},
+    {"3T-mix8", 3, {"perlbmk", "parser", "crafty"}},
+    {"3T-mix9", 3, {"art", "lucas", "galgel"}},
+    {"3T-mix10", 3, {"parser", "bzip2", "gcc"}},
+    {"3T-mix11", 3, {"gzip", "wupwise", "fma3d"}},
+    {"3T-mix12", 3, {"vortex", "eon", "mgrid"}},
+};
+
+// Paper Table 2 (4-threaded workloads).
+constexpr WorkloadMix k4T[] = {
+    {"4T-mix1", 4, {"mgrid", "equake", "art", "lucas"}},
+    {"4T-mix2", 4, {"twolf", "vpr", "swim", "parser"}},
+    {"4T-mix3", 4, {"applu", "ammp", "mgrid", "galgel"}},
+    {"4T-mix4", 4, {"gcc", "bzip2", "eon", "apsi"}},
+    {"4T-mix5", 4, {"facerec", "crafty", "perlbmk", "gap"}},
+    {"4T-mix6", 4, {"wupwise", "gzip", "vortex", "mesa"}},
+    {"4T-mix7", 4, {"parser", "equake", "mesa", "vortex"}},
+    {"4T-mix8", 4, {"parser", "swim", "crafty", "perlbmk"}},
+    {"4T-mix9", 4, {"art", "lucas", "galgel", "gcc"}},
+    {"4T-mix10", 4, {"parser", "swim", "gcc", "bzip2"}},
+    {"4T-mix11", 4, {"gzip", "wupwise", "fma3d", "apsi"}},
+    {"4T-mix12", 4, {"vortex", "mesa", "mgrid", "eon"}},
+};
+
+std::vector<WorkloadMix> build_all() {
+  std::vector<WorkloadMix> all;
+  all.insert(all.end(), std::begin(k2T), std::end(k2T));
+  all.insert(all.end(), std::begin(k3T), std::end(k3T));
+  all.insert(all.end(), std::begin(k4T), std::end(k4T));
+  return all;
+}
+
+}  // namespace
+
+std::span<const WorkloadMix> mixes_for(unsigned thread_count) {
+  switch (thread_count) {
+    case 2: return k2T;
+    case 3: return k3T;
+    case 4: return k4T;
+    default:
+      throw std::invalid_argument("mixes are defined for 2, 3 or 4 threads");
+  }
+}
+
+std::span<const WorkloadMix> all_mixes() noexcept {
+  static const std::vector<WorkloadMix> all = build_all();
+  return all;
+}
+
+const WorkloadMix& mix_or_throw(std::string_view name) {
+  for (const WorkloadMix& mix : all_mixes()) {
+    if (mix.name == name) return mix;
+  }
+  throw std::invalid_argument("unknown workload mix: '" + std::string(name) + "'");
+}
+
+std::string describe_mix(const WorkloadMix& mix) {
+  unsigned counts[3] = {0, 0, 0};
+  for (std::string_view bench : mix.threads()) {
+    const BenchmarkProfile& p = profile_or_throw(bench);
+    ++counts[static_cast<unsigned>(p.ilp)];
+  }
+  std::string out;
+  static constexpr std::string_view kNames[] = {"LOW", "MED", "HIGH"};
+  for (unsigned c = 0; c < 3; ++c) {
+    if (counts[c] == 0) continue;
+    if (!out.empty()) out += " + ";
+    out += std::to_string(counts[c]);
+    out += ' ';
+    out += kNames[c];
+  }
+  return out;
+}
+
+}  // namespace msim::trace

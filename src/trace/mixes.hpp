@@ -1,0 +1,40 @@
+// The paper's multithreaded workloads (Tables 2, 3 and 4): 12 mixes each of
+// 4, 3 and 2 threads, combining benchmarks of different ILP classes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msim::trace {
+
+/// One multithreaded workload: an ordered set of benchmark names, one per
+/// hardware thread context.
+struct WorkloadMix {
+  std::string_view name;          ///< e.g. "4T-mix3"
+  std::uint8_t thread_count = 0;  ///< 2, 3 or 4
+  std::array<std::string_view, 4> benchmarks{};  ///< first `thread_count` used
+
+  [[nodiscard]] std::span<const std::string_view> threads() const noexcept {
+    return {benchmarks.data(), thread_count};
+  }
+};
+
+/// The 12 mixes with `thread_count` threads (2, 3 or 4), exactly as listed
+/// in the paper's Tables 4, 3 and 2 respectively.
+[[nodiscard]] std::span<const WorkloadMix> mixes_for(unsigned thread_count);
+
+/// All 36 mixes (2T, then 3T, then 4T).
+[[nodiscard]] std::span<const WorkloadMix> all_mixes() noexcept;
+
+/// Looks up a mix by name; throws std::invalid_argument when unknown.
+[[nodiscard]] const WorkloadMix& mix_or_throw(std::string_view name);
+
+/// Human-readable classification of a mix ("2 LOW + 2 HIGH" etc.) derived
+/// from the profiles' ILP classes.
+[[nodiscard]] std::string describe_mix(const WorkloadMix& mix);
+
+}  // namespace msim::trace

@@ -1,0 +1,326 @@
+#include "trace/profile.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace msim::trace {
+namespace {
+
+/// Builds the op-weight array in OpClass order (weights are relative;
+/// the generator normalizes).
+constexpr std::array<double, isa::kOpClassCount> weights(
+    double int_alu, double int_mult, double int_div, double load, double store,
+    double fp_add, double fp_mult, double fp_div, double fp_sqrt, double branch) {
+  return {int_alu, int_mult, int_div, load, store,
+          fp_add,  fp_mult,  fp_div,  fp_sqrt, branch};
+}
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+
+// Profile conventions, by ILP class (Section 2 of the paper classifies the
+// benchmarks by single-threaded IPC: low = memory bound, high = execution
+// bound):
+//
+//   LOW    : multi-MiB-to-tens-of-MiB footprints with a large share of
+//            cache-hostile accesses that miss into L2 and memory, short
+//            dependence distances (pointer chasing / serial recurrences),
+//            and -- for the integer codes -- hard-to-predict branches.
+//   MEDIUM : footprints around the L2 capacity with moderate L1 missing
+//            and middling dependence distances.
+//   HIGH   : L1-friendly working sets, long dependence distances (wide
+//            independent work), highly predictable control flow.
+//
+// The class membership below is inferred from the paper's own mix tables
+// (Tables 2-4): e.g. Table 3 Mix 1 "2 LOW" = {equake, lucas}, Mix 7
+// "1 LOW + 1 HIGH" = {parser, vortex}, Mix 9 "1 LOW + 1 MED" =
+// {twolf, bzip2}, Mix 11 "1 MED + 1 HIGH" = {applu, mesa}, etc.
+constexpr BenchmarkProfile kProfiles[] = {
+    // ---------------------------------------------------------- LOW ILP --
+    {.name = "art", .ilp = IlpClass::kLow,
+     .op_weights = weights(0.24, 0.004, 0.001, 0.30, 0.09, 0.20, 0.11, 0.006, 0.0, 0.059),
+     .two_source_frac = 0.62, .far_operand_frac = 0.22,
+     .dep_near_frac = 0.82, .dep_near_p = 0.52, .dep_far_p = 0.14,
+     .load_addr_old_frac = 0.7,
+     .fp_load_frac = 0.65, .fp_store_frac = 0.6,
+     .data_footprint = 24 * kMiB,
+     .hot_frac = 0.25, .warm_frac = 0.14, .warm_bytes = 16 * kKiB,
+     .stream_frac = 0.36, .stream_stride = 8, .stream_count = 4,
+     .code_footprint = 16 * kKiB,
+     .branch_predictable_frac = 0.92, .mean_loop_trip = 48, .branch_uncond_frac = 0.10},
+    {.name = "equake", .ilp = IlpClass::kLow,
+     .op_weights = weights(0.22, 0.004, 0.001, 0.31, 0.08, 0.19, 0.13, 0.010, 0.0, 0.055),
+     .two_source_frac = 0.64, .far_operand_frac = 0.22,
+     .dep_near_frac = 0.8, .dep_near_p = 0.5, .dep_far_p = 0.14,
+     .load_addr_old_frac = 0.65,
+     .fp_load_frac = 0.7, .fp_store_frac = 0.65,
+     .data_footprint = 40 * kMiB,
+     .hot_frac = 0.28, .warm_frac = 0.16, .warm_bytes = 16 * kKiB,
+     .stream_frac = 0.32, .stream_stride = 24, .stream_count = 3,
+     .code_footprint = 24 * kKiB,
+     .branch_predictable_frac = 0.92, .mean_loop_trip = 48, .branch_uncond_frac = 0.10},
+    {.name = "lucas", .ilp = IlpClass::kLow,
+     .op_weights = weights(0.18, 0.003, 0.0, 0.30, 0.12, 0.20, 0.15, 0.004, 0.0, 0.043),
+     .two_source_frac = 0.66, .far_operand_frac = 0.24,
+     .dep_near_frac = 0.78, .dep_near_p = 0.48, .dep_far_p = 0.13,
+     .load_addr_old_frac = 0.8,
+     .fp_load_frac = 0.8, .fp_store_frac = 0.8,
+     .data_footprint = 96 * kMiB,
+     .hot_frac = 0.22, .warm_frac = 0.12, .warm_bytes = 16 * kKiB,
+     .stream_frac = 0.50, .stream_stride = 64, .stream_count = 2,
+     .code_footprint = 12 * kKiB,
+     .branch_predictable_frac = 0.95, .mean_loop_trip = 80, .branch_uncond_frac = 0.08},
+    {.name = "swim", .ilp = IlpClass::kLow,
+     .op_weights = weights(0.16, 0.002, 0.0, 0.31, 0.13, 0.22, 0.13, 0.004, 0.0, 0.034),
+     .two_source_frac = 0.66, .far_operand_frac = 0.24,
+     .dep_near_frac = 0.78, .dep_near_p = 0.46, .dep_far_p = 0.13,
+     .load_addr_old_frac = 0.85,
+     .fp_load_frac = 0.85, .fp_store_frac = 0.85,
+     .data_footprint = 64 * kMiB,
+     .hot_frac = 0.18, .warm_frac = 0.12, .warm_bytes = 16 * kKiB,
+     .stream_frac = 0.58, .stream_stride = 8, .stream_count = 6,
+     .code_footprint = 10 * kKiB,
+     .branch_predictable_frac = 0.96, .mean_loop_trip = 96, .branch_uncond_frac = 0.06},
+    {.name = "parser", .ilp = IlpClass::kLow,
+     .op_weights = weights(0.42, 0.006, 0.002, 0.27, 0.10, 0.0, 0.0, 0.0, 0.0, 0.202),
+     .two_source_frac = 0.55, .far_operand_frac = 0.24,
+     .dep_near_frac = 0.84, .dep_near_p = 0.55, .dep_far_p = 0.15,
+     .load_addr_old_frac = 0.15,
+     .data_footprint = 30 * kMiB,
+     .hot_frac = 0.48, .warm_frac = 0.24, .warm_bytes = 32 * kKiB,
+     .stream_frac = 0.06, .stream_stride = 8, .stream_count = 2,
+     .code_footprint = 96 * kKiB,
+     .branch_predictable_frac = 0.80, .mean_loop_trip = 10, .branch_uncond_frac = 0.18},
+    {.name = "twolf", .ilp = IlpClass::kLow,
+     .op_weights = weights(0.43, 0.010, 0.003, 0.26, 0.09, 0.004, 0.003, 0.001, 0.0, 0.199),
+     .two_source_frac = 0.56, .far_operand_frac = 0.24,
+     .dep_near_frac = 0.84, .dep_near_p = 0.55, .dep_far_p = 0.15,
+     .load_addr_old_frac = 0.12,
+     .data_footprint = 8 * kMiB,
+     .hot_frac = 0.46, .warm_frac = 0.24, .warm_bytes = 32 * kKiB,
+     .stream_frac = 0.04, .stream_stride = 8, .stream_count = 2,
+     .code_footprint = 72 * kKiB,
+     .branch_predictable_frac = 0.76, .mean_loop_trip = 10, .branch_uncond_frac = 0.14},
+    {.name = "vpr", .ilp = IlpClass::kLow,
+     .op_weights = weights(0.40, 0.008, 0.002, 0.27, 0.10, 0.02, 0.01, 0.004, 0.0, 0.186),
+     .two_source_frac = 0.56, .far_operand_frac = 0.24,
+     .dep_near_frac = 0.83, .dep_near_p = 0.54, .dep_far_p = 0.15,
+     .load_addr_old_frac = 0.15,
+     .fp_load_frac = 0.06, .fp_store_frac = 0.05,
+     .data_footprint = 12 * kMiB,
+     .hot_frac = 0.47, .warm_frac = 0.25, .warm_bytes = 32 * kKiB,
+     .stream_frac = 0.05, .stream_stride = 8, .stream_count = 2,
+     .code_footprint = 80 * kKiB,
+     .branch_predictable_frac = 0.78, .mean_loop_trip = 10, .branch_uncond_frac = 0.15},
+    // ------------------------------------------------------- MEDIUM ILP --
+    {.name = "ammp", .ilp = IlpClass::kMedium,
+     .op_weights = weights(0.22, 0.004, 0.001, 0.28, 0.08, 0.19, 0.15, 0.016, 0.004, 0.055),
+     .two_source_frac = 0.62, .far_operand_frac = 0.28,
+     .dep_near_frac = 0.68, .dep_near_p = 0.44, .dep_far_p = 0.11,
+     .load_addr_old_frac = 0.55,
+     .fp_load_frac = 0.7, .fp_store_frac = 0.65,
+     .data_footprint = 3 * kMiB,
+     .hot_frac = 0.46, .warm_frac = 0.26, .warm_bytes = 24 * kKiB,
+     .stream_frac = 0.20, .stream_stride = 16, .stream_count = 4,
+     .code_footprint = 32 * kKiB,
+     .branch_predictable_frac = 0.92, .mean_loop_trip = 40, .branch_uncond_frac = 0.10},
+    {.name = "applu", .ilp = IlpClass::kMedium,
+     .op_weights = weights(0.18, 0.003, 0.0, 0.28, 0.10, 0.22, 0.17, 0.012, 0.0, 0.035),
+     .two_source_frac = 0.66, .far_operand_frac = 0.28,
+     .dep_near_frac = 0.64, .dep_near_p = 0.42, .dep_far_p = 0.10,
+     .load_addr_old_frac = 0.75,
+     .fp_load_frac = 0.8, .fp_store_frac = 0.8,
+     .data_footprint = 4 * kMiB,
+     .hot_frac = 0.40, .warm_frac = 0.24, .warm_bytes = 24 * kKiB,
+     .stream_frac = 0.32, .stream_stride = 8, .stream_count = 5,
+     .code_footprint = 24 * kKiB,
+     .branch_predictable_frac = 0.95, .mean_loop_trip = 80, .branch_uncond_frac = 0.06},
+    {.name = "bzip2", .ilp = IlpClass::kMedium,
+     .op_weights = weights(0.46, 0.008, 0.002, 0.25, 0.10, 0.0, 0.0, 0.0, 0.0, 0.180),
+     .two_source_frac = 0.58, .far_operand_frac = 0.28,
+     .dep_near_frac = 0.7, .dep_near_p = 0.46, .dep_far_p = 0.12,
+     .load_addr_old_frac = 0.45,
+     .data_footprint = 2 * kMiB,
+     .hot_frac = 0.50, .warm_frac = 0.26, .warm_bytes = 32 * kKiB,
+     .stream_frac = 0.16, .stream_stride = 4, .stream_count = 3,
+     .code_footprint = 40 * kKiB,
+     .branch_predictable_frac = 0.86, .mean_loop_trip = 14, .branch_uncond_frac = 0.12},
+    {.name = "fma3d", .ilp = IlpClass::kMedium,
+     .op_weights = weights(0.21, 0.004, 0.001, 0.27, 0.09, 0.21, 0.15, 0.012, 0.002, 0.051),
+     .two_source_frac = 0.64, .far_operand_frac = 0.28,
+     .dep_near_frac = 0.64, .dep_near_p = 0.42, .dep_far_p = 0.10,
+     .load_addr_old_frac = 0.6,
+     .fp_load_frac = 0.72, .fp_store_frac = 0.7,
+     .data_footprint = 5 * kMiB,
+     .hot_frac = 0.44, .warm_frac = 0.24, .warm_bytes = 24 * kKiB,
+     .stream_frac = 0.24, .stream_stride = 24, .stream_count = 4,
+     .code_footprint = 128 * kKiB,
+     .branch_predictable_frac = 0.93, .mean_loop_trip = 48, .branch_uncond_frac = 0.10},
+    {.name = "galgel", .ilp = IlpClass::kMedium,
+     .op_weights = weights(0.17, 0.003, 0.0, 0.28, 0.09, 0.23, 0.18, 0.008, 0.0, 0.039),
+     .two_source_frac = 0.66, .far_operand_frac = 0.3,
+     .dep_near_frac = 0.62, .dep_near_p = 0.4, .dep_far_p = 0.10,
+     .load_addr_old_frac = 0.75,
+     .fp_load_frac = 0.82, .fp_store_frac = 0.8,
+     .data_footprint = 2 * kMiB,
+     .hot_frac = 0.42, .warm_frac = 0.24, .warm_bytes = 24 * kKiB,
+     .stream_frac = 0.32, .stream_stride = 8, .stream_count = 6,
+     .code_footprint = 20 * kKiB,
+     .branch_predictable_frac = 0.95, .mean_loop_trip = 80, .branch_uncond_frac = 0.06},
+    {.name = "gcc", .ilp = IlpClass::kMedium,
+     .op_weights = weights(0.45, 0.006, 0.002, 0.25, 0.12, 0.0, 0.0, 0.0, 0.0, 0.172),
+     .two_source_frac = 0.54, .far_operand_frac = 0.28,
+     .dep_near_frac = 0.72, .dep_near_p = 0.48, .dep_far_p = 0.12,
+     .load_addr_old_frac = 0.35,
+     .data_footprint = 3 * kMiB,
+     .hot_frac = 0.52, .warm_frac = 0.28, .warm_bytes = 32 * kKiB,
+     .stream_frac = 0.08, .stream_stride = 8, .stream_count = 2,
+     .code_footprint = 320 * kKiB,
+     .branch_predictable_frac = 0.86, .mean_loop_trip = 12, .branch_uncond_frac = 0.20},
+    {.name = "mgrid", .ilp = IlpClass::kMedium,
+     .op_weights = weights(0.15, 0.002, 0.0, 0.30, 0.08, 0.24, 0.18, 0.006, 0.0, 0.032),
+     .two_source_frac = 0.68, .far_operand_frac = 0.3,
+     .dep_near_frac = 0.62, .dep_near_p = 0.4, .dep_far_p = 0.10,
+     .load_addr_old_frac = 0.85,
+     .fp_load_frac = 0.85, .fp_store_frac = 0.85,
+     .data_footprint = 6 * kMiB,
+     .hot_frac = 0.34, .warm_frac = 0.22, .warm_bytes = 24 * kKiB,
+     .stream_frac = 0.40, .stream_stride = 8, .stream_count = 6,
+     .code_footprint = 12 * kKiB,
+     .branch_predictable_frac = 0.97, .mean_loop_trip = 96, .branch_uncond_frac = 0.05},
+    {.name = "wupwise", .ilp = IlpClass::kMedium,
+     .op_weights = weights(0.19, 0.003, 0.0, 0.27, 0.09, 0.22, 0.18, 0.006, 0.0, 0.041),
+     .two_source_frac = 0.66, .far_operand_frac = 0.3,
+     .dep_near_frac = 0.62, .dep_near_p = 0.4, .dep_far_p = 0.10,
+     .load_addr_old_frac = 0.7,
+     .fp_load_frac = 0.8, .fp_store_frac = 0.78,
+     .data_footprint = 2 * kMiB,
+     .hot_frac = 0.44, .warm_frac = 0.26, .warm_bytes = 24 * kKiB,
+     .stream_frac = 0.26, .stream_stride = 16, .stream_count = 4,
+     .code_footprint = 24 * kKiB,
+     .branch_predictable_frac = 0.95, .mean_loop_trip = 64, .branch_uncond_frac = 0.08},
+    // --------------------------------------------------------- HIGH ILP --
+    {.name = "apsi", .ilp = IlpClass::kHigh,
+     .op_weights = weights(0.20, 0.004, 0.001, 0.26, 0.09, 0.22, 0.17, 0.008, 0.001, 0.046),
+     .two_source_frac = 0.64, .far_operand_frac = 0.32,
+     .dep_near_frac = 0.52, .dep_near_p = 0.5, .dep_far_p = 0.08,
+     .load_addr_old_frac = 0.65,
+     .fp_load_frac = 0.75, .fp_store_frac = 0.72,
+     .data_footprint = 384 * kKiB,
+     .hot_frac = 0.52, .warm_frac = 0.30, .warm_bytes = 24 * kKiB,
+     .stream_frac = 0.15, .stream_stride = 8, .stream_count = 4,
+     .code_footprint = 48 * kKiB,
+     .branch_predictable_frac = 0.94, .mean_loop_trip = 48, .branch_uncond_frac = 0.08},
+    {.name = "crafty", .ilp = IlpClass::kHigh,
+     .op_weights = weights(0.50, 0.010, 0.002, 0.23, 0.08, 0.0, 0.0, 0.0, 0.0, 0.178),
+     .two_source_frac = 0.60, .far_operand_frac = 0.32,
+     .dep_near_frac = 0.54, .dep_near_p = 0.52, .dep_far_p = 0.08,
+     .load_addr_old_frac = 0.5,
+     .data_footprint = 256 * kKiB,
+     .hot_frac = 0.56, .warm_frac = 0.30, .warm_bytes = 24 * kKiB,
+     .stream_frac = 0.06, .stream_stride = 8, .stream_count = 2,
+     .code_footprint = 160 * kKiB,
+     .branch_predictable_frac = 0.91, .mean_loop_trip = 12, .branch_uncond_frac = 0.14},
+    {.name = "eon", .ilp = IlpClass::kHigh,
+     .op_weights = weights(0.38, 0.008, 0.002, 0.24, 0.10, 0.12, 0.08, 0.010, 0.002, 0.058),
+     .two_source_frac = 0.60, .far_operand_frac = 0.32,
+     .dep_near_frac = 0.52, .dep_near_p = 0.5, .dep_far_p = 0.08,
+     .load_addr_old_frac = 0.55,
+     .fp_load_frac = 0.3, .fp_store_frac = 0.28,
+     .data_footprint = 128 * kKiB,
+     .hot_frac = 0.58, .warm_frac = 0.30, .warm_bytes = 24 * kKiB,
+     .stream_frac = 0.08, .stream_stride = 8, .stream_count = 2,
+     .code_footprint = 128 * kKiB,
+     .branch_predictable_frac = 0.94, .mean_loop_trip = 16, .branch_uncond_frac = 0.18},
+    {.name = "facerec", .ilp = IlpClass::kHigh,
+     .op_weights = weights(0.19, 0.003, 0.0, 0.27, 0.08, 0.23, 0.18, 0.006, 0.001, 0.040),
+     .two_source_frac = 0.66, .far_operand_frac = 0.32,
+     .dep_near_frac = 0.52, .dep_near_p = 0.5, .dep_far_p = 0.08,
+     .load_addr_old_frac = 0.75,
+     .fp_load_frac = 0.8, .fp_store_frac = 0.78,
+     .data_footprint = 512 * kKiB,
+     .hot_frac = 0.48, .warm_frac = 0.28, .warm_bytes = 24 * kKiB,
+     .stream_frac = 0.22, .stream_stride = 8, .stream_count = 5,
+     .code_footprint = 28 * kKiB,
+     .branch_predictable_frac = 0.96, .mean_loop_trip = 80, .branch_uncond_frac = 0.06},
+    {.name = "gap", .ilp = IlpClass::kHigh,
+     .op_weights = weights(0.48, 0.012, 0.003, 0.24, 0.09, 0.0, 0.0, 0.0, 0.0, 0.175),
+     .two_source_frac = 0.58, .far_operand_frac = 0.32,
+     .dep_near_frac = 0.56, .dep_near_p = 0.52, .dep_far_p = 0.09,
+     .load_addr_old_frac = 0.4,
+     .data_footprint = 384 * kKiB,
+     .hot_frac = 0.54, .warm_frac = 0.30, .warm_bytes = 24 * kKiB,
+     .stream_frac = 0.10, .stream_stride = 8, .stream_count = 2,
+     .code_footprint = 96 * kKiB,
+     .branch_predictable_frac = 0.91, .mean_loop_trip = 14, .branch_uncond_frac = 0.16},
+    {.name = "gzip", .ilp = IlpClass::kHigh,
+     .op_weights = weights(0.49, 0.006, 0.001, 0.24, 0.09, 0.0, 0.0, 0.0, 0.0, 0.173),
+     .two_source_frac = 0.58, .far_operand_frac = 0.32,
+     .dep_near_frac = 0.56, .dep_near_p = 0.52, .dep_far_p = 0.09,
+     .load_addr_old_frac = 0.5,
+     .data_footprint = 192 * kKiB,
+     .hot_frac = 0.54, .warm_frac = 0.28, .warm_bytes = 32 * kKiB,
+     .stream_frac = 0.14, .stream_stride = 4, .stream_count = 3,
+     .code_footprint = 32 * kKiB,
+     .branch_predictable_frac = 0.90, .mean_loop_trip = 16, .branch_uncond_frac = 0.10},
+    {.name = "mesa", .ilp = IlpClass::kHigh,
+     .op_weights = weights(0.30, 0.006, 0.001, 0.25, 0.10, 0.16, 0.12, 0.008, 0.002, 0.053),
+     .two_source_frac = 0.62, .far_operand_frac = 0.32,
+     .dep_near_frac = 0.52, .dep_near_p = 0.5, .dep_far_p = 0.08,
+     .load_addr_old_frac = 0.6,
+     .fp_load_frac = 0.5, .fp_store_frac = 0.45,
+     .data_footprint = 256 * kKiB,
+     .hot_frac = 0.54, .warm_frac = 0.28, .warm_bytes = 24 * kKiB,
+     .stream_frac = 0.14, .stream_stride = 16, .stream_count = 4,
+     .code_footprint = 96 * kKiB,
+     .branch_predictable_frac = 0.94, .mean_loop_trip = 24, .branch_uncond_frac = 0.12},
+    {.name = "perlbmk", .ilp = IlpClass::kHigh,
+     .op_weights = weights(0.47, 0.008, 0.002, 0.25, 0.10, 0.0, 0.0, 0.0, 0.0, 0.170),
+     .two_source_frac = 0.56, .far_operand_frac = 0.32,
+     .dep_near_frac = 0.56, .dep_near_p = 0.52, .dep_far_p = 0.09,
+     .load_addr_old_frac = 0.45,
+     .data_footprint = 320 * kKiB,
+     .hot_frac = 0.54, .warm_frac = 0.28, .warm_bytes = 32 * kKiB,
+     .stream_frac = 0.08, .stream_stride = 8, .stream_count = 2,
+     .code_footprint = 224 * kKiB,
+     .branch_predictable_frac = 0.91, .mean_loop_trip = 14, .branch_uncond_frac = 0.22},
+    {.name = "vortex", .ilp = IlpClass::kHigh,
+     .op_weights = weights(0.44, 0.006, 0.001, 0.26, 0.12, 0.0, 0.0, 0.0, 0.0, 0.173),
+     .two_source_frac = 0.56, .far_operand_frac = 0.32,
+     .dep_near_frac = 0.54, .dep_near_p = 0.52, .dep_far_p = 0.08,
+     .load_addr_old_frac = 0.45,
+     .data_footprint = 448 * kKiB,
+     .hot_frac = 0.52, .warm_frac = 0.28, .warm_bytes = 32 * kKiB,
+     .stream_frac = 0.10, .stream_stride = 8, .stream_count = 2,
+     .code_footprint = 256 * kKiB,
+     .branch_predictable_frac = 0.95, .mean_loop_trip = 16, .branch_uncond_frac = 0.20},
+};
+
+}  // namespace
+
+std::string_view ilp_class_name(IlpClass c) noexcept {
+  switch (c) {
+    case IlpClass::kLow:    return "low";
+    case IlpClass::kMedium: return "medium";
+    case IlpClass::kHigh:   return "high";
+  }
+  return "unknown";
+}
+
+std::span<const BenchmarkProfile> all_profiles() noexcept { return kProfiles; }
+
+std::optional<BenchmarkProfile> find_profile(std::string_view name) noexcept {
+  for (const BenchmarkProfile& p : kProfiles) {
+    if (p.name == name) return p;
+  }
+  return std::nullopt;
+}
+
+const BenchmarkProfile& profile_or_throw(std::string_view name) {
+  for (const BenchmarkProfile& p : kProfiles) {
+    if (p.name == name) return p;
+  }
+  throw std::invalid_argument("unknown benchmark profile: '" + std::string(name) + "'");
+}
+
+}  // namespace msim::trace

@@ -1,0 +1,136 @@
+#include "trace/trace_io.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <stdexcept>
+
+namespace msim::trace {
+namespace {
+
+constexpr char kMagic[8] = {'M', 'S', 'I', 'M', 'T', 'R', 'C', '1'};
+
+/// On-disk record: explicit little-endian packing, independent of the
+/// in-memory DynInst layout.
+struct PackedInst {
+  std::uint64_t seq;
+  std::uint64_t pc;
+  std::uint64_t next_pc;
+  std::uint64_t mem_addr;
+  std::uint8_t op;
+  std::uint8_t dest;
+  std::uint8_t src0;
+  std::uint8_t src1;
+  std::uint8_t taken;
+  std::uint8_t pad[3];
+};
+static_assert(sizeof(PackedInst) == 40);
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + ": '" + path + "'");
+}
+
+PackedInst pack(const isa::DynInst& inst) {
+  PackedInst p{};
+  p.seq = inst.seq;
+  p.pc = inst.pc;
+  p.next_pc = inst.next_pc;
+  p.mem_addr = inst.mem_addr;
+  p.op = static_cast<std::uint8_t>(inst.op);
+  p.dest = inst.dest;
+  p.src0 = inst.src[0];
+  p.src1 = inst.src[1];
+  p.taken = inst.taken ? 1 : 0;
+  return p;
+}
+
+isa::DynInst unpack(const PackedInst& p, const std::string& path) {
+  if (p.op >= isa::kOpClassCount) fail("corrupt trace record (bad op)", path);
+  isa::DynInst inst;
+  inst.seq = p.seq;
+  inst.pc = p.pc;
+  inst.next_pc = p.next_pc;
+  inst.mem_addr = p.mem_addr;
+  inst.op = static_cast<isa::OpClass>(p.op);
+  inst.dest = p.dest;
+  inst.src[0] = p.src0;
+  inst.src[1] = p.src1;
+  inst.taken = p.taken != 0;
+  return inst;
+}
+
+}  // namespace
+
+void write_trace(const std::string& path,
+                 std::span<const isa::DynInst> instructions) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) fail("cannot open trace for writing", path);
+  const std::uint64_t count = instructions.size();
+  if (std::fwrite(kMagic, sizeof kMagic, 1, f.get()) != 1 ||
+      std::fwrite(&count, sizeof count, 1, f.get()) != 1) {
+    fail("trace header write failed", path);
+  }
+  for (const isa::DynInst& inst : instructions) {
+    const PackedInst p = pack(inst);
+    if (std::fwrite(&p, sizeof p, 1, f.get()) != 1) {
+      fail("trace record write failed", path);
+    }
+  }
+  if (std::fflush(f.get()) != 0) fail("trace flush failed", path);
+}
+
+std::vector<isa::DynInst> read_trace(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) fail("cannot open trace for reading", path);
+  char magic[8];
+  std::uint64_t count = 0;
+  if (std::fread(magic, sizeof magic, 1, f.get()) != 1 ||
+      std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    fail("not an msim trace (bad magic)", path);
+  }
+  if (std::fread(&count, sizeof count, 1, f.get()) != 1) {
+    fail("truncated trace header", path);
+  }
+  std::vector<isa::DynInst> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PackedInst p{};
+    if (std::fread(&p, sizeof p, 1, f.get()) != 1) {
+      fail("truncated trace body", path);
+    }
+    out.push_back(unpack(p, path));
+  }
+  return out;
+}
+
+TraceSummary summarize_trace(std::span<const isa::DynInst> instructions) {
+  TraceSummary s;
+  s.instructions = instructions.size();
+  std::set<Addr> pcs;
+  for (const isa::DynInst& inst : instructions) {
+    pcs.insert(inst.pc);
+    if (inst.is_branch()) {
+      ++s.branches;
+      if (inst.taken) ++s.taken_branches;
+    }
+    if (inst.is_load()) ++s.loads;
+    if (inst.is_store()) ++s.stores;
+    if (inst.source_count() == 2) ++s.with_two_sources;
+  }
+  s.unique_pcs = pcs.size();
+  s.mean_block_length =
+      s.branches ? static_cast<double>(s.instructions) / static_cast<double>(s.branches)
+                 : static_cast<double>(s.instructions);
+  return s;
+}
+
+}  // namespace msim::trace

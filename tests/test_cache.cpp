@@ -1,0 +1,171 @@
+#include "mem/cache.hpp"
+
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+namespace msim::mem {
+namespace {
+
+CacheConfig small_cache() {
+  // 4 sets x 2 ways x 64-byte lines = 512 bytes.
+  return {.name = "t", .size_bytes = 512, .assoc = 2, .line_bytes = 64,
+          .hit_extra = 0, .mshr_count = 2};
+}
+
+TEST(Cache, MissThenHitAfterFill) {
+  Cache c(small_cache());
+  const Addr addr = 0x1000;
+  auto r = c.access(addr, false, 0);
+  EXPECT_FALSE(r.hit);
+  c.fill(addr, false, 0, 10);
+  // After (or even before) the fill time the tag is present.
+  r = c.access(addr, false, 20);
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.extra_latency, 0u);
+  EXPECT_TRUE(c.probe(addr));
+}
+
+TEST(Cache, SameLineDifferentOffsetsHit) {
+  Cache c(small_cache());
+  c.fill(0x1000, false, 0, 0);
+  EXPECT_TRUE(c.access(0x1004, false, 1).hit);
+  EXPECT_TRUE(c.access(0x103F, false, 2).hit);
+  EXPECT_FALSE(c.access(0x1040, false, 3).hit);  // next line
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  Cache c(small_cache());
+  // Three lines mapping to the same set (set stride = 4 sets * 64 B = 256 B).
+  const Addr a = 0x0000, b = 0x0100, d = 0x0200;
+  c.fill(a, false, 0, 0);
+  c.fill(b, false, 1, 1);
+  (void)c.access(a, false, 2);   // touch a -> b becomes LRU
+  c.fill(d, false, 3, 3);        // evicts b
+  EXPECT_TRUE(c.probe(a));
+  EXPECT_FALSE(c.probe(b));
+  EXPECT_TRUE(c.probe(d));
+}
+
+TEST(Cache, DirtyEvictionCounted) {
+  Cache c(small_cache());
+  const Addr a = 0x0000, b = 0x0100, d = 0x0200;
+  c.fill(a, /*is_store=*/true, 0, 0);
+  c.fill(b, false, 1, 1);
+  c.fill(d, false, 2, 2);  // evicts dirty a
+  EXPECT_EQ(c.stats().dirty_evictions, 1u);
+}
+
+TEST(Cache, StoreHitMarksLineDirty) {
+  Cache c(small_cache());
+  const Addr a = 0x0000, b = 0x0100, d = 0x0200;
+  c.fill(a, false, 0, 0);
+  (void)c.access(a, /*is_store=*/true, 1);  // dirty via store hit
+  c.fill(b, false, 2, 2);
+  c.fill(d, false, 3, 3);  // evicts a (LRU)
+  EXPECT_EQ(c.stats().dirty_evictions, 1u);
+}
+
+TEST(Cache, CoalescesMissesToInFlightLine) {
+  Cache c(small_cache());
+  const Addr addr = 0x2000;
+  auto first = c.access(addr, false, 0);
+  EXPECT_FALSE(first.hit);
+  c.fill(addr, false, 0, 100);  // fill completes at cycle 100
+  // A second access at cycle 40 to the same line coalesces: waits 60 more.
+  auto second = c.access(addr + 8, false, 40);
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(second.extra_latency, 60u);
+  EXPECT_EQ(c.stats().coalesced_misses, 1u);
+}
+
+TEST(Cache, MshrSaturationDelaysMissStart) {
+  Cache c(small_cache());  // 2 MSHRs
+  c.fill(0x1000, false, 0, 50);
+  c.fill(0x2000, false, 0, 80);
+  // Third miss at cycle 10: both MSHRs busy; starts when the earliest frees.
+  auto r = c.access(0x3000, false, 10);
+  EXPECT_FALSE(r.hit);
+  EXPECT_EQ(r.miss_start, 50u);
+  EXPECT_EQ(c.stats().mshr_stall_cycles, 40u);
+}
+
+TEST(Cache, OutstandingMissesExpire) {
+  Cache c(small_cache());
+  c.fill(0x1000, false, 0, 50);
+  c.fill(0x2000, false, 0, 80);
+  // At cycle 90 both fills completed; a new miss starts immediately.
+  auto r = c.access(0x3000, false, 90);
+  EXPECT_FALSE(r.hit);
+  EXPECT_EQ(r.miss_start, 90u);
+}
+
+TEST(Cache, StatsCountAccessesAndMisses) {
+  Cache c(small_cache());
+  (void)c.access(0x0, false, 0);
+  c.fill(0x0, false, 0, 0);
+  (void)c.access(0x0, false, 1);
+  EXPECT_EQ(c.stats().accesses, 2u);
+  EXPECT_EQ(c.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(c.stats().miss_rate(), 0.5);
+  c.reset_stats();
+  EXPECT_EQ(c.stats().accesses, 0u);
+}
+
+TEST(Cache, HitExtraLatencyReported) {
+  CacheConfig cfg = small_cache();
+  cfg.hit_extra = 10;
+  Cache c(cfg);
+  c.fill(0x0, false, 0, 0);
+  EXPECT_EQ(c.access(0x0, false, 1).extra_latency, 10u);
+}
+
+using GeometryParam = std::tuple<std::uint64_t, std::uint32_t, std::uint32_t>;
+
+class CacheGeometry : public ::testing::TestWithParam<GeometryParam> {};
+
+TEST_P(CacheGeometry, FillThenProbeAcrossWholeCapacity) {
+  const auto [size, assoc, line] = GetParam();
+  Cache c({.name = "g", .size_bytes = size, .assoc = assoc, .line_bytes = line,
+           .hit_extra = 0, .mshr_count = 4});
+  const std::uint64_t lines = size / line;
+  // Fill exactly to capacity with distinct lines; everything must survive.
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    c.fill(i * line, false, i, i);
+  }
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    EXPECT_TRUE(c.probe(i * line)) << "line " << i;
+  }
+  // One more line into any set evicts exactly one of them.
+  c.fill(lines * line, false, lines, lines);
+  std::uint64_t present = 0;
+  for (std::uint64_t i = 0; i <= lines; ++i) {
+    if (c.probe(i * line)) ++present;
+  }
+  EXPECT_EQ(present, lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(GeometryParam{1024, 1, 64},    // direct mapped
+                      GeometryParam{1024, 2, 64},
+                      GeometryParam{2048, 4, 128},
+                      GeometryParam{4096, 8, 256},   // paper-style long lines
+                      GeometryParam{512, 2, 256}));  // single set (fully assoc)
+
+// The paper's exact cache geometries must be constructible.
+TEST(CacheGeometryTable1, PaperConfigsConstruct) {
+  const CacheConfig l1i{.name = "L1I", .size_bytes = 64 * 1024, .assoc = 2,
+                        .line_bytes = 128};
+  const CacheConfig l1d{.name = "L1D", .size_bytes = 32 * 1024, .assoc = 4,
+                        .line_bytes = 256};
+  const CacheConfig l2{.name = "L2", .size_bytes = 2 * 1024 * 1024, .assoc = 8,
+                       .line_bytes = 512};
+  EXPECT_EQ(Cache(l1i).config().set_count(), 256u);
+  EXPECT_EQ(Cache(l1d).config().set_count(), 32u);
+  EXPECT_EQ(Cache(l2).config().set_count(), 512u);
+}
+
+}  // namespace
+}  // namespace msim::mem

@@ -1,0 +1,94 @@
+#include "common/config.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace msim {
+namespace {
+
+KvConfig parse(std::initializer_list<std::string> words) {
+  std::vector<std::string> v(words);
+  return KvConfig::parse_strings(v);
+}
+
+TEST(KvConfig, ParsesKeyValuePairs) {
+  const KvConfig c = parse({"iq=64", "name=foo"});
+  EXPECT_TRUE(c.has("iq"));
+  EXPECT_TRUE(c.has("name"));
+  EXPECT_FALSE(c.has("missing"));
+  EXPECT_EQ(c.get_string("name", ""), "foo");
+}
+
+TEST(KvConfig, RejectsBareWords) {
+  EXPECT_THROW(parse({"novalue"}), std::invalid_argument);
+  EXPECT_THROW(parse({"=value"}), std::invalid_argument);
+}
+
+TEST(KvConfig, TypedGettersWithFallbacks) {
+  const KvConfig c = parse({"i=-5", "u=7", "d=2.5", "b=true"});
+  EXPECT_EQ(c.get_int("i", 0), -5);
+  EXPECT_EQ(c.get_uint("u", 0), 7u);
+  EXPECT_DOUBLE_EQ(c.get_double("d", 0.0), 2.5);
+  EXPECT_TRUE(c.get_bool("b", false));
+  EXPECT_EQ(c.get_int("absent", 42), 42);
+  EXPECT_EQ(c.get_uint("absent", 43), 43u);
+  EXPECT_DOUBLE_EQ(c.get_double("absent", 4.5), 4.5);
+  EXPECT_FALSE(c.get_bool("absent", false));
+}
+
+TEST(KvConfig, BooleanSpellings) {
+  const KvConfig c = parse({"a=1", "b=yes", "c=on", "d=0", "e=no", "f=off"});
+  EXPECT_TRUE(c.get_bool("a", false));
+  EXPECT_TRUE(c.get_bool("b", false));
+  EXPECT_TRUE(c.get_bool("c", false));
+  EXPECT_FALSE(c.get_bool("d", true));
+  EXPECT_FALSE(c.get_bool("e", true));
+  EXPECT_FALSE(c.get_bool("f", true));
+}
+
+TEST(KvConfig, MalformedNumbersThrow) {
+  const KvConfig c = parse({"x=12abc", "b=maybe"});
+  EXPECT_THROW((void)c.get_int("x", 0), std::invalid_argument);
+  EXPECT_THROW((void)c.get_bool("b", false), std::invalid_argument);
+}
+
+TEST(KvConfig, UintListParsing) {
+  const KvConfig c = parse({"sizes=32,48,64"});
+  const auto sizes = c.get_uint_list("sizes", {});
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 32u);
+  EXPECT_EQ(sizes[1], 48u);
+  EXPECT_EQ(sizes[2], 64u);
+  const auto fallback = c.get_uint_list("absent", {1, 2});
+  ASSERT_EQ(fallback.size(), 2u);
+}
+
+TEST(KvConfig, UintListRejectsEmptyElements) {
+  const KvConfig c = parse({"sizes=32,,64"});
+  EXPECT_THROW((void)c.get_uint_list("sizes", {}), std::invalid_argument);
+}
+
+TEST(KvConfig, LastDuplicateWins) {
+  const KvConfig c = parse({"k=1", "k=2"});
+  EXPECT_EQ(c.get_int("k", 0), 2);
+}
+
+TEST(KvConfig, UnknownKeysDetection) {
+  const KvConfig c = parse({"iq=64", "typo=1"});
+  const std::array<std::string_view, 2> known{"iq", "horizon"};
+  const auto unknown = c.unknown_keys({known.data(), known.size()});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(KvConfig, ParseFromArgv) {
+  const char* argv[] = {"a=1", "b=two"};
+  const KvConfig c = KvConfig::parse({argv, 2});
+  EXPECT_EQ(c.get_int("a", 0), 1);
+  EXPECT_EQ(c.get_string("b", ""), "two");
+}
+
+}  // namespace
+}  // namespace msim

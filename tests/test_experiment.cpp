@@ -1,0 +1,139 @@
+#include "sim/experiment.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace msim::sim {
+namespace {
+
+RunConfig tiny_base() {
+  RunConfig cfg;
+  cfg.warmup = 1000;
+  cfg.horizon = 4000;
+  return cfg;
+}
+
+TEST(BaselineCache, MemoizesRuns) {
+  BaselineCache cache(tiny_base());
+  const double a = cache.alone_ipc("gzip", 64);
+  EXPECT_GT(a, 0.0);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_DOUBLE_EQ(cache.alone_ipc("gzip", 64), a);
+  EXPECT_EQ(cache.entries(), 1u);
+  (void)cache.alone_ipc("gzip", 32);  // different IQ size -> new entry
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+TEST(RunMix, ComputesFairnessFromWeightedIpcs) {
+  BaselineCache cache(tiny_base());
+  const trace::WorkloadMix& mix = trace::mix_or_throw("2T-mix6");
+  const MixResult r = run_mix(mix, core::SchedulerKind::kTraditional, 64,
+                              tiny_base(), cache);
+  EXPECT_EQ(r.mix_name, "2T-mix6");
+  EXPECT_GT(r.throughput_ipc, 0.0);
+  EXPECT_GT(r.fairness, 0.0);
+  // Weighted IPCs are <= ~1 per thread, so the harmonic mean is bounded.
+  EXPECT_LT(r.fairness, 1.5);
+  ASSERT_EQ(r.raw.per_thread_ipc.size(), 2u);
+}
+
+TEST(RunSweep, ProducesOneCellPerKindAndSize) {
+  SweepRequest req;
+  req.thread_count = 2;
+  req.kinds = {core::SchedulerKind::kTraditional, core::SchedulerKind::kTwoOpBlock};
+  req.iq_sizes = {32, 64};
+  req.base = tiny_base();
+  BaselineCache cache(req.base);
+  const auto cells = run_sweep(req, cache);
+  ASSERT_EQ(cells.size(), 4u);
+  for (const SweepCell& cell : cells) {
+    EXPECT_EQ(cell.mixes.size(), 12u);
+    EXPECT_GT(cell.hmean_ipc, 0.0);
+    EXPECT_GT(cell.hmean_fairness, 0.0);
+  }
+}
+
+TEST(RunSweep, TraditionalAnchorsSpeedupsAtOne) {
+  SweepRequest req;
+  req.thread_count = 2;
+  req.kinds = {core::SchedulerKind::kTraditional};
+  req.iq_sizes = {32};
+  req.base = tiny_base();
+  BaselineCache cache(req.base);
+  const auto cells = run_sweep(req, cache);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_DOUBLE_EQ(cells[0].ipc_speedup_vs_trad, 1.0);
+  EXPECT_DOUBLE_EQ(cells[0].fairness_gain_vs_trad, 1.0);
+}
+
+TEST(RunSweep, ImplicitTraditionalIsExcludedWhenNotRequested) {
+  SweepRequest req;
+  req.thread_count = 2;
+  req.kinds = {core::SchedulerKind::kTwoOpBlock};
+  req.iq_sizes = {32};
+  req.base = tiny_base();
+  BaselineCache cache(req.base);
+  const auto cells = run_sweep(req, cache);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].kind, core::SchedulerKind::kTwoOpBlock);
+  // The speedup is still computed against the (internally run) traditional.
+  EXPECT_NE(cells[0].ipc_speedup_vs_trad, 1.0);
+}
+
+TEST(RunSweep, ProgressCallbackFires) {
+  SweepRequest req;
+  req.thread_count = 2;
+  req.kinds = {core::SchedulerKind::kTraditional};
+  req.iq_sizes = {32};
+  req.base = tiny_base();
+  unsigned calls = 0;
+  req.progress = [&calls](std::string_view) { ++calls; };
+  BaselineCache cache(req.base);
+  (void)run_sweep(req, cache);
+  EXPECT_EQ(calls, 12u);  // one per mix
+}
+
+TEST(CellFor, FindsAndThrows) {
+  SweepCell cell;
+  cell.kind = core::SchedulerKind::kTwoOpBlock;
+  cell.iq_entries = 48;
+  const std::vector<SweepCell> cells{cell};
+  EXPECT_EQ(&cell_for(cells, core::SchedulerKind::kTwoOpBlock, 48), &cells[0]);
+  EXPECT_THROW(cell_for(cells, core::SchedulerKind::kTraditional, 48),
+               std::invalid_argument);
+  EXPECT_THROW(cell_for(cells, core::SchedulerKind::kTwoOpBlock, 64),
+               std::invalid_argument);
+}
+
+
+TEST(RunSweep, DeterministicAcrossInvocations) {
+  SweepRequest req;
+  req.thread_count = 2;
+  req.kinds = {core::SchedulerKind::kTwoOpBlock};
+  req.iq_sizes = {48};
+  req.base = tiny_base();
+  BaselineCache cache_a(req.base);
+  BaselineCache cache_b(req.base);
+  const auto a = run_sweep(req, cache_a);
+  const auto b = run_sweep(req, cache_b);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_DOUBLE_EQ(a[0].hmean_ipc, b[0].hmean_ipc);
+  EXPECT_DOUBLE_EQ(a[0].ipc_speedup_vs_trad, b[0].ipc_speedup_vs_trad);
+}
+
+TEST(RunMix, IlpClassesSeparateInSingleThreadIpc) {
+  // The Section-2 classification must be visible in the substrate: a HIGH
+  // benchmark runs much faster alone than a LOW one.  This needs a window
+  // long enough to warm the caches (the tiny sweep horizons are not).
+  RunConfig base = tiny_base();
+  base.warmup = 15'000;
+  base.horizon = 30'000;
+  BaselineCache cache(base);
+  const double low = cache.alone_ipc("equake", 64);
+  const double high = cache.alone_ipc("eon", 64);
+  EXPECT_GT(high, low * 2.0);
+}
+
+}  // namespace
+}  // namespace msim::sim

@@ -1,0 +1,84 @@
+#include "smt/fu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace msim::smt {
+namespace {
+
+TEST(Fu, PoolSizeBoundsConcurrentIssue) {
+  FuPools fu;
+  // 8 integer ALUs: the 9th same-cycle allocation fails.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(fu.try_allocate(isa::OpClass::kIntAlu, 0)) << i;
+  }
+  EXPECT_FALSE(fu.try_allocate(isa::OpClass::kIntAlu, 0));
+  // Fully pipelined: all 8 are free again next cycle.
+  EXPECT_TRUE(fu.try_allocate(isa::OpClass::kIntAlu, 1));
+}
+
+TEST(Fu, NonPipelinedDividerBlocksForIssueInterval) {
+  FuPools fu;
+  // 4 int mult/div units; divide has issue interval 19.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(fu.try_allocate(isa::OpClass::kIntDiv, 0));
+  }
+  EXPECT_FALSE(fu.try_allocate(isa::OpClass::kIntDiv, 0));
+  EXPECT_FALSE(fu.try_allocate(isa::OpClass::kIntDiv, 18));
+  EXPECT_TRUE(fu.try_allocate(isa::OpClass::kIntDiv, 19));
+}
+
+TEST(Fu, MultAndDivShareAPool) {
+  FuPools fu;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(fu.try_allocate(isa::OpClass::kIntMult, 0));
+  }
+  EXPECT_FALSE(fu.try_allocate(isa::OpClass::kIntDiv, 0));
+}
+
+TEST(Fu, BranchesUseIntAlus) {
+  FuPools fu;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(fu.try_allocate(isa::OpClass::kBranch, 0));
+  }
+  EXPECT_FALSE(fu.try_allocate(isa::OpClass::kIntAlu, 0));
+}
+
+TEST(Fu, LoadsAndStoresShareFourPorts) {
+  FuPools fu;
+  EXPECT_TRUE(fu.try_allocate(isa::OpClass::kLoad, 0));
+  EXPECT_TRUE(fu.try_allocate(isa::OpClass::kStore, 0));
+  EXPECT_TRUE(fu.try_allocate(isa::OpClass::kLoad, 0));
+  EXPECT_TRUE(fu.try_allocate(isa::OpClass::kStore, 0));
+  EXPECT_FALSE(fu.try_allocate(isa::OpClass::kLoad, 0));
+}
+
+TEST(Fu, FailedAllocationHasNoSideEffects) {
+  FuPools fu;
+  for (int i = 0; i < 4; ++i) (void)fu.try_allocate(isa::OpClass::kFpDiv, 0);
+  // 12-cycle issue interval; a rejected attempt at cycle 5 must not extend it.
+  EXPECT_FALSE(fu.try_allocate(isa::OpClass::kFpDiv, 5));
+  EXPECT_TRUE(fu.try_allocate(isa::OpClass::kFpDiv, 12));
+}
+
+TEST(Fu, StatsCountIssuesAndRejects) {
+  FuPools fu;
+  (void)fu.try_allocate(isa::OpClass::kFpAdd, 0);
+  for (int i = 0; i < 8; ++i) (void)fu.try_allocate(isa::OpClass::kFpAdd, 0);
+  const auto& s = fu.stats();
+  const auto kind = static_cast<std::size_t>(isa::FuKind::kFpAdd);
+  EXPECT_EQ(s.issues[kind], 8u);
+  EXPECT_EQ(s.structural_rejects[kind], 1u);
+  fu.reset_stats();
+  EXPECT_EQ(fu.stats().issues[kind], 0u);
+}
+
+TEST(Fu, ClearFreesAllUnits) {
+  FuPools fu;
+  for (int i = 0; i < 4; ++i) (void)fu.try_allocate(isa::OpClass::kFpSqrt, 0);
+  EXPECT_FALSE(fu.try_allocate(isa::OpClass::kFpSqrt, 1));
+  fu.clear();
+  EXPECT_TRUE(fu.try_allocate(isa::OpClass::kFpSqrt, 1));
+}
+
+}  // namespace
+}  // namespace msim::smt

@@ -1,0 +1,109 @@
+#include "bpred/gshare.hpp"
+
+#include <gtest/gtest.h>
+
+namespace msim::bpred {
+namespace {
+
+TEST(Gshare, LearnsAlwaysTaken) {
+  Gshare g;
+  const Addr pc = 0x4000;
+  for (int i = 0; i < 4; ++i) g.update(pc, true);
+  EXPECT_TRUE(g.predict(pc));
+}
+
+TEST(Gshare, LearnsAlwaysNotTaken) {
+  Gshare g;
+  const Addr pc = 0x4000;
+  for (int i = 0; i < 4; ++i) g.update(pc, false);
+  EXPECT_FALSE(g.predict(pc));
+}
+
+TEST(Gshare, CountersSaturate) {
+  Gshare g;
+  const Addr pc = 0x4000;
+  for (int i = 0; i < 100; ++i) g.update(pc, true);
+  // One contrary outcome must not flip a saturated counter.
+  g.update(pc, false);
+  // Re-create the same history state so the same counter is read: after the
+  // updates the history changed, so check via accuracy over a biased stream
+  // instead.
+  Gshare g2;
+  int correct = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const bool taken = i % 10 != 9;  // 90% taken
+    if (g2.predict(pc) == taken) ++correct;
+    g2.update(pc, taken);
+  }
+  EXPECT_GT(correct, 700);
+}
+
+TEST(Gshare, LearnsShortLoopPatternViaHistory) {
+  // taken, taken, not-taken repeating: global history disambiguates the
+  // three positions, so accuracy approaches 100% after warm-up.
+  Gshare g;
+  const Addr pc = 0x1234;
+  int correct_tail = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const bool taken = (i % 3) != 2;
+    const bool predicted = g.predict(pc);
+    g.update(pc, taken);
+    if (i >= 2000 && predicted == taken) ++correct_tail;
+  }
+  EXPECT_GT(correct_tail, 950);
+}
+
+TEST(Gshare, HistoryShiftsInOutcomes) {
+  Gshare g;
+  EXPECT_EQ(g.history(), 0u);
+  g.update(0x10, true);
+  EXPECT_EQ(g.history(), 1u);
+  g.update(0x10, false);
+  EXPECT_EQ(g.history(), 2u);
+  g.update(0x10, true);
+  EXPECT_EQ(g.history(), 5u);
+}
+
+TEST(Gshare, HistoryIsMasked) {
+  Gshare g({.table_entries = 2048, .history_bits = 4});
+  for (int i = 0; i < 100; ++i) g.update(0x10, true);
+  EXPECT_LT(g.history(), 16u);
+}
+
+TEST(Gshare, StatsTrackAccuracy) {
+  Gshare g;
+  for (int i = 0; i < 100; ++i) g.update(0x77, true);
+  EXPECT_EQ(g.stats().lookups, 100u);
+  // Initialized weakly-taken, so every prediction of this stream is correct.
+  EXPECT_EQ(g.stats().correct, 100u);
+  EXPECT_DOUBLE_EQ(g.stats().accuracy(), 1.0);
+  g.reset_stats();
+  EXPECT_EQ(g.stats().lookups, 0u);
+}
+
+TEST(Gshare, UpdateReturnsCorrectness) {
+  Gshare g;
+  EXPECT_TRUE(g.update(0x20, true));    // weakly taken predicts taken
+  EXPECT_TRUE(g.update(0x20, true));
+}
+
+class GshareTableSizes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(GshareTableSizes, BiasedStreamsPredictWellAtAnySize) {
+  Gshare g({.table_entries = GetParam(), .history_bits = 8});
+  int correct = 0;
+  constexpr int kTrials = 2000;
+  for (int i = 0; i < kTrials; ++i) {
+    const Addr pc = 0x1000 + static_cast<Addr>((i % 7) * 4);
+    const bool taken = (i % 7) < 5;  // per-pc constant direction
+    if (g.predict(pc) == taken) ++correct;
+    g.update(pc, taken);
+  }
+  EXPECT_GT(correct, kTrials * 7 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GshareTableSizes,
+                         ::testing::Values(256u, 2048u, 16384u));
+
+}  // namespace
+}  // namespace msim::bpred

@@ -1,0 +1,101 @@
+#include "mem/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace msim::mem {
+namespace {
+
+TEST(Hierarchy, L1HitCostsNothingExtra) {
+  MemoryHierarchy m;
+  (void)m.access_data(0x1000, false, 0);          // cold miss, installs line
+  const Cycle later = 1000;                       // well past the fill
+  EXPECT_EQ(m.access_data(0x1000, false, later), 0u);
+}
+
+TEST(Hierarchy, ColdMissPaysL2PlusMemory) {
+  MemoryHierarchy m;
+  const std::uint32_t extra = m.access_data(0x5000, false, 0);
+  // L2 hit time (10) + memory latency (150).
+  EXPECT_EQ(extra, 160u);
+}
+
+TEST(Hierarchy, L1MissL2HitPaysL2Time) {
+  MemoryHierarchy m;
+  // Two addresses in the same 512-byte L2 line but different 256-byte L1
+  // lines: the second access misses L1 but hits L2.
+  (void)m.access_data(0x8000, false, 0);
+  const std::uint32_t extra = m.access_data(0x8100, false, 1000);
+  EXPECT_EQ(extra, 10u);
+}
+
+TEST(Hierarchy, InstructionPathMirrorsDataPath) {
+  MemoryHierarchy m;
+  EXPECT_EQ(m.access_inst(0x40'0000, 0), 160u);   // cold
+  EXPECT_EQ(m.access_inst(0x40'0000, 1000), 0u);  // warm
+  EXPECT_EQ(m.stats().l1i.accesses, 2u);
+  EXPECT_EQ(m.stats().l1i.misses, 1u);
+}
+
+TEST(Hierarchy, SeparateL1sShareL2) {
+  MemoryHierarchy m;
+  (void)m.access_inst(0x9000, 0);
+  // Data access to the same L2 line: L1D misses, L2 hits.
+  EXPECT_EQ(m.access_data(0x9000, false, 1000), 10u);
+}
+
+TEST(Hierarchy, MemoryAccessesCounted) {
+  MemoryHierarchy m;
+  (void)m.access_data(0x1000, false, 0);
+  (void)m.access_data(0x2000, false, 0);
+  (void)m.access_data(0x1000, false, 1000);  // L1 hit, no memory access
+  EXPECT_EQ(m.stats().memory_accesses, 2u);
+}
+
+TEST(Hierarchy, StoresInstallDirtyLines) {
+  MemoryHierarchy m;
+  (void)m.access_data(0x1000, true, 0);
+  EXPECT_EQ(m.stats().l1d.misses, 1u);
+  EXPECT_EQ(m.access_data(0x1000, true, 1000), 0u);  // write hit
+}
+
+TEST(Hierarchy, ResetStatsPreservesContents) {
+  MemoryHierarchy m;
+  (void)m.access_data(0x1000, false, 0);
+  m.reset_stats();
+  EXPECT_EQ(m.stats().l1d.accesses, 0u);
+  EXPECT_EQ(m.stats().memory_accesses, 0u);
+  // The line itself is still cached.
+  EXPECT_EQ(m.access_data(0x1000, false, 1000), 0u);
+}
+
+TEST(Hierarchy, DefaultConfigMatchesPaperTable1) {
+  const HierarchyConfig cfg;
+  EXPECT_EQ(cfg.l1i.size_bytes, 64u * 1024);
+  EXPECT_EQ(cfg.l1i.assoc, 2u);
+  EXPECT_EQ(cfg.l1i.line_bytes, 128u);
+  EXPECT_EQ(cfg.l1d.size_bytes, 32u * 1024);
+  EXPECT_EQ(cfg.l1d.assoc, 4u);
+  EXPECT_EQ(cfg.l1d.line_bytes, 256u);
+  EXPECT_EQ(cfg.l2.size_bytes, 2u * 1024 * 1024);
+  EXPECT_EQ(cfg.l2.assoc, 8u);
+  EXPECT_EQ(cfg.l2.line_bytes, 512u);
+  EXPECT_EQ(cfg.l2.hit_extra, 10u);
+  EXPECT_EQ(cfg.memory_latency, 150u);
+}
+
+TEST(Hierarchy, CapacityEvictionFromL2) {
+  // Touch more distinct lines than the L2 holds in one set's reach by
+  // sweeping a region larger than the whole L2; early lines get evicted.
+  MemoryHierarchy m;
+  const std::uint64_t l2_bytes = m.config().l2.size_bytes;
+  for (Addr a = 0; a < 2 * l2_bytes; a += m.config().l2.line_bytes) {
+    (void)m.access_data(a, false, a);
+  }
+  const auto misses_before = m.stats().l1d.misses;
+  // The very first line should long be gone from both levels: full charge.
+  EXPECT_EQ(m.access_data(0, false, 100'000'000), 160u);
+  EXPECT_GT(m.stats().l1d.misses, misses_before);
+}
+
+}  // namespace
+}  // namespace msim::mem

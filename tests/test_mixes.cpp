@@ -1,0 +1,100 @@
+#include "trace/mixes.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "trace/profile.hpp"
+
+namespace msim::trace {
+namespace {
+
+TEST(Mixes, TwelvePerThreadCount) {
+  EXPECT_EQ(mixes_for(2).size(), 12u);
+  EXPECT_EQ(mixes_for(3).size(), 12u);
+  EXPECT_EQ(mixes_for(4).size(), 12u);
+  EXPECT_EQ(all_mixes().size(), 36u);
+}
+
+TEST(Mixes, InvalidThreadCountThrows) {
+  EXPECT_THROW((void)mixes_for(1), std::invalid_argument);
+  EXPECT_THROW((void)mixes_for(5), std::invalid_argument);
+}
+
+TEST(Mixes, ThreadCountsMatchBenchmarkLists) {
+  for (const WorkloadMix& mix : all_mixes()) {
+    EXPECT_EQ(mix.threads().size(), mix.thread_count);
+    for (const auto bench : mix.threads()) {
+      EXPECT_FALSE(bench.empty()) << mix.name;
+    }
+  }
+}
+
+TEST(Mixes, EveryBenchmarkNameResolvesToAProfile) {
+  for (const WorkloadMix& mix : all_mixes()) {
+    for (const auto bench : mix.threads()) {
+      EXPECT_TRUE(find_profile(bench).has_value())
+          << mix.name << " references unknown benchmark " << bench;
+    }
+  }
+}
+
+TEST(Mixes, NamesAreUnique) {
+  std::set<std::string_view> names;
+  for (const WorkloadMix& mix : all_mixes()) names.insert(mix.name);
+  EXPECT_EQ(names.size(), all_mixes().size());
+}
+
+TEST(Mixes, LookupByName) {
+  const WorkloadMix& mix = mix_or_throw("4T-mix5");
+  EXPECT_EQ(mix.thread_count, 4u);
+  EXPECT_EQ(mix.benchmarks[0], "facerec");
+  EXPECT_THROW((void)mix_or_throw("bogus"), std::invalid_argument);
+}
+
+// Spot-check exact composition against the paper's tables.
+TEST(Mixes, PaperTable3Composition2T) {
+  EXPECT_EQ(mix_or_throw("2T-mix1").benchmarks[0], "equake");
+  EXPECT_EQ(mix_or_throw("2T-mix1").benchmarks[1], "lucas");
+  EXPECT_EQ(mix_or_throw("2T-mix7").benchmarks[0], "parser");
+  EXPECT_EQ(mix_or_throw("2T-mix7").benchmarks[1], "vortex");
+  EXPECT_EQ(mix_or_throw("2T-mix12").benchmarks[0], "ammp");
+  EXPECT_EQ(mix_or_throw("2T-mix12").benchmarks[1], "gzip");
+}
+
+TEST(Mixes, PaperTable4Composition3T) {
+  const WorkloadMix& m9 = mix_or_throw("3T-mix9");
+  EXPECT_EQ(m9.benchmarks[0], "art");
+  EXPECT_EQ(m9.benchmarks[1], "lucas");
+  EXPECT_EQ(m9.benchmarks[2], "galgel");
+}
+
+TEST(Mixes, PaperTable2Composition4T) {
+  const WorkloadMix& m1 = mix_or_throw("4T-mix1");
+  EXPECT_EQ(m1.benchmarks[0], "mgrid");
+  EXPECT_EQ(m1.benchmarks[1], "equake");
+  EXPECT_EQ(m1.benchmarks[2], "art");
+  EXPECT_EQ(m1.benchmarks[3], "lucas");
+  const WorkloadMix& m11 = mix_or_throw("4T-mix11");
+  EXPECT_EQ(m11.benchmarks[0], "gzip");
+  EXPECT_EQ(m11.benchmarks[3], "apsi");
+}
+
+TEST(Mixes, ClassifiedCompositionExamples) {
+  // Table 3's "1 LOW + 1 HIGH" pairs.
+  EXPECT_EQ(describe_mix(mix_or_throw("2T-mix7")), "1 LOW + 1 HIGH");
+  EXPECT_EQ(describe_mix(mix_or_throw("2T-mix8")), "1 LOW + 1 HIGH");
+  // Table 3's "1 LOW + 1 MED" pairs.
+  EXPECT_EQ(describe_mix(mix_or_throw("2T-mix9")), "1 LOW + 1 MED");
+  EXPECT_EQ(describe_mix(mix_or_throw("2T-mix10")), "1 LOW + 1 MED");
+  // Table 3's "1 MED + 1 HIGH" pairs.
+  EXPECT_EQ(describe_mix(mix_or_throw("2T-mix11")), "1 MED + 1 HIGH");
+  EXPECT_EQ(describe_mix(mix_or_throw("2T-mix12")), "1 MED + 1 HIGH");
+  // Pure-LOW pairs.
+  EXPECT_EQ(describe_mix(mix_or_throw("2T-mix1")), "2 LOW");
+  EXPECT_EQ(describe_mix(mix_or_throw("2T-mix2")), "2 LOW");
+}
+
+}  // namespace
+}  // namespace msim::trace

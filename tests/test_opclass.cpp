@@ -1,0 +1,104 @@
+#include "isa/opclass.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hpp"
+
+namespace msim::isa {
+namespace {
+
+// Table 1 of the paper: latencies and issue intervals per unit.
+TEST(OpTiming, MatchesPaperTable1) {
+  EXPECT_EQ(op_timing(OpClass::kIntAlu).latency, 1u);
+  EXPECT_EQ(op_timing(OpClass::kIntAlu).issue_interval, 1u);
+  EXPECT_EQ(op_timing(OpClass::kIntMult).latency, 3u);
+  EXPECT_EQ(op_timing(OpClass::kIntMult).issue_interval, 1u);
+  EXPECT_EQ(op_timing(OpClass::kIntDiv).latency, 20u);
+  EXPECT_EQ(op_timing(OpClass::kIntDiv).issue_interval, 19u);
+  EXPECT_EQ(op_timing(OpClass::kLoad).latency, 2u);
+  EXPECT_EQ(op_timing(OpClass::kStore).latency, 2u);
+  EXPECT_EQ(op_timing(OpClass::kFpAdd).latency, 2u);
+  EXPECT_EQ(op_timing(OpClass::kFpMult).latency, 4u);
+  EXPECT_EQ(op_timing(OpClass::kFpMult).issue_interval, 1u);
+  EXPECT_EQ(op_timing(OpClass::kFpDiv).latency, 12u);
+  EXPECT_EQ(op_timing(OpClass::kFpDiv).issue_interval, 12u);
+  EXPECT_EQ(op_timing(OpClass::kFpSqrt).latency, 24u);
+  EXPECT_EQ(op_timing(OpClass::kFpSqrt).issue_interval, 24u);
+  EXPECT_EQ(op_timing(OpClass::kBranch).latency, 1u);
+}
+
+TEST(FuPoolSizes, MatchPaperTable1) {
+  EXPECT_EQ(fu_pool_size(FuKind::kIntAlu), 8u);
+  EXPECT_EQ(fu_pool_size(FuKind::kIntMultDiv), 4u);
+  EXPECT_EQ(fu_pool_size(FuKind::kLoadStore), 4u);
+  EXPECT_EQ(fu_pool_size(FuKind::kFpAdd), 8u);
+  EXPECT_EQ(fu_pool_size(FuKind::kFpMultDiv), 4u);
+}
+
+TEST(FuKindMapping, OpsRouteToCorrectPools) {
+  EXPECT_EQ(fu_kind(OpClass::kIntAlu), FuKind::kIntAlu);
+  EXPECT_EQ(fu_kind(OpClass::kBranch), FuKind::kIntAlu);
+  EXPECT_EQ(fu_kind(OpClass::kIntMult), FuKind::kIntMultDiv);
+  EXPECT_EQ(fu_kind(OpClass::kIntDiv), FuKind::kIntMultDiv);
+  EXPECT_EQ(fu_kind(OpClass::kLoad), FuKind::kLoadStore);
+  EXPECT_EQ(fu_kind(OpClass::kStore), FuKind::kLoadStore);
+  EXPECT_EQ(fu_kind(OpClass::kFpAdd), FuKind::kFpAdd);
+  EXPECT_EQ(fu_kind(OpClass::kFpMult), FuKind::kFpMultDiv);
+  EXPECT_EQ(fu_kind(OpClass::kFpDiv), FuKind::kFpMultDiv);
+  EXPECT_EQ(fu_kind(OpClass::kFpSqrt), FuKind::kFpMultDiv);
+}
+
+TEST(RegClasses, FpDestinationsForFpOps) {
+  EXPECT_TRUE(writes_fp_reg(OpClass::kFpAdd));
+  EXPECT_TRUE(writes_fp_reg(OpClass::kFpMult));
+  EXPECT_TRUE(writes_fp_reg(OpClass::kFpDiv));
+  EXPECT_TRUE(writes_fp_reg(OpClass::kFpSqrt));
+  EXPECT_FALSE(writes_fp_reg(OpClass::kIntAlu));
+  EXPECT_FALSE(writes_fp_reg(OpClass::kLoad));  // class chosen by dest register
+}
+
+TEST(Names, AllOpClassesNamed) {
+  for (unsigned i = 0; i < kOpClassCount; ++i) {
+    EXPECT_NE(op_class_name(static_cast<OpClass>(i)), "unknown");
+  }
+  for (unsigned i = 0; i < kFuKindCount; ++i) {
+    EXPECT_NE(fu_kind_name(static_cast<FuKind>(i)), "unknown");
+  }
+}
+
+TEST(ArchRegs, ClassBoundary) {
+  EXPECT_FALSE(is_fp_arch_reg(0));
+  EXPECT_FALSE(is_fp_arch_reg(kIntArchRegs - 1));
+  EXPECT_TRUE(is_fp_arch_reg(kIntArchRegs));
+  EXPECT_TRUE(is_fp_arch_reg(kArchRegCount - 1));
+  EXPECT_FALSE(is_fp_arch_reg(kNoArchReg));
+}
+
+TEST(DynInst, Helpers) {
+  DynInst inst;
+  EXPECT_FALSE(inst.is_load());
+  EXPECT_FALSE(inst.has_dest());
+  EXPECT_EQ(inst.source_count(), 0u);
+
+  inst.op = OpClass::kLoad;
+  inst.dest = 3;
+  inst.src[0] = 1;
+  EXPECT_TRUE(inst.is_load());
+  EXPECT_TRUE(inst.is_mem());
+  EXPECT_FALSE(inst.is_store());
+  EXPECT_TRUE(inst.has_dest());
+  EXPECT_EQ(inst.source_count(), 1u);
+
+  inst.op = OpClass::kStore;
+  inst.src[1] = 2;
+  EXPECT_TRUE(inst.is_store());
+  EXPECT_TRUE(inst.is_mem());
+  EXPECT_EQ(inst.source_count(), 2u);
+
+  inst.op = OpClass::kBranch;
+  EXPECT_TRUE(inst.is_branch());
+  EXPECT_FALSE(inst.is_mem());
+}
+
+}  // namespace
+}  // namespace msim::isa

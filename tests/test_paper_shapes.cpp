@@ -1,0 +1,125 @@
+// Regression tests pinning the paper's qualitative result shapes on small
+// mix subsets.  These are the load-bearing claims of the reproduction; if a
+// calibration or model change breaks one of them, EXPERIMENTS.md is stale
+// and the figures need re-examination.
+//
+// Deliberately uses subsets of mixes and reduced horizons to stay fast;
+// the full-strength versions are the bench binaries.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "sim/experiment.hpp"
+#include "trace/mixes.hpp"
+
+namespace msim::sim {
+namespace {
+
+RunConfig shape_base() {
+  RunConfig cfg;
+  cfg.warmup = 8'000;
+  cfg.horizon = 30'000;
+  return cfg;
+}
+
+/// Harmonic-mean throughput over the first `n` mixes of `threads`.
+double hmean_ipc(unsigned threads, std::size_t n, core::SchedulerKind kind,
+                 std::uint32_t iq, BaselineCache& cache) {
+  std::vector<double> ipcs;
+  const auto mixes = trace::mixes_for(threads);
+  for (std::size_t i = 0; i < n && i < mixes.size(); ++i) {
+    ipcs.push_back(run_mix(mixes[i], kind, iq, shape_base(), cache).throughput_ipc);
+  }
+  return harmonic_mean(ipcs);
+}
+
+TEST(PaperShapes, Fig1TwoThreads2OpBlockLosesEverywhere) {
+  // Figure 1: for 2-threaded workloads 2OP_BLOCK underperforms the
+  // traditional scheduler at every queue size.
+  BaselineCache cache(shape_base());
+  for (const std::uint32_t iq : {32u, 64u, 128u}) {
+    const double trad =
+        hmean_ipc(2, 4, core::SchedulerKind::kTraditional, iq, cache);
+    const double block = hmean_ipc(2, 4, core::SchedulerKind::kTwoOpBlock, iq, cache);
+    EXPECT_LT(block, trad) << "iq=" << iq;
+  }
+}
+
+TEST(PaperShapes, Fig1FourThreads2OpBlockWinsSmallQueuesOnly) {
+  // Figure 1: for 4-threaded workloads 2OP_BLOCK beats the traditional
+  // scheduler at small queues and loses at large ones.
+  BaselineCache cache(shape_base());
+  const double trad32 = hmean_ipc(4, 4, core::SchedulerKind::kTraditional, 32, cache);
+  const double block32 = hmean_ipc(4, 4, core::SchedulerKind::kTwoOpBlock, 32, cache);
+  EXPECT_GT(block32, trad32);
+  const double trad128 =
+      hmean_ipc(4, 4, core::SchedulerKind::kTraditional, 128, cache);
+  const double block128 =
+      hmean_ipc(4, 4, core::SchedulerKind::kTwoOpBlock, 128, cache);
+  EXPECT_LT(block128, trad128);
+}
+
+TEST(PaperShapes, Fig3OooDispatchRecovers2OpBlockAtTwoThreads) {
+  // Figure 3: out-of-order dispatch beats basic 2OP_BLOCK at every size
+  // and at least matches the traditional scheduler at 64 entries.
+  BaselineCache cache(shape_base());
+  for (const std::uint32_t iq : {32u, 64u}) {
+    const double block = hmean_ipc(2, 4, core::SchedulerKind::kTwoOpBlock, iq, cache);
+    const double ooo = hmean_ipc(2, 4, core::SchedulerKind::kTwoOpBlockOoo, iq, cache);
+    EXPECT_GT(ooo, block * 1.02) << "iq=" << iq;
+  }
+  const double trad = hmean_ipc(2, 4, core::SchedulerKind::kTraditional, 64, cache);
+  const double ooo = hmean_ipc(2, 4, core::SchedulerKind::kTwoOpBlockOoo, 64, cache);
+  EXPECT_GT(ooo, trad * 0.99);
+}
+
+TEST(PaperShapes, Section3StallFractionDropsWithThreadCount) {
+  // Section 3: the all-thread NDI stall fraction under 2OP_BLOCK falls
+  // steeply from 2 to 4 threads (43% -> 7% in the paper).
+  BaselineCache cache(shape_base());
+  auto stall = [&cache](unsigned threads) {
+    StreamingStat s;
+    const auto mixes = trace::mixes_for(threads);
+    for (std::size_t i = 0; i < 4; ++i) {
+      s.add(run_mix(mixes[i], core::SchedulerKind::kTwoOpBlock, 64, shape_base(),
+                    cache)
+                .raw.dispatch.all_stall_fraction());
+    }
+    return s.mean();
+  };
+  const double two = stall(2);
+  const double four = stall(4);
+  EXPECT_GT(two, 0.02);
+  EXPECT_LT(four, two * 0.5);
+}
+
+TEST(PaperShapes, Section4HdiFractionIsLarge) {
+  // Section 4: ~90% of the instructions piled up behind a blocking NDI are
+  // themselves dispatchable (HDIs).
+  BaselineCache cache(shape_base());
+  const MixResult r = run_mix(trace::mix_or_throw("2T-mix1"),
+                              core::SchedulerKind::kTwoOpBlock, 64, shape_base(),
+                              cache);
+  EXPECT_GT(r.raw.dispatch.hdi_fraction_behind_ndi(), 0.75);
+}
+
+TEST(PaperShapes, Section5ResidencyDropsUnderReducedTagDesigns) {
+  // Section 5: the 2OP_BLOCK family uses IQ entries for fewer cycles than
+  // the traditional scheduler (21 -> 15 in the paper).
+  BaselineCache cache(shape_base());
+  const auto residency = [&cache](core::SchedulerKind kind) {
+    StreamingStat s;
+    const auto mixes = trace::mixes_for(2);
+    for (std::size_t i = 0; i < 4; ++i) {
+      s.add(run_mix(mixes[i], kind, 64, shape_base(), cache).raw.iq.mean_residency());
+    }
+    return s.mean();
+  };
+  EXPECT_LT(residency(core::SchedulerKind::kTwoOpBlock),
+            residency(core::SchedulerKind::kTraditional));
+}
+
+}  // namespace
+}  // namespace msim::sim

@@ -1,0 +1,106 @@
+#include "bpred/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace msim::bpred {
+namespace {
+
+TEST(Predictor, NotTakenBranchNeedsNoBtb) {
+  BranchPredictor bp({}, 1);
+  // Counters initialize weakly-taken, so a not-taken branch is initially a
+  // wrong-path event; after training it becomes correct without any BTB entry.
+  for (int i = 0; i < 4; ++i) {
+    (void)bp.predict_and_train(0, 0x4000, false, 0);
+  }
+  EXPECT_TRUE(bp.predict_and_train(0, 0x4000, false, 0));
+}
+
+TEST(Predictor, TakenBranchNeedsCorrectBtbTarget) {
+  BranchPredictor bp({}, 1);
+  // First encounter: direction predicts taken (weak init) but the BTB has
+  // no target, so the path is wrong.
+  EXPECT_FALSE(bp.predict_and_train(0, 0x4000, true, 0x8000));
+  // Second encounter: direction right AND the BTB now has the target.
+  EXPECT_TRUE(bp.predict_and_train(0, 0x4000, true, 0x8000));
+}
+
+TEST(Predictor, ChangedTargetIsAMiss) {
+  BranchPredictor bp({}, 1);
+  (void)bp.predict_and_train(0, 0x4000, true, 0x8000);
+  // Same branch, different actual target (e.g. indirect jump).
+  EXPECT_FALSE(bp.predict_and_train(0, 0x4000, true, 0x9000));
+  EXPECT_TRUE(bp.predict_and_train(0, 0x4000, true, 0x9000));
+}
+
+TEST(Predictor, PerThreadStats) {
+  BranchPredictor bp({}, 2);
+  (void)bp.predict_and_train(0, 0x4000, true, 0x8000);   // miss (BTB cold)
+  (void)bp.predict_and_train(1, 0x4000, true, 0x8000);   // miss (own gshare+BTB tag)
+  (void)bp.predict_and_train(0, 0x4000, true, 0x8000);   // hit
+  EXPECT_EQ(bp.stats(0).branches, 2u);
+  EXPECT_EQ(bp.stats(0).mispredicts, 1u);
+  EXPECT_EQ(bp.stats(1).branches, 1u);
+  const PredictorStats total = bp.total_stats();
+  EXPECT_EQ(total.branches, 3u);
+  EXPECT_EQ(total.mispredicts, 2u);
+}
+
+TEST(Predictor, ThreadsHaveIndependentDirectionState) {
+  BranchPredictor bp({}, 2);
+  // Train thread 0 strongly not-taken on this pc.
+  for (int i = 0; i < 8; ++i) (void)bp.predict_and_train(0, 0x100, false, 0);
+  // Thread 1's gshare is untouched: still predicts taken (weak init), so a
+  // not-taken branch from thread 1 is a mispredict.
+  const auto before = bp.stats(1).mispredicts;
+  (void)bp.predict_and_train(1, 0x100, false, 0);
+  EXPECT_EQ(bp.stats(1).mispredicts, before + 1);
+}
+
+TEST(Predictor, ResetStatsKeepsTraining) {
+  BranchPredictor bp({}, 1);
+  (void)bp.predict_and_train(0, 0x4000, true, 0x8000);
+  bp.reset_stats();
+  EXPECT_EQ(bp.total_stats().branches, 0u);
+  // Training survived: the next encounter is a correct path.
+  EXPECT_TRUE(bp.predict_and_train(0, 0x4000, true, 0x8000));
+}
+
+TEST(Predictor, MispredictRateOnRandomStreamIsHigh) {
+  BranchPredictor bp({}, 1);
+  std::uint64_t state = 12345;
+  for (int i = 0; i < 5000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const bool taken = (state >> 62) & 1;
+    (void)bp.predict_and_train(0, 0x4000 + static_cast<Addr>((i % 16) * 4), taken,
+                               0x8000);
+  }
+  EXPECT_GT(bp.total_stats().mispredict_rate(), 0.3);
+}
+
+
+TEST(Predictor, FullOutcomeReportsPredictedTarget) {
+  BranchPredictor bp({}, 1);
+  bool correct = false;
+  auto pred = bp.predict_and_train_full(0, 0x4000, true, 0x8000, &correct);
+  EXPECT_FALSE(correct);          // BTB cold
+  EXPECT_TRUE(pred.taken);        // counters initialize weakly taken
+  EXPECT_FALSE(pred.have_target);
+  pred = bp.predict_and_train_full(0, 0x4000, true, 0x8000, &correct);
+  EXPECT_TRUE(correct);
+  EXPECT_TRUE(pred.have_target);
+  EXPECT_EQ(pred.target, 0x8000u);
+}
+
+TEST(Predictor, PredictOnlyDoesNotTrainOrCount) {
+  BranchPredictor bp({}, 1);
+  (void)bp.predict_and_train(0, 0x4000, true, 0x8000);
+  const auto before = bp.total_stats().branches;
+  const auto pred = bp.predict_only(0, 0x4000);
+  EXPECT_TRUE(pred.taken);
+  EXPECT_TRUE(pred.have_target);
+  EXPECT_EQ(pred.target, 0x8000u);
+  EXPECT_EQ(bp.total_stats().branches, before);
+}
+
+}  // namespace
+}  // namespace msim::bpred

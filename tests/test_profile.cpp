@@ -1,0 +1,117 @@
+#include "trace/profile.hpp"
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace msim::trace {
+namespace {
+
+TEST(Profiles, TwentyFourBenchmarks) {
+  EXPECT_EQ(all_profiles().size(), 24u);
+}
+
+TEST(Profiles, NamesAreUnique) {
+  std::set<std::string_view> names;
+  for (const auto& p : all_profiles()) names.insert(p.name);
+  EXPECT_EQ(names.size(), all_profiles().size());
+}
+
+TEST(Profiles, LookupFindsEveryProfile) {
+  for (const auto& p : all_profiles()) {
+    const auto found = find_profile(p.name);
+    ASSERT_TRUE(found.has_value()) << p.name;
+    EXPECT_EQ(found->name, p.name);
+    EXPECT_EQ(&profile_or_throw(p.name), &p);
+  }
+}
+
+TEST(Profiles, UnknownNameHandling) {
+  EXPECT_FALSE(find_profile("nonexistent").has_value());
+  EXPECT_THROW((void)profile_or_throw("nonexistent"), std::invalid_argument);
+}
+
+TEST(Profiles, ClassDistributionMatchesInference) {
+  // 7 LOW + 8 MEDIUM + 9 HIGH, per the inference from Tables 2-4.
+  unsigned counts[3] = {0, 0, 0};
+  for (const auto& p : all_profiles()) ++counts[static_cast<unsigned>(p.ilp)];
+  EXPECT_EQ(counts[0], 7u);
+  EXPECT_EQ(counts[1], 8u);
+  EXPECT_EQ(counts[2], 9u);
+}
+
+TEST(Profiles, SpecificClassAssignments) {
+  // Anchor cases pinned directly by the paper's Table 3 groupings.
+  EXPECT_EQ(profile_or_throw("equake").ilp, IlpClass::kLow);
+  EXPECT_EQ(profile_or_throw("lucas").ilp, IlpClass::kLow);
+  EXPECT_EQ(profile_or_throw("twolf").ilp, IlpClass::kLow);
+  EXPECT_EQ(profile_or_throw("vpr").ilp, IlpClass::kLow);
+  EXPECT_EQ(profile_or_throw("parser").ilp, IlpClass::kLow);
+  EXPECT_EQ(profile_or_throw("swim").ilp, IlpClass::kLow);
+  EXPECT_EQ(profile_or_throw("vortex").ilp, IlpClass::kHigh);
+  EXPECT_EQ(profile_or_throw("gap").ilp, IlpClass::kHigh);
+  EXPECT_EQ(profile_or_throw("mesa").ilp, IlpClass::kHigh);
+  EXPECT_EQ(profile_or_throw("bzip2").ilp, IlpClass::kMedium);
+  EXPECT_EQ(profile_or_throw("gcc").ilp, IlpClass::kMedium);
+  EXPECT_EQ(profile_or_throw("applu").ilp, IlpClass::kMedium);
+}
+
+class ProfileValidity : public ::testing::TestWithParam<BenchmarkProfile> {};
+
+TEST_P(ProfileValidity, ParametersAreWellFormed) {
+  const BenchmarkProfile& p = GetParam();
+  double weight_sum = 0.0;
+  for (double w : p.op_weights) {
+    EXPECT_GE(w, 0.0) << p.name;
+    weight_sum += w;
+  }
+  EXPECT_NEAR(weight_sum, 1.0, 0.05) << p.name << " op weights should be ~normalized";
+  EXPECT_GT(p.branch_weight(), 0.0) << p.name;
+  EXPECT_LT(p.branch_weight(), 0.5) << p.name;
+
+  for (double f : {p.two_source_frac, p.far_operand_frac, p.dep_near_frac,
+                   p.fp_load_frac, p.fp_store_frac, p.hot_frac, p.warm_frac,
+                   p.stream_frac, p.branch_predictable_frac, p.branch_uncond_frac,
+                   p.load_addr_old_frac}) {
+    EXPECT_GE(f, 0.0) << p.name;
+    EXPECT_LE(f, 1.0) << p.name;
+  }
+  EXPECT_LE(p.hot_frac + p.warm_frac + p.stream_frac, 1.0) << p.name;
+  EXPECT_GT(p.dep_near_p, 0.0) << p.name;
+  EXPECT_LE(p.dep_near_p, 1.0) << p.name;
+  EXPECT_GT(p.dep_far_p, 0.0) << p.name;
+  EXPECT_GE(p.data_footprint, 64u * 1024) << p.name;
+  EXPECT_GE(p.code_footprint, 4u * 1024) << p.name;
+  EXPECT_GE(p.stream_stride, 4u) << p.name;
+  EXPECT_GE(p.stream_count, 1u) << p.name;
+  EXPECT_GE(p.mean_loop_trip, 2.0) << p.name;
+}
+
+TEST_P(ProfileValidity, ClassCorrelatesWithMemoryBoundedness) {
+  // LOW = memory bound: larger footprints than HIGH (execution bound).
+  const BenchmarkProfile& p = GetParam();
+  if (p.ilp == IlpClass::kLow) {
+    EXPECT_GE(p.data_footprint, 4u * 1024 * 1024) << p.name;
+  }
+  if (p.ilp == IlpClass::kHigh) {
+    EXPECT_LE(p.data_footprint, 1u * 1024 * 1024) << p.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, ProfileValidity,
+    ::testing::ValuesIn(all_profiles().begin(), all_profiles().end()),
+    [](const ::testing::TestParamInfo<BenchmarkProfile>& param_info) {
+      return std::string(param_info.param.name);
+    });
+
+TEST(IlpClassNames, AllNamed) {
+  EXPECT_EQ(ilp_class_name(IlpClass::kLow), "low");
+  EXPECT_EQ(ilp_class_name(IlpClass::kMedium), "medium");
+  EXPECT_EQ(ilp_class_name(IlpClass::kHigh), "high");
+}
+
+}  // namespace
+}  // namespace msim::trace

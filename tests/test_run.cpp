@@ -1,0 +1,98 @@
+#include "sim/run.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace msim::sim {
+namespace {
+
+RunConfig small_config() {
+  RunConfig cfg;
+  cfg.benchmarks = {"gzip", "equake"};
+  cfg.warmup = 2000;
+  cfg.horizon = 8000;
+  return cfg;
+}
+
+TEST(RunSimulation, PopulatesAllResultFields) {
+  const RunResult r = run_simulation(small_config());
+  EXPECT_GT(r.cycles, 0u);
+  ASSERT_EQ(r.per_thread_ipc.size(), 2u);
+  ASSERT_EQ(r.per_thread_committed.size(), 2u);
+  EXPECT_GT(r.per_thread_ipc[0], 0.0);
+  EXPECT_GT(r.per_thread_ipc[1], 0.0);
+  EXPECT_NEAR(r.throughput_ipc, r.per_thread_ipc[0] + r.per_thread_ipc[1], 1e-9);
+  EXPECT_GT(r.dispatch.dispatched, 0u);
+  EXPECT_GT(r.iq.issued, 0u);
+  EXPECT_GT(r.memory.l1d.accesses, 0u);
+  EXPECT_GT(r.bpred.branches, 0u);
+  EXPECT_FALSE(r.truncated);
+}
+
+TEST(RunSimulation, HonorsHorizonStopRule) {
+  const RunResult r = run_simulation(small_config());
+  // Stop when ANY thread reaches the horizon (the paper's rule).
+  const auto max_committed =
+      std::max(r.per_thread_committed[0], r.per_thread_committed[1]);
+  EXPECT_GE(max_committed, 8000u);
+  EXPECT_LT(max_committed, 8000u + 64u);  // one cycle's worth of overshoot
+}
+
+TEST(RunSimulation, DeterministicForSameConfig) {
+  const RunResult a = run_simulation(small_config());
+  const RunResult b = run_simulation(small_config());
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.per_thread_committed, b.per_thread_committed);
+  EXPECT_DOUBLE_EQ(a.throughput_ipc, b.throughput_ipc);
+}
+
+TEST(RunSimulation, TruncatedFlagOnMaxCycles) {
+  RunConfig cfg = small_config();
+  cfg.max_cycles = 200;
+  cfg.horizon = 100'000'000;
+  const RunResult r = run_simulation(cfg);
+  EXPECT_TRUE(r.truncated);
+}
+
+TEST(RunSimulation, UnknownBenchmarkThrows) {
+  RunConfig cfg = small_config();
+  cfg.benchmarks = {"not_a_benchmark"};
+  EXPECT_THROW(run_simulation(cfg), std::invalid_argument);
+}
+
+TEST(RunSimulation, MachineConfigCarriesSchedulerKnobs) {
+  RunConfig cfg = small_config();
+  cfg.kind = core::SchedulerKind::kTwoOpBlockOoo;
+  cfg.iq_entries = 48;
+  cfg.scan_depth = 4;
+  cfg.deadlock = core::DeadlockMode::kWatchdog;
+  cfg.watchdog_timeout = 999;
+  cfg.dab_exclusive = false;
+  cfg.oracle_disambiguation = false;
+  const smt::MachineConfig mc = cfg.machine();
+  EXPECT_EQ(mc.thread_count, 2u);
+  EXPECT_EQ(mc.scheduler.kind, core::SchedulerKind::kTwoOpBlockOoo);
+  EXPECT_EQ(mc.scheduler.iq_entries, 48u);
+  EXPECT_EQ(mc.scheduler.scan_depth, 4u);
+  EXPECT_EQ(mc.scheduler.deadlock, core::DeadlockMode::kWatchdog);
+  EXPECT_EQ(mc.scheduler.watchdog_timeout, 999u);
+  EXPECT_FALSE(mc.scheduler.dab_exclusive);
+  EXPECT_FALSE(mc.oracle_disambiguation);
+}
+
+TEST(RunSimulation, SchedulerKindChangesBehaviour) {
+  RunConfig cfg = small_config();
+  cfg.benchmarks = {"equake", "lucas"};
+  cfg.kind = core::SchedulerKind::kTraditional;
+  const RunResult trad = run_simulation(cfg);
+  cfg.kind = core::SchedulerKind::kTwoOpBlock;
+  const RunResult block = run_simulation(cfg);
+  // The reduced-tag in-order design stalls dispatch; traditional never
+  // reports NDI stalls.
+  EXPECT_EQ(trad.dispatch.all_threads_ndi_stall_cycles, 0u);
+  EXPECT_GT(block.dispatch.all_threads_ndi_stall_cycles, 0u);
+}
+
+}  // namespace
+}  // namespace msim::sim

@@ -1,0 +1,77 @@
+#include "common/table.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace msim {
+namespace {
+
+TEST(TextTable, AsciiAlignsColumns) {
+  TextTable t({"name", "value"});
+  t.begin_row();
+  t.add_cell("short");
+  t.add_cell(std::uint64_t{1});
+  t.begin_row();
+  t.add_cell("much-longer-name");
+  t.add_cell(std::uint64_t{22});
+  const std::string out = t.to_ascii();
+  // Every line has the same length when aligned.
+  std::istringstream in(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(in, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << out;
+  }
+  EXPECT_NE(out.find("much-longer-name"), std::string::npos);
+}
+
+TEST(TextTable, DoubleFormattingRespectsPrecision) {
+  TextTable t({"x"});
+  t.begin_row();
+  t.add_cell(3.14159, 2);
+  EXPECT_NE(t.to_csv().find("3.14"), std::string::npos);
+  EXPECT_EQ(t.to_csv().find("3.142"), std::string::npos);
+}
+
+TEST(TextTable, CsvEscapesSpecialCharacters) {
+  TextTable t({"a", "b"});
+  t.begin_row();
+  t.add_cell("has,comma");
+  t.add_cell("has\"quote");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTable, CsvHasHeaderAndRows) {
+  TextTable t({"h1", "h2"});
+  t.begin_row();
+  t.add_cell(1);
+  t.add_cell(2);
+  EXPECT_EQ(t.to_csv(), "h1,h2\n1,2\n");
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.column_count(), 2u);
+}
+
+TEST(TextTable, PrintEmitsTitleTableAndCsv) {
+  TextTable t({"c"});
+  t.begin_row();
+  t.add_cell("v");
+  std::ostringstream os;
+  t.print(os, "my title");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== my title =="), std::string::npos);
+  EXPECT_NE(out.find("# CSV"), std::string::npos);
+}
+
+TEST(FormatPercent, SignedWithPrecision) {
+  EXPECT_EQ(format_percent(0.152), "+15.2%");
+  EXPECT_EQ(format_percent(-0.04), "-4.0%");
+  EXPECT_EQ(format_percent(0.0), "+0.0%");
+  EXPECT_EQ(format_percent(0.1234, 2), "+12.34%");
+}
+
+}  // namespace
+}  // namespace msim
