@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_deadlock.dir/bench_ablate_deadlock.cpp.o"
+  "CMakeFiles/bench_ablate_deadlock.dir/bench_ablate_deadlock.cpp.o.d"
+  "bench_ablate_deadlock"
+  "bench_ablate_deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_disambiguation.dir/bench_ablate_disambiguation.cpp.o"
+  "CMakeFiles/bench_ablate_disambiguation.dir/bench_ablate_disambiguation.cpp.o.d"
+  "bench_ablate_disambiguation"
+  "bench_ablate_disambiguation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_disambiguation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

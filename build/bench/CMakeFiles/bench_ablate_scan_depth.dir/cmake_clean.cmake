@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_scan_depth.dir/bench_ablate_scan_depth.cpp.o"
+  "CMakeFiles/bench_ablate_scan_depth.dir/bench_ablate_scan_depth.cpp.o.d"
+  "bench_ablate_scan_depth"
+  "bench_ablate_scan_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_scan_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cam_activity.dir/bench_ext_cam_activity.cpp.o"
+  "CMakeFiles/bench_ext_cam_activity.dir/bench_ext_cam_activity.cpp.o.d"
+  "bench_ext_cam_activity"
+  "bench_ext_cam_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cam_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_tagelim.dir/bench_ext_tagelim.cpp.o"
+  "CMakeFiles/bench_ext_tagelim.dir/bench_ext_tagelim.cpp.o.d"
+  "bench_ext_tagelim"
+  "bench_ext_tagelim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_tagelim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

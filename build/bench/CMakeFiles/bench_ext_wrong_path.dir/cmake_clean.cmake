@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_wrong_path.dir/bench_ext_wrong_path.cpp.o"
+  "CMakeFiles/bench_ext_wrong_path.dir/bench_ext_wrong_path.cpp.o.d"
+  "bench_ext_wrong_path"
+  "bench_ext_wrong_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_wrong_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

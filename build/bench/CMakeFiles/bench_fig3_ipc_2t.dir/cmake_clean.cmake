@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_ipc_2t.dir/bench_fig3_ipc_2t.cpp.o"
+  "CMakeFiles/bench_fig3_ipc_2t.dir/bench_fig3_ipc_2t.cpp.o.d"
+  "bench_fig3_ipc_2t"
+  "bench_fig3_ipc_2t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_ipc_2t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

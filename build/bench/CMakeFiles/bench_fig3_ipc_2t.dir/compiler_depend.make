@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig3_ipc_2t.
+# This may be replaced when dependencies are built.

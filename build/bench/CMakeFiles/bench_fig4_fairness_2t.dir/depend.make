@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_fairness_2t.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_fairness_3t.dir/bench_fig6_fairness_3t.cpp.o"
+  "CMakeFiles/bench_fig6_fairness_3t.dir/bench_fig6_fairness_3t.cpp.o.d"
+  "bench_fig6_fairness_3t"
+  "bench_fig6_fairness_3t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_fairness_3t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stats_dispatch_stall.dir/bench_stats_dispatch_stall.cpp.o"
+  "CMakeFiles/bench_stats_dispatch_stall.dir/bench_stats_dispatch_stall.cpp.o.d"
+  "bench_stats_dispatch_stall"
+  "bench_stats_dispatch_stall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stats_dispatch_stall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stats_hdi.dir/bench_stats_hdi.cpp.o"
+  "CMakeFiles/bench_stats_hdi.dir/bench_stats_hdi.cpp.o.d"
+  "bench_stats_hdi"
+  "bench_stats_hdi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stats_hdi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

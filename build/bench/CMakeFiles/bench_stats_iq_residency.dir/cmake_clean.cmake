@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stats_iq_residency.dir/bench_stats_iq_residency.cpp.o"
+  "CMakeFiles/bench_stats_iq_residency.dir/bench_stats_iq_residency.cpp.o.d"
+  "bench_stats_iq_residency"
+  "bench_stats_iq_residency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stats_iq_residency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

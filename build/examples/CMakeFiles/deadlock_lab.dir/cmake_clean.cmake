@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_lab.dir/deadlock_lab.cpp.o"
+  "CMakeFiles/deadlock_lab.dir/deadlock_lab.cpp.o.d"
+  "deadlock_lab"
+  "deadlock_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

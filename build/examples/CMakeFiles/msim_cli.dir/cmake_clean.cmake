@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_cli.dir/msim_cli.cpp.o"
+  "CMakeFiles/msim_cli.dir/msim_cli.cpp.o.d"
+  "msim_cli"
+  "msim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bpred/btb.cpp" "src/bpred/CMakeFiles/msim_bpred.dir/btb.cpp.o" "gcc" "src/bpred/CMakeFiles/msim_bpred.dir/btb.cpp.o.d"
+  "/root/repo/src/bpred/gshare.cpp" "src/bpred/CMakeFiles/msim_bpred.dir/gshare.cpp.o" "gcc" "src/bpred/CMakeFiles/msim_bpred.dir/gshare.cpp.o.d"
+  "/root/repo/src/bpred/predictor.cpp" "src/bpred/CMakeFiles/msim_bpred.dir/predictor.cpp.o" "gcc" "src/bpred/CMakeFiles/msim_bpred.dir/predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/msim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_bpred.dir/btb.cpp.o"
+  "CMakeFiles/msim_bpred.dir/btb.cpp.o.d"
+  "CMakeFiles/msim_bpred.dir/gshare.cpp.o"
+  "CMakeFiles/msim_bpred.dir/gshare.cpp.o.d"
+  "CMakeFiles/msim_bpred.dir/predictor.cpp.o"
+  "CMakeFiles/msim_bpred.dir/predictor.cpp.o.d"
+  "libmsim_bpred.a"
+  "libmsim_bpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_common.dir/config.cpp.o"
+  "CMakeFiles/msim_common.dir/config.cpp.o.d"
+  "CMakeFiles/msim_common.dir/rng.cpp.o"
+  "CMakeFiles/msim_common.dir/rng.cpp.o.d"
+  "CMakeFiles/msim_common.dir/stats.cpp.o"
+  "CMakeFiles/msim_common.dir/stats.cpp.o.d"
+  "CMakeFiles/msim_common.dir/table.cpp.o"
+  "CMakeFiles/msim_common.dir/table.cpp.o.d"
+  "libmsim_common.a"
+  "libmsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

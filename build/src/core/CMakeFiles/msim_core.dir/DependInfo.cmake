@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/issue_queue.cpp" "src/core/CMakeFiles/msim_core.dir/issue_queue.cpp.o" "gcc" "src/core/CMakeFiles/msim_core.dir/issue_queue.cpp.o.d"
+  "/root/repo/src/core/sched_types.cpp" "src/core/CMakeFiles/msim_core.dir/sched_types.cpp.o" "gcc" "src/core/CMakeFiles/msim_core.dir/sched_types.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/msim_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/msim_core.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/msim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/msim_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_core.dir/issue_queue.cpp.o"
+  "CMakeFiles/msim_core.dir/issue_queue.cpp.o.d"
+  "CMakeFiles/msim_core.dir/sched_types.cpp.o"
+  "CMakeFiles/msim_core.dir/sched_types.cpp.o.d"
+  "CMakeFiles/msim_core.dir/scheduler.cpp.o"
+  "CMakeFiles/msim_core.dir/scheduler.cpp.o.d"
+  "libmsim_core.a"
+  "libmsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_isa.dir/opclass.cpp.o"
+  "CMakeFiles/msim_isa.dir/opclass.cpp.o.d"
+  "libmsim_isa.a"
+  "libmsim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_mem.dir/cache.cpp.o"
+  "CMakeFiles/msim_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/msim_mem.dir/hierarchy.cpp.o"
+  "CMakeFiles/msim_mem.dir/hierarchy.cpp.o.d"
+  "libmsim_mem.a"
+  "libmsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_sim.dir/experiment.cpp.o"
+  "CMakeFiles/msim_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/msim_sim.dir/report.cpp.o"
+  "CMakeFiles/msim_sim.dir/report.cpp.o.d"
+  "CMakeFiles/msim_sim.dir/run.cpp.o"
+  "CMakeFiles/msim_sim.dir/run.cpp.o.d"
+  "libmsim_sim.a"
+  "libmsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_smt.dir/pipeline.cpp.o"
+  "CMakeFiles/msim_smt.dir/pipeline.cpp.o.d"
+  "CMakeFiles/msim_smt.dir/rename.cpp.o"
+  "CMakeFiles/msim_smt.dir/rename.cpp.o.d"
+  "libmsim_smt.a"
+  "libmsim_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

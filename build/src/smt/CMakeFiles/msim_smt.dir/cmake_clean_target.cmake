@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmsim_smt.a"
+)

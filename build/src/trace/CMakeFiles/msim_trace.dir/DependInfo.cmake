@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/msim_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/msim_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/mixes.cpp" "src/trace/CMakeFiles/msim_trace.dir/mixes.cpp.o" "gcc" "src/trace/CMakeFiles/msim_trace.dir/mixes.cpp.o.d"
+  "/root/repo/src/trace/profile.cpp" "src/trace/CMakeFiles/msim_trace.dir/profile.cpp.o" "gcc" "src/trace/CMakeFiles/msim_trace.dir/profile.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/msim_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/msim_trace.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/msim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/msim_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

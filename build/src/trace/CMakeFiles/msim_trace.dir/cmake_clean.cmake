@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msim_trace.dir/generator.cpp.o"
+  "CMakeFiles/msim_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/msim_trace.dir/mixes.cpp.o"
+  "CMakeFiles/msim_trace.dir/mixes.cpp.o.d"
+  "CMakeFiles/msim_trace.dir/profile.cpp.o"
+  "CMakeFiles/msim_trace.dir/profile.cpp.o.d"
+  "CMakeFiles/msim_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/msim_trace.dir/trace_io.cpp.o.d"
+  "libmsim_trace.a"
+  "libmsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

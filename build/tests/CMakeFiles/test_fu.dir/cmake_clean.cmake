@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fu.dir/test_fu.cpp.o"
+  "CMakeFiles/test_fu.dir/test_fu.cpp.o.d"
+  "test_fu"
+  "test_fu.pdb"
+  "test_fu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_gshare.cpp" "tests/CMakeFiles/test_gshare.dir/test_gshare.cpp.o" "gcc" "tests/CMakeFiles/test_gshare.dir/test_gshare.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/msim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/msim_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/msim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/msim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/msim_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/msim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/msim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/msim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_issue_queue.dir/test_issue_queue.cpp.o"
+  "CMakeFiles/test_issue_queue.dir/test_issue_queue.cpp.o.d"
+  "test_issue_queue"
+  "test_issue_queue.pdb"
+  "test_issue_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_issue_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mixes.dir/test_mixes.cpp.o"
+  "CMakeFiles/test_mixes.dir/test_mixes.cpp.o.d"
+  "test_mixes"
+  "test_mixes.pdb"
+  "test_mixes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

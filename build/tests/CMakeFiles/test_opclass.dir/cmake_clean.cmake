@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opclass.dir/test_opclass.cpp.o"
+  "CMakeFiles/test_opclass.dir/test_opclass.cpp.o.d"
+  "test_opclass"
+  "test_opclass.pdb"
+  "test_opclass[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_run.dir/test_run.cpp.o"
+  "CMakeFiles/test_run.dir/test_run.cpp.o.d"
+  "test_run"
+  "test_run.pdb"
+  "test_run[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
