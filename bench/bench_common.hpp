@@ -1,7 +1,7 @@
 // Shared scaffolding for the reproduction benches.
 //
 // Every bench binary accepts `key=value` overrides:
-//   warmup=N horizon=N seed=N iq=32,48,64,96,128 quick=1
+//   warmup=N horizon=N seed=N iq=32,48,64,96,128 quick=1 json=PATH
 // `quick=1` shrinks the horizons by 4x for smoke runs.  Defaults are sized
 // so the whole bench suite finishes in tens of minutes on one core; the
 // paper used 100M-instruction runs, which `horizon=100000000` reproduces
@@ -9,8 +9,10 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -26,18 +28,21 @@ struct BenchOptions {
   sim::RunConfig base;
   std::vector<std::uint32_t> iq_sizes{32, 48, 64, 96, 128};
   bool verbose = false;
+  /// When non-empty, the sweep grid is also written there as JSON
+  /// (sim::write_sweep_json).
+  std::string json_path;
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
   const KvConfig cli =
       KvConfig::parse({argv + 1, static_cast<std::size_t>(argc - 1)});
   static constexpr std::string_view kKnown[] = {
-      "warmup", "horizon", "seed", "iq", "quick", "verbose"};
+      "warmup", "horizon", "seed", "iq", "quick", "verbose", "json"};
   const auto unknown = cli.unknown_keys(kKnown);
   if (!unknown.empty()) {
     std::string msg = "unknown option(s):";
     for (const std::string& k : unknown) msg += " " + k;
-    msg += " (known: warmup horizon seed iq quick verbose)";
+    msg += " (known: warmup horizon seed iq quick verbose json)";
     throw std::invalid_argument(msg);
   }
   BenchOptions opts;
@@ -51,7 +56,19 @@ inline BenchOptions parse_options(int argc, char** argv) {
     opts.base.horizon /= 4;
   }
   opts.verbose = cli.get_bool("verbose", false);
+  opts.json_path = cli.get_string("json", "");
   return opts;
+}
+
+/// Writes the sweep grid to opts.json_path when requested (json=PATH).
+inline void maybe_write_sweep_json(const BenchOptions& opts,
+                                   const std::vector<sim::SweepCell>& cells) {
+  if (opts.json_path.empty()) return;
+  std::ofstream out(opts.json_path);
+  if (!out) throw std::runtime_error("cannot open '" + opts.json_path + "'");
+  sim::write_sweep_json(out, cells);
+  std::cout << "wrote " << cells.size() << " sweep cells to " << opts.json_path
+            << "\n";
 }
 
 inline std::vector<std::uint32_t> to_u32(const std::vector<std::uint64_t>& xs) {
@@ -103,6 +120,7 @@ inline int run_figure_bench(int argc, char** argv, std::string_view title,
   // Context for the reader: the raw harmonic-mean IPCs behind the speedups.
   print_figure(std::string(title) + " -- raw harmonic-mean throughput IPC",
                cells, kKinds, opts, sim::FigureMetric::kThroughputIpc);
+  maybe_write_sweep_json(opts, cells);
   return 0;
 }
 

@@ -1,8 +1,13 @@
 // Microbenchmark (google-benchmark): simulator throughput in simulated
 // instructions per wall-clock second, per scheduler design and thread
 // count.  Useful for sizing experiment horizons.
+//
+// Each benchmark self-profiles with obs::ScopeTimer and reports, besides
+// google-benchmark's own timing, host seconds per stage (construct vs run)
+// and simulated KIPS (thousands of simulated instructions per host second).
 #include <benchmark/benchmark.h>
 
+#include "obs/timer.hpp"
 #include "smt/pipeline.hpp"
 #include "trace/profile.hpp"
 
@@ -11,7 +16,8 @@ namespace {
 using msim::core::SchedulerKind;
 
 void run_pipeline(benchmark::State& state, SchedulerKind kind,
-                  std::initializer_list<const char*> benchmarks) {
+                  std::initializer_list<const char*> benchmarks,
+                  std::size_t trace_capacity = 0) {
   std::vector<msim::trace::BenchmarkProfile> workload;
   for (const char* name : benchmarks) {
     workload.push_back(msim::trace::profile_or_throw(name));
@@ -20,17 +26,30 @@ void run_pipeline(benchmark::State& state, SchedulerKind kind,
   mc.thread_count = static_cast<unsigned>(workload.size());
   mc.scheduler.kind = kind;
   mc.scheduler.iq_entries = 64;
+  mc.trace_capacity = trace_capacity;
 
+  msim::obs::TimerRegistry timers;
   std::uint64_t committed = 0;
   for (auto _ : state) {
     state.PauseTiming();
-    msim::smt::Pipeline pipe(mc, workload, 1);
+    std::unique_ptr<msim::smt::Pipeline> pipe;
+    {
+      msim::obs::ScopeTimer t(timers, "construct");
+      pipe = std::make_unique<msim::smt::Pipeline>(mc, workload, 1);
+    }
     state.ResumeTiming();
-    pipe.run(20'000);
-    committed += pipe.total_committed();
+    {
+      msim::obs::ScopeTimer t(timers, "run");
+      pipe->run(20'000);
+    }
+    committed += pipe->total_committed();
   }
   state.counters["sim_instructions_per_second"] = benchmark::Counter(
       static_cast<double>(committed), benchmark::Counter::kIsRate);
+  state.counters["simulated_kips"] =
+      msim::obs::simulated_kips(committed, timers.seconds("run"));
+  state.counters["construct_seconds"] = timers.seconds("construct");
+  state.counters["run_seconds"] = timers.seconds("run");
 }
 
 void BM_Traditional1T(benchmark::State& state) {
@@ -48,11 +67,19 @@ void BM_TwoOpBlockOoo4T(benchmark::State& state) {
   run_pipeline(state, SchedulerKind::kTwoOpBlockOoo,
                {"gzip", "equake", "gcc", "mesa"});
 }
+// Overhead check: the same machine with lifecycle tracing enabled.  Compare
+// against BM_TwoOpBlockOoo4T to bound the cost of the observability layer.
+void BM_TwoOpBlockOoo4T_Traced(benchmark::State& state) {
+  run_pipeline(state, SchedulerKind::kTwoOpBlockOoo,
+               {"gzip", "equake", "gcc", "mesa"},
+               /*trace_capacity=*/std::size_t{1} << 20);
+}
 
 BENCHMARK(BM_Traditional1T)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Traditional4T)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TwoOpBlock4T)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TwoOpBlockOoo4T)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TwoOpBlockOoo4T_Traced)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -13,11 +13,23 @@
 //   deadlock    dab | dab_shared | watchdog                   [dab]
 //   iq, scan_depth, watchdog_timeout, oracle_disambiguation, wrong_path,
 //   warmup, horizon, seed, max_cycles
+//
+// Observability (GNU-style `--flag value` is also accepted):
+//   --stats-json <path>   write the full metric registry as JSON
+//   --trace-out <path>    write a per-instruction pipeline trace
+//   trace_format=konata|gantt                                 [konata]
+//   trace_capacity=N      trace ring size in events   [2^20 if tracing]
+//   --dump-config         print the resolved MachineConfig as JSON and exit
+#include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <stdexcept>
 
 #include "common/config.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
+#include "obs/trace.hpp"
+#include "sim/report.hpp"
 #include "sim/run.hpp"
 #include "trace/profile.hpp"
 
@@ -58,10 +70,115 @@ std::vector<std::string> split_names(const std::string& csv) {
   return out;
 }
 
+/// Folds GNU-style flags into the key=value convention: `--stats-json x`
+/// and `--stats-json=x` become `stats_json=x`; a bare `--dump-config`
+/// becomes `dump_config=1`.
+std::vector<std::string> normalize_args(int argc, char** argv) {
+  std::vector<std::string> out;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      a.erase(0, 2);
+      std::replace(a.begin(), a.end(), '-', '_');
+      if (a.find('=') == std::string::npos) {
+        const bool takes_value = a == "stats_json" || a == "trace_out" ||
+                                 a == "trace_format" || a == "trace_capacity";
+        if (takes_value) {
+          if (i + 1 >= argc) {
+            throw std::invalid_argument("--" + a + " requires a value");
+          }
+          a += '=';
+          a += argv[++i];
+        } else {
+          a += "=1";
+        }
+      }
+    }
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+void cache_config_json(JsonWriter& w, const mem::CacheConfig& c) {
+  w.begin_object();
+  w.kv("size_bytes", c.size_bytes);
+  w.kv("assoc", c.assoc);
+  w.kv("line_bytes", c.line_bytes);
+  w.kv("sets", c.set_count());
+  w.kv("hit_extra", c.hit_extra);
+  w.kv("mshr_count", c.mshr_count);
+  w.end_object();
+}
+
+/// JSON echo of the fully resolved machine: what the run would simulate
+/// after every default and override is applied.
+void dump_machine_config_json(std::ostream& os, const smt::MachineConfig& mc) {
+  JsonWriter w(os, 2);
+  w.begin_object();
+  w.kv("thread_count", mc.thread_count);
+  w.kv("fetch_width", mc.fetch_width);
+  w.kv("fetch_threads_per_cycle", mc.fetch_threads_per_cycle);
+  w.kv("rename_width", mc.rename_width);
+  w.kv("dispatch_width", mc.dispatch_width);
+  w.kv("issue_width", mc.issue_width);
+  w.kv("commit_width", mc.commit_width);
+  w.kv("rob_entries_per_thread", mc.rob_entries_per_thread);
+  w.kv("lsq_entries_per_thread", mc.lsq_entries_per_thread);
+  w.kv("oracle_disambiguation", mc.oracle_disambiguation);
+  w.kv("int_phys_regs", mc.int_phys_regs);
+  w.kv("fp_phys_regs", mc.fp_phys_regs);
+  w.kv("front_end_stages", mc.front_end_stages);
+  w.kv("fetch_queue_entries", mc.fetch_queue_entries);
+  w.kv("fetch_policy", smt::fetch_policy_name(mc.fetch_policy));
+  w.kv("model_wrong_path", mc.model_wrong_path);
+  w.kv("trace_capacity", static_cast<std::uint64_t>(mc.trace_capacity));
+
+  w.key("scheduler");
+  w.begin_object();
+  w.kv("kind", core::scheduler_kind_name(mc.scheduler.kind));
+  w.kv("iq_entries", mc.scheduler.iq_entries);
+  w.kv("rename_buffer_entries", mc.scheduler.rename_buffer_entries);
+  w.kv("scan_depth", mc.scheduler.scan_depth);
+  w.kv("effective_scan_depth", mc.scheduler.effective_scan_depth());
+  w.kv("deadlock", core::deadlock_mode_name(mc.scheduler.deadlock));
+  w.kv("watchdog_timeout", mc.scheduler.watchdog_timeout);
+  w.kv("dab_exclusive", mc.scheduler.dab_exclusive);
+  w.end_object();
+
+  w.key("memory");
+  w.begin_object();
+  w.key("l1i");
+  cache_config_json(w, mc.memory.l1i);
+  w.key("l1d");
+  cache_config_json(w, mc.memory.l1d);
+  w.key("l2");
+  cache_config_json(w, mc.memory.l2);
+  w.kv("memory_latency", mc.memory.memory_latency);
+  w.end_object();
+
+  w.key("predictor");
+  w.begin_object();
+  w.key("gshare");
+  w.begin_object();
+  w.kv("table_entries", mc.predictor.gshare.table_entries);
+  w.kv("history_bits", mc.predictor.gshare.history_bits);
+  w.end_object();
+  w.key("btb");
+  w.begin_object();
+  w.kv("entries", mc.predictor.btb.entries);
+  w.kv("assoc", mc.predictor.btb.assoc);
+  w.end_object();
+  w.end_object();
+
+  w.end_object();
+  os << '\n';
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const KvConfig cli = KvConfig::parse({argv + 1, static_cast<std::size_t>(argc - 1)});
+  const std::vector<std::string> args = normalize_args(argc, argv);
+  const KvConfig cli = KvConfig::parse_strings(args);
 
   sim::RunConfig cfg;
   cfg.benchmarks = split_names(cli.get_string("benchmarks", "gcc"));
@@ -87,6 +204,22 @@ int main(int argc, char** argv) {
     cfg.deadlock = core::DeadlockMode::kWatchdog;
   } else {
     throw std::invalid_argument("unknown deadlock: '" + deadlock + "'");
+  }
+
+  const std::string stats_json = cli.get_string("stats_json", "");
+  const std::string trace_out = cli.get_string("trace_out", "");
+  const std::string trace_format = cli.get_string("trace_format", "konata");
+  if (trace_format != "konata" && trace_format != "gantt") {
+    throw std::invalid_argument("unknown trace_format: '" + trace_format + "'");
+  }
+  cfg.trace_capacity = cli.get_uint("trace_capacity", 0);
+  if (!trace_out.empty() && cfg.trace_capacity == 0) {
+    cfg.trace_capacity = std::size_t{1} << 20;
+  }
+
+  if (cli.get_bool("dump_config", false)) {
+    dump_machine_config_json(std::cout, cfg.machine());
+    return 0;
   }
 
   std::cout << "msim-ooo: " << core::scheduler_kind_name(cfg.kind) << ", "
@@ -177,5 +310,25 @@ int main(int argc, char** argv) {
   front.add_cell("wrong-path squashes");
   front.add_cell(r.pipeline.wrong_path_squashes);
   front.print(std::cout, "front end");
+
+  if (!stats_json.empty()) {
+    std::ofstream out(stats_json);
+    if (!out) throw std::runtime_error("cannot open '" + stats_json + "'");
+    sim::write_run_json(out, cfg, r);
+    std::cout << "\nwrote " << r.metrics.size() << " metrics to " << stats_json
+              << "\n";
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) throw std::runtime_error("cannot open '" + trace_out + "'");
+    if (trace_format == "konata") {
+      obs::write_konata(out, r.trace);
+    } else {
+      obs::write_gantt(out, r.trace);
+    }
+    std::cout << "wrote " << r.trace.size() << " trace events ("
+              << r.trace_dropped << " dropped) to " << trace_out << " ["
+              << trace_format << "]\n";
+  }
   return 0;
 }

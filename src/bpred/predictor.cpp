@@ -59,6 +59,25 @@ BranchPredictor::Prediction BranchPredictor::predict_only(ThreadId tid, Addr pc)
   return out;
 }
 
+void BranchPredictor::register_stats(obs::StatRegistry& registry,
+                                     const std::string& prefix) const {
+  const BranchPredictor* self = this;
+  registry.counter(prefix + "branches",
+                   [self] { return self->total_stats().branches; });
+  registry.counter(prefix + "mispredicts",
+                   [self] { return self->total_stats().mispredicts; });
+  registry.ratio(prefix + "mispredict_rate",
+                 [self] { return self->total_stats().mispredicts; },
+                 [self] { return self->total_stats().branches; });
+  for (std::size_t t = 0; t < stats_.size(); ++t) {
+    const PredictorStats* s = &stats_[t];
+    const std::string p = prefix + "thread." + std::to_string(t) + ".";
+    registry.counter(p + "branches", [s] { return s->branches; });
+    registry.ratio(p + "mispredict_rate", [s] { return s->mispredicts; },
+                   [s] { return s->branches; });
+  }
+}
+
 PredictorStats BranchPredictor::total_stats() const noexcept {
   PredictorStats total;
   for (const PredictorStats& s : stats_) {

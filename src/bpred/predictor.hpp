@@ -3,11 +3,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "bpred/btb.hpp"
 #include "bpred/gshare.hpp"
 #include "common/types.hpp"
+#include "obs/registry.hpp"
 
 namespace msim::bpred {
 
@@ -70,6 +72,10 @@ class BranchPredictor {
   }
   [[nodiscard]] const Btb& btb() const noexcept { return btb_; }
   [[nodiscard]] const Gshare& gshare(ThreadId tid) const { return gshare_.at(tid); }
+
+  /// Registers aggregate and per-thread metrics under `prefix` (e.g.
+  /// "bpred.").  The predictor must outlive the registry's snapshots.
+  void register_stats(obs::StatRegistry& registry, const std::string& prefix) const;
 
  private:
   std::vector<Gshare> gshare_;  ///< one per thread (Table 1)

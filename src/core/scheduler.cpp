@@ -136,6 +136,7 @@ bool Scheduler::try_dispatch_one(ThreadId tid, Cycle now, const DispatchEnv& env
     }
     dispatch_into_iq(head, env, now);
     ++dstats_.dispatched_by_nonready[std::min(non_ready, 2u)];
+    if (tracer_) tracer_->record(now, tid, head.seq, obs::TraceStage::kDispatch);
     buf.erase(buf.begin());
     block_reason_[tid] = DispatchBlock::kNone;
     return true;
@@ -161,6 +162,9 @@ bool Scheduler::try_dispatch_one(ThreadId tid, Cycle now, const DispatchEnv& env
         buf.erase(buf.begin());
         if (scan.pos > 0) --scan.pos;
         ++dstats_.dab_inserts;
+        if (tracer_) {
+          tracer_->record(now, tid, dab_[tid]->seq, obs::TraceStage::kDabInsert);
+        }
         block_reason_[tid] = DispatchBlock::kNone;
         return true;  // consumed a dispatch slot
       }
@@ -196,6 +200,10 @@ bool Scheduler::try_dispatch_one(ThreadId tid, Cycle now, const DispatchEnv& env
     }
     dispatch_into_iq(cand, env, now);
     ++dstats_.dispatched_by_nonready[std::min(non_ready, 2u)];
+    if (tracer_) {
+      tracer_->record(now, tid, cand.seq, obs::TraceStage::kDispatch,
+                      scan.saw_ndi ? obs::kTraceFlagOooBypass : std::uint8_t{0});
+    }
     ++scan.examined;
     buf.erase(buf.begin() + scan.pos);  // pos now indexes the next entry
     block_reason_[tid] = DispatchBlock::kNone;
@@ -315,6 +323,62 @@ void Scheduler::flush() noexcept {
 }
 
 bool Scheduler::dab_occupied(ThreadId tid) const { return dab_.at(tid).has_value(); }
+
+std::uint32_t Scheduler::dab_occupancy() const noexcept {
+  std::uint32_t n = 0;
+  for (const auto& slot : dab_) n += slot.has_value() ? 1u : 0u;
+  return n;
+}
+
+void Scheduler::register_stats(obs::StatRegistry& registry,
+                               const std::string& prefix) const {
+  const DispatchStats* d = &dstats_;
+  registry.counter(prefix + "dispatch.cycles", [d] { return d->cycles; });
+  registry.counter(prefix + "dispatch.dispatched", [d] { return d->dispatched; });
+  registry.counter(prefix + "dispatch.dispatched_nonready0",
+                   [d] { return d->dispatched_by_nonready[0]; });
+  registry.counter(prefix + "dispatch.dispatched_nonready1",
+                   [d] { return d->dispatched_by_nonready[1]; });
+  registry.counter(prefix + "dispatch.dispatched_nonready2",
+                   [d] { return d->dispatched_by_nonready[2]; });
+  registry.counter(prefix + "dispatch.no_dispatch_cycles",
+                   [d] { return d->no_dispatch_cycles; });
+  registry.ratio(prefix + "dispatch.all_threads_ndi_stall_fraction",
+                 [d] { return d->all_threads_ndi_stall_cycles; },
+                 [d] { return d->cycles; });
+  registry.counter(prefix + "dispatch.ndi_blocked_thread_cycles",
+                   [d] { return d->ndi_blocked_thread_cycles; });
+  registry.counter(prefix + "dispatch.iq_full_thread_cycles",
+                   [d] { return d->iq_full_thread_cycles; });
+  registry.ratio(prefix + "dispatch.hdi_fraction_behind_ndi",
+                 [d] { return d->behind_ndi_hdis; },
+                 [d] { return d->behind_ndi_examined; });
+  registry.counter(prefix + "dispatch.ooo_dispatches",
+                   [d] { return d->ooo_dispatches; });
+  registry.ratio(prefix + "dispatch.ooo_dependent_fraction",
+                 [d] { return d->ooo_dispatches_dependent; },
+                 [d] { return d->ooo_dispatches; });
+  registry.counter(prefix + "dispatch.filtered_suppressed",
+                   [d] { return d->filtered_suppressed; });
+  registry.counter(prefix + "dispatch.dab_inserts", [d] { return d->dab_inserts; });
+  registry.counter(prefix + "dispatch.dab_issues", [d] { return d->dab_issues; });
+  registry.counter(prefix + "dispatch.watchdog_flushes",
+                   [d] { return d->watchdog_flushes; });
+
+  const IqStats* q = &iq_.stats();
+  registry.counter(prefix + "iq.dispatched", [q] { return q->dispatched; });
+  registry.counter(prefix + "iq.issued", [q] { return q->issued; });
+  registry.counter(prefix + "iq.broadcasts", [q] { return q->broadcasts; });
+  registry.counter(prefix + "iq.wakeups", [q] { return q->wakeups; });
+  registry.counter(prefix + "iq.comparator_ops", [q] { return q->comparator_ops; });
+  registry.gauge(prefix + "iq.mean_occupancy", [q] { return q->mean_occupancy(); });
+  registry.histogram(prefix + "iq.residency_cycles", &q->residency);
+  const IssueQueue* iq = &iq_;
+  registry.gauge(prefix + "iq.capacity",
+                 [iq] { return static_cast<double>(iq->capacity()); });
+  registry.gauge(prefix + "iq.comparators",
+                 [iq] { return static_cast<double>(iq->layout().comparators()); });
+}
 
 std::uint32_t Scheduler::held_instructions(ThreadId tid) const {
   return buffer_size(tid) + (dab_.at(tid) ? 1u : 0u) + iq_.size_for(tid);

@@ -22,10 +22,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/issue_queue.hpp"
 #include "core/sched_types.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace msim::core {
 
@@ -142,11 +145,27 @@ class Scheduler {
     iq_.reset_stats();
   }
 
+  // ---- observability -----------------------------------------------------
+  /// Registers every scheduler metric under `prefix` (e.g. "scheduler.").
+  /// The scheduler must outlive the registry's snapshots.
+  void register_stats(obs::StatRegistry& registry, const std::string& prefix) const;
+
+  /// Routes dispatch-side lifecycle events (dispatch, DAB insert) into the
+  /// tracer; nullptr (the default) disables recording.
+  void set_tracer(obs::InstTracer* tracer) noexcept { tracer_ = tracer; }
+
   // ---- introspection -----------------------------------------------------
   [[nodiscard]] const SchedulerConfig& config() const noexcept { return config_; }
   [[nodiscard]] const IssueQueue& iq() const noexcept { return iq_; }
   [[nodiscard]] const DispatchStats& dispatch_stats() const noexcept { return dstats_; }
   [[nodiscard]] bool dab_occupied(ThreadId tid) const;
+  /// Instructions currently parked in the deadlock-avoidance buffer.
+  [[nodiscard]] std::uint32_t dab_occupancy() const noexcept;
+  /// Why `tid` could not dispatch its next instruction in the most recent
+  /// dispatch phase (kNone after a successful dispatch).
+  [[nodiscard]] DispatchBlock block_reason(ThreadId tid) const {
+    return block_reason_.at(tid);
+  }
   /// Total instructions held (buffers + IQ + DAB); used by ICOUNT fetch.
   [[nodiscard]] std::uint32_t held_instructions(ThreadId tid) const;
 
@@ -191,6 +210,7 @@ class Scheduler {
   std::uint32_t watchdog_remaining_;
   unsigned rr_start_ = 0;  ///< rotating round-robin origin
   DispatchStats dstats_;
+  obs::InstTracer* tracer_ = nullptr;  ///< not owned; nullptr = tracing off
 };
 
 }  // namespace msim::core

@@ -3,9 +3,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/types.hpp"
 #include "mem/cache.hpp"
+#include "obs/registry.hpp"
 
 namespace msim::mem {
 
@@ -48,6 +50,10 @@ class MemoryHierarchy {
 
   [[nodiscard]] HierarchyStats stats() const;
   [[nodiscard]] const HierarchyConfig& config() const noexcept { return config_; }
+
+  /// Registers per-level metrics under `prefix` (e.g. "mem.").  The
+  /// hierarchy must outlive the registry's snapshots.
+  void register_stats(obs::StatRegistry& registry, const std::string& prefix) const;
 
   /// Zeroes counters; cache contents (tags) are preserved.
   void reset_stats() noexcept {

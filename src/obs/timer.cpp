@@ -1,0 +1,18 @@
+#include "obs/timer.hpp"
+
+#include <cstdio>
+
+namespace msim::obs {
+
+void TimerRegistry::print(std::ostream& os) const {
+  for (const Stage& s : stages_) {
+    char line[160];
+    std::snprintf(line, sizeof line, "%-24s %10.3f s  %8llu call(s)  %10.3f ms/call",
+                  s.name.c_str(), s.seconds,
+                  static_cast<unsigned long long>(s.calls),
+                  s.calls != 0 ? s.seconds * 1e3 / static_cast<double>(s.calls) : 0.0);
+    os << line << "\n";
+  }
+}
+
+}  // namespace msim::obs

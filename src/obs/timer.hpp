@@ -1,0 +1,89 @@
+// Wall-clock self-profiling for the simulator's own host performance.
+//
+// TimerRegistry accumulates host seconds per named stage; ScopeTimer is the
+// RAII front end.  Benches use these to report host-time-per-stage and
+// simulated-KIPS (thousands of simulated instructions per host second)
+// alongside their simulated metrics.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace msim::obs {
+
+class TimerRegistry {
+ public:
+  struct Stage {
+    std::string name;
+    double seconds = 0.0;
+    std::uint64_t calls = 0;
+  };
+
+  void add(std::string_view name, double seconds) {
+    for (Stage& s : stages_) {
+      if (s.name == name) {
+        s.seconds += seconds;
+        ++s.calls;
+        return;
+      }
+    }
+    stages_.push_back({std::string(name), seconds, 1});
+  }
+
+  [[nodiscard]] double seconds(std::string_view name) const noexcept {
+    for (const Stage& s : stages_) {
+      if (s.name == name) return s.seconds;
+    }
+    return 0.0;
+  }
+
+  [[nodiscard]] const std::vector<Stage>& stages() const noexcept { return stages_; }
+
+  void clear() noexcept { stages_.clear(); }
+
+  /// One line per stage: name, total seconds, calls, mean ms/call.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<Stage> stages_;  ///< insertion order (stable for reports)
+};
+
+/// Accumulates the scope's wall-clock duration into a TimerRegistry stage.
+class ScopeTimer {
+ public:
+  ScopeTimer(TimerRegistry& registry, std::string name)
+      : registry_(registry),
+        name_(std::move(name)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+  /// Seconds elapsed so far without stopping the timer.
+  [[nodiscard]] double elapsed() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  ~ScopeTimer() { registry_.add(name_, elapsed()); }
+
+ private:
+  TimerRegistry& registry_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// simulated-KIPS helper: thousands of simulated instructions per host
+/// second (0 when no time elapsed).
+[[nodiscard]] inline double simulated_kips(std::uint64_t instructions,
+                                           double host_seconds) noexcept {
+  return host_seconds > 0.0
+             ? static_cast<double>(instructions) / host_seconds / 1000.0
+             : 0.0;
+}
+
+}  // namespace msim::obs

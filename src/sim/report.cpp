@@ -2,6 +2,9 @@
 
 #include <string>
 
+#include "common/json.hpp"
+#include "obs/registry.hpp"
+
 namespace msim::sim {
 
 double metric_value(const SweepCell& cell, FigureMetric metric) {
@@ -41,6 +44,17 @@ TextTable figure_table(const std::vector<SweepCell>& cells,
   return table;
 }
 
+std::string_view figure_metric_name(FigureMetric metric) noexcept {
+  switch (metric) {
+    case FigureMetric::kIpcSpeedup:       return "ipc_speedup";
+    case FigureMetric::kFairnessGain:     return "fairness_gain";
+    case FigureMetric::kThroughputIpc:    return "throughput_ipc";
+    case FigureMetric::kAllStallFraction: return "all_stall_fraction";
+    case FigureMetric::kIqResidency:      return "iq_residency";
+  }
+  return "unknown";
+}
+
 TextTable mix_table(const SweepCell& cell) {
   TextTable table({"mix", "throughput_ipc", "fairness", "all_stall_frac",
                    "iq_residency"});
@@ -53,6 +67,94 @@ TextTable mix_table(const SweepCell& cell) {
     table.add_cell(m.raw.iq.mean_residency(), 1);
   }
   return table;
+}
+
+void write_run_json(std::ostream& os, const RunConfig& config,
+                    const RunResult& result, int indent) {
+  JsonWriter w(os, indent);
+  w.begin_object();
+
+  w.key("config");
+  w.begin_object();
+  w.key("benchmarks");
+  w.begin_array();
+  for (const std::string& b : config.benchmarks) w.value(b);
+  w.end_array();
+  w.kv("scheduler", core::scheduler_kind_name(config.kind));
+  w.kv("iq_entries", config.iq_entries);
+  w.kv("deadlock", core::deadlock_mode_name(config.deadlock));
+  w.kv("scan_depth", config.scan_depth);
+  w.kv("dab_exclusive", config.dab_exclusive);
+  w.kv("watchdog_timeout", config.watchdog_timeout);
+  w.kv("oracle_disambiguation", config.oracle_disambiguation);
+  w.kv("fetch_policy", smt::fetch_policy_name(config.fetch_policy));
+  w.kv("model_wrong_path", config.model_wrong_path);
+  w.kv("seed", config.seed);
+  w.kv("warmup", config.warmup);
+  w.kv("horizon", config.horizon);
+  w.kv("max_cycles", config.max_cycles);
+  w.kv("trace_capacity", static_cast<std::uint64_t>(config.trace_capacity));
+  w.end_object();
+
+  w.kv("cycles", result.cycles);
+  w.kv("throughput_ipc", result.throughput_ipc);
+  w.kv("truncated", result.truncated);
+  w.key("per_thread_ipc");
+  w.begin_array();
+  for (const double v : result.per_thread_ipc) w.value(v);
+  w.end_array();
+  w.key("per_thread_committed");
+  w.begin_array();
+  for (const std::uint64_t v : result.per_thread_committed) w.value(v);
+  w.end_array();
+  if (!result.trace.empty() || result.trace_dropped != 0) {
+    w.kv("trace_events", static_cast<std::uint64_t>(result.trace.size()));
+    w.kv("trace_dropped", result.trace_dropped);
+  }
+  obs::write_metrics_fields(w, result.metrics);
+  w.end_object();
+  os << '\n';
+}
+
+void write_sweep_json(std::ostream& os, const std::vector<SweepCell>& cells,
+                      int indent) {
+  JsonWriter w(os, indent);
+  w.begin_object();
+  w.kv("cell_count", static_cast<std::uint64_t>(cells.size()));
+  w.key("cells");
+  w.begin_array();
+  for (const SweepCell& cell : cells) {
+    w.begin_object();
+    w.kv("scheduler", core::scheduler_kind_name(cell.kind));
+    w.kv("iq_entries", cell.iq_entries);
+    w.kv("hmean_ipc", cell.hmean_ipc);
+    w.kv("hmean_fairness", cell.hmean_fairness);
+    w.kv("ipc_speedup_vs_trad", cell.ipc_speedup_vs_trad);
+    w.kv("fairness_gain_vs_trad", cell.fairness_gain_vs_trad);
+    w.kv("mean_all_stall_fraction", cell.mean_all_stall_fraction);
+    w.kv("mean_iq_residency", cell.mean_iq_residency);
+    w.key("mixes");
+    w.begin_array();
+    for (const MixResult& m : cell.mixes) {
+      w.begin_object();
+      w.kv("mix", m.mix_name);
+      w.kv("throughput_ipc", m.throughput_ipc);
+      w.kv("fairness", m.fairness);
+      w.kv("cycles", m.raw.cycles);
+      w.kv("all_stall_fraction", m.raw.dispatch.all_stall_fraction());
+      w.kv("iq_residency", m.raw.iq.mean_residency());
+      w.key("per_thread_ipc");
+      w.begin_array();
+      for (const double v : m.raw.per_thread_ipc) w.value(v);
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
 }
 
 }  // namespace msim::sim

@@ -2,7 +2,9 @@
 // figures (speedup-vs-IQ-size series per scheduler kind).
 #pragma once
 
+#include <ostream>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "common/table.hpp"
@@ -31,5 +33,19 @@ enum class FigureMetric {
 
 /// Per-mix drill-down for one (kind, IQ) cell: one row per workload mix.
 [[nodiscard]] TextTable mix_table(const SweepCell& cell);
+
+/// Stable machine-readable name of a figure metric ("ipc_speedup", ...).
+[[nodiscard]] std::string_view figure_metric_name(FigureMetric metric) noexcept;
+
+/// One run as a JSON document: the resolved configuration, headline results
+/// and the full metric-registry snapshot.
+void write_run_json(std::ostream& os, const RunConfig& config,
+                    const RunResult& result, int indent = 2);
+
+/// A sweep grid as a JSON document: one record per (kind, IQ) cell with its
+/// aggregates and a per-mix drill-down — the machine-readable counterpart of
+/// figure_table + mix_table.
+void write_sweep_json(std::ostream& os, const std::vector<SweepCell>& cells,
+                      int indent = 2);
 
 }  // namespace msim::sim

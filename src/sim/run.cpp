@@ -17,6 +17,7 @@ smt::MachineConfig RunConfig::machine() const {
   mc.oracle_disambiguation = oracle_disambiguation;
   mc.fetch_policy = fetch_policy;
   mc.model_wrong_path = model_wrong_path;
+  mc.trace_capacity = trace_capacity;
   return mc;
 }
 
@@ -52,6 +53,11 @@ RunResult run_simulation(const RunConfig& config) {
   out.memory = pipe.memory().stats();
   out.bpred = pipe.predictor().total_stats();
   out.pipeline = pipe.stats();
+  out.metrics = pipe.registry().snapshot();
+  if (pipe.tracer().enabled()) {
+    out.trace = pipe.tracer().events();
+    out.trace_dropped = pipe.tracer().dropped();
+  }
   return out;
 }
 

@@ -10,6 +10,8 @@
 #include "bpred/predictor.hpp"
 #include "core/scheduler.hpp"
 #include "mem/hierarchy.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "smt/machine_config.hpp"
 #include "smt/pipeline.hpp"
 
@@ -40,6 +42,8 @@ struct RunConfig {
   std::uint64_t horizon = 150'000;
   /// Safety valve: abort the run after this many cycles (0 = none).
   std::uint64_t max_cycles = 0;
+  /// Per-instruction lifecycle trace ring capacity in events (0 = off).
+  std::size_t trace_capacity = 0;
 
   /// Builds the Table-1 machine with this run's scheduler settings applied.
   [[nodiscard]] smt::MachineConfig machine() const;
@@ -61,6 +65,13 @@ struct RunResult {
 
   /// True when the run hit `max_cycles` before committing `horizon`.
   bool truncated = false;
+
+  /// Full registry snapshot, sorted by metric name (see obs::StatRegistry).
+  std::vector<obs::MetricSnapshot> metrics;
+  /// Lifecycle trace, oldest event first (empty unless trace_capacity > 0).
+  std::vector<obs::TraceEvent> trace;
+  /// Events lost to the trace ring wrapping around.
+  std::uint64_t trace_dropped = 0;
 };
 
 /// Runs one simulation to completion and returns the measured statistics.

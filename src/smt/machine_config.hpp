@@ -53,6 +53,11 @@ struct MachineConfig {
   /// trace-driven model charges the misprediction as a fetch stall instead.
   bool model_wrong_path = false;
 
+  /// Per-instruction lifecycle tracing: ring-buffer capacity in events
+  /// (0 = off, the default; the hot paths then reduce to one predictable
+  /// branch each).  See obs::InstTracer.
+  std::size_t trace_capacity = 0;
+
   core::SchedulerConfig scheduler{};
   mem::HierarchyConfig memory{};
   bpred::PredictorConfig predictor{};

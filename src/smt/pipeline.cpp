@@ -44,7 +44,7 @@ class Pipeline::IssueEnvImpl final : public core::IssueEnv {
 
   void set_cycle(Cycle now) noexcept { now_ = now; }
 
-  bool try_issue(const core::SchedInst& inst, bool /*from_dab*/) override {
+  bool try_issue(const core::SchedInst& inst, bool from_dab) override {
     Pipeline& p = self_;
     ThreadState& ts = *p.threads_.at(inst.tid);
     RobEntry& e = ts.rob.entry(inst.seq);
@@ -98,6 +98,15 @@ class Pipeline::IssueEnvImpl final : public core::IssueEnv {
     if (e.dest_phys != kNoPhysReg) {
       p.broadcasts_[complete].push_back(e.dest_phys);
     }
+    if (p.tracer_.enabled()) {
+      std::uint8_t flags = 0;
+      if (from_dab) flags |= obs::kTraceFlagFromDab;
+      if (e.wrong_path) flags |= obs::kTraceFlagWrongPath;
+      if (e.mispredicted) flags |= obs::kTraceFlagMispredict;
+      p.tracer_.record(now, inst.tid, inst.seq, obs::TraceStage::kIssue, flags);
+      p.tracer_.record(complete, inst.tid, inst.seq, obs::TraceStage::kWriteback,
+                       flags);
+    }
     if (e.mispredicted) {
       if (ts.on_wrong_path && ts.wp_branch_seq == inst.seq) {
         // Wrong-path mode: schedule the resolution squash.
@@ -139,6 +148,13 @@ Pipeline::Pipeline(const MachineConfig& config,
   }
   dispatch_env_ = std::make_unique<DispatchEnvImpl>(*this);
   issue_env_ = std::make_unique<IssueEnvImpl>(*this);
+
+  stall_stats_.resize(config_.thread_count);
+  if (config_.trace_capacity != 0) {
+    tracer_.enable(config_.trace_capacity);
+    scheduler_->set_tracer(&tracer_);
+  }
+  register_metrics();
 }
 
 Pipeline::~Pipeline() = default;
@@ -167,6 +183,7 @@ void Pipeline::do_commit(Cycle now) {
         ts.lsq.pop(head.inst.seq);
       }
       rename_.commit(tid, head.inst.dest, head.dest_phys, head.prev_dest_phys);
+      tracer_.record(now, tid, head.inst.seq, obs::TraceStage::kCommit);
       ts.rob.pop_head();
       ++ts.committed;
       --remaining;
@@ -235,6 +252,8 @@ void Pipeline::do_rename(Cycle now) {
       si.src[1] = rr.src[1];
       si.dest = rr.dest;
       scheduler_->insert(si);
+      tracer_.record(now, tid, di.seq, obs::TraceStage::kRename,
+                     e.wrong_path ? obs::kTraceFlagWrongPath : std::uint8_t{0});
 
       ts.fetch_queue.pop_front();
       --remaining;
@@ -311,6 +330,8 @@ unsigned Pipeline::fetch_from_thread(ThreadId tid, unsigned budget, Cycle now) {
       }
     }
     ts.fetch_queue.push_back(f);
+    tracer_.record(now, tid, f.inst.seq, obs::TraceStage::kFetch,
+                   f.mispredicted ? obs::kTraceFlagMispredict : std::uint8_t{0});
     ts.pending.reset();
     ++ts.fetched;
     ++fetched;
@@ -360,6 +381,8 @@ unsigned Pipeline::fetch_wrong_path(ThreadId tid, unsigned budget, Cycle now) {
 
     ts.fetch_queue.push_back(
         FetchedInst{wi, now, /*mispredicted=*/false, /*wrong_path=*/true});
+    tracer_.record(now, tid, wi.seq, obs::TraceStage::kFetch,
+                   obs::kTraceFlagWrongPath);
     ++ts.wp_next_seq;
     ++pstats_.wrong_path_fetched;
     ++fetched;
@@ -406,6 +429,7 @@ void Pipeline::do_fetch(Cycle now) {
 void Pipeline::watchdog_flush(Cycle now) {
   for (ThreadId t = 0; t < config_.thread_count; ++t) {
     ThreadState& ts = *threads_[t];
+    trace_squash(t, /*min_seq=*/0, now);
     std::vector<PhysReg> squashed;
     std::deque<isa::DynInst> new_replay;
     ts.rob.for_each([&](const RobEntry& e) {
@@ -451,6 +475,7 @@ void Pipeline::flush_thread_after(ThreadId tid, SeqNum after_seq, Cycle now,
                                   bool requeue) {
   ThreadState& ts = *threads_[tid];
   MSIM_CHECK(ts.rob.contains(after_seq));
+  trace_squash(tid, after_seq + 1, now);
   const SeqNum youngest = ts.rob.head_seq() + ts.rob.size() - 1;
 
   // Rewind the rename map youngest-first along the squashed suffix, recycle
@@ -541,6 +566,7 @@ void Pipeline::tick() {
   do_rename(now);
   do_fetch(now);
   scheduler_->tick_stats();
+  sample_observability();
   ++cycle_;
 }
 
@@ -564,8 +590,11 @@ void Pipeline::reset_stats() {
   pstats_ = {};
   for (const auto& ts : threads_) {
     ts->committed_base = ts->committed;
+    ts->fetched_base = ts->fetched;
     ts->lsq.reset_stats();
   }
+  for (ThreadStallStats& s : stall_stats_) s = {};
+  registry_.reset_sampled();
   scheduler_->reset_stats();
   mem_.reset_stats();
   bpred_.reset_stats();
@@ -595,6 +624,132 @@ double Pipeline::total_ipc() const {
 
 const LsqStats& Pipeline::lsq_stats(ThreadId tid) const {
   return threads_.at(tid)->lsq.stats();
+}
+
+// ---- observability ----------------------------------------------------------
+
+void Pipeline::register_metrics() {
+  scheduler_->register_stats(registry_, "scheduler.");
+  mem_.register_stats(registry_, "mem.");
+  bpred_.register_stats(registry_, "bpred.");
+
+  const Pipeline* self = this;
+  registry_.counter("pipeline.cycles", [self] { return self->cycles(); });
+  registry_.counter("pipeline.committed", [self] { return self->total_committed(); });
+  registry_.gauge("pipeline.total_ipc", [self] { return self->total_ipc(); });
+
+  const PipelineStats* p = &pstats_;
+  registry_.counter("pipeline.issued", [p] { return p->issued; });
+  registry_.counter("pipeline.load_issue_blocked",
+                    [p] { return p->load_issue_blocked; });
+  registry_.counter("pipeline.fetch_icache_stall_cycles",
+                    [p] { return p->fetch_icache_stall_cycles; });
+  registry_.counter("pipeline.watchdog_flushed_instructions",
+                    [p] { return p->watchdog_flushed_instructions; });
+  registry_.counter("pipeline.fetch_l2_gated", [p] { return p->fetch_l2_gated; });
+  registry_.counter("pipeline.policy_flushes", [p] { return p->policy_flushes; });
+  registry_.counter("pipeline.policy_flushed_instructions",
+                    [p] { return p->policy_flushed_instructions; });
+  registry_.counter("pipeline.wrong_path_fetched",
+                    [p] { return p->wrong_path_fetched; });
+  registry_.counter("pipeline.wrong_path_issued",
+                    [p] { return p->wrong_path_issued; });
+  registry_.counter("pipeline.wrong_path_squashes",
+                    [p] { return p->wrong_path_squashes; });
+
+  const FuStats* fu = &fu_.stats();
+  for (unsigned k = 0; k < isa::kFuKindCount; ++k) {
+    const std::string fp =
+        "fu." + std::string(isa::fu_kind_name(static_cast<isa::FuKind>(k))) + ".";
+    registry_.counter(fp + "issues", [fu, k] { return fu->issues[k]; });
+    registry_.counter(fp + "structural_rejects",
+                      [fu, k] { return fu->structural_rejects[k]; });
+  }
+
+  for (ThreadId t = 0; t < config_.thread_count; ++t) {
+    const std::string tp = "thread." + std::to_string(t) + ".";
+    const ThreadState* ts = threads_[t].get();
+    registry_.counter(tp + "committed",
+                      [ts] { return ts->committed - ts->committed_base; });
+    registry_.counter(tp + "fetched",
+                      [ts] { return ts->fetched - ts->fetched_base; });
+    registry_.gauge(tp + "ipc", [self, t] { return self->ipc(t); });
+    const LsqStats* lsq = &ts->lsq.stats();
+    registry_.counter(tp + "lsq.loads_checked",
+                      [lsq] { return lsq->loads_checked; });
+    registry_.counter(tp + "lsq.forwards", [lsq] { return lsq->forwards; });
+    registry_.counter(tp + "lsq.blocked_checks",
+                      [lsq] { return lsq->blocked_checks; });
+    const ThreadStallStats* ss = &stall_stats_[t];
+    registry_.counter(tp + "stall.ndi_blocked_cycles",
+                      [ss] { return ss->ndi_blocked_cycles; });
+    registry_.counter(tp + "stall.iq_full_cycles",
+                      [ss] { return ss->iq_full_cycles; });
+    registry_.counter(tp + "stall.rob_full_cycles",
+                      [ss] { return ss->rob_full_cycles; });
+    registry_.counter(tp + "stall.lsq_full_cycles",
+                      [ss] { return ss->lsq_full_cycles; });
+    registry_.counter(tp + "stall.fetch_starved_cycles",
+                      [ss] { return ss->fetch_starved_cycles; });
+
+    occ_rob_.push_back(&registry_.sampled("occupancy.rob." + std::to_string(t)));
+    occ_lsq_.push_back(&registry_.sampled("occupancy.lsq." + std::to_string(t)));
+    occ_rename_buffer_.push_back(
+        &registry_.sampled("occupancy.rename_buffer." + std::to_string(t)));
+  }
+  occ_iq_ = &registry_.sampled("occupancy.iq");
+  occ_dab_ = &registry_.sampled("occupancy.dab");
+}
+
+void Pipeline::sample_observability() {
+  occ_iq_->add(static_cast<double>(scheduler_->iq().size()));
+  occ_dab_->add(static_cast<double>(scheduler_->dab_occupancy()));
+  for (ThreadId t = 0; t < config_.thread_count; ++t) {
+    const ThreadState& ts = *threads_[t];
+    occ_rob_[t]->add(static_cast<double>(ts.rob.size()));
+    occ_lsq_[t]->add(static_cast<double>(ts.lsq.size()));
+    occ_rename_buffer_[t]->add(static_cast<double>(scheduler_->buffer_size(t)));
+
+    ThreadStallStats& ss = stall_stats_[t];
+    switch (scheduler_->block_reason(t)) {
+      case core::DispatchBlock::kTwoNonReady:
+        ++ss.ndi_blocked_cycles;
+        break;
+      case core::DispatchBlock::kIqFull:
+        ++ss.iq_full_cycles;
+        break;
+      case core::DispatchBlock::kEmptyBuffer:
+        // Nothing buffered to dispatch: attribute to whichever upstream
+        // structure gated rename this cycle, else the front end itself.
+        if (ts.rob.full()) {
+          ++ss.rob_full_cycles;
+        } else if (ts.lsq.full()) {
+          ++ss.lsq_full_cycles;
+        } else {
+          ++ss.fetch_starved_cycles;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void Pipeline::trace_squash(ThreadId tid, SeqNum min_seq, Cycle now) {
+  if (!tracer_.enabled()) return;
+  ThreadState& ts = *threads_[tid];
+  ts.rob.for_each([&](const RobEntry& e) {
+    if (e.inst.seq >= min_seq) {
+      tracer_.record(now, tid, e.inst.seq, obs::TraceStage::kSquash,
+                     e.wrong_path ? obs::kTraceFlagWrongPath : std::uint8_t{0});
+    }
+  });
+  for (const FetchedInst& f : ts.fetch_queue) {
+    if (f.inst.seq >= min_seq) {
+      tracer_.record(now, tid, f.inst.seq, obs::TraceStage::kSquash,
+                     f.wrong_path ? obs::kTraceFlagWrongPath : std::uint8_t{0});
+    }
+  }
 }
 
 }  // namespace msim::smt

@@ -23,6 +23,8 @@
 #include "bpred/predictor.hpp"
 #include "core/scheduler.hpp"
 #include "mem/hierarchy.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "smt/fu.hpp"
 #include "smt/lsq.hpp"
 #include "smt/machine_config.hpp"
@@ -49,6 +51,16 @@ struct PipelineStats {
   std::uint64_t wrong_path_fetched = 0;
   std::uint64_t wrong_path_issued = 0;
   std::uint64_t wrong_path_squashes = 0;
+};
+
+/// Per-thread dispatch-stall attribution, classified once per cycle for
+/// every thread that failed to dispatch: what was the binding constraint?
+struct ThreadStallStats {
+  std::uint64_t ndi_blocked_cycles = 0;    ///< next instruction is an NDI
+  std::uint64_t iq_full_cycles = 0;        ///< no adequate free IQ entry
+  std::uint64_t rob_full_cycles = 0;       ///< rename gated by a full ROB
+  std::uint64_t lsq_full_cycles = 0;       ///< rename gated by a full LSQ
+  std::uint64_t fetch_starved_cycles = 0;  ///< nothing buffered to dispatch
 };
 
 class Pipeline {
@@ -87,6 +99,18 @@ class Pipeline {
   [[nodiscard]] const LsqStats& lsq_stats(ThreadId tid) const;
   [[nodiscard]] const FuStats& fu_stats() const noexcept { return fu_.stats(); }
   [[nodiscard]] const MachineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const ThreadStallStats& stall_stats(ThreadId tid) const {
+    return stall_stats_.at(tid);
+  }
+
+  /// Every metric of every component, registered at construction under
+  /// hierarchical names ("scheduler.", "mem.", "bpred.", "pipeline.",
+  /// "thread.N.", "occupancy.", "fu.").
+  [[nodiscard]] const obs::StatRegistry& registry() const noexcept { return registry_; }
+
+  /// Per-instruction lifecycle tracer; enabled via
+  /// MachineConfig::trace_capacity (off by default).
+  [[nodiscard]] const obs::InstTracer& tracer() const noexcept { return tracer_; }
 
  private:
   struct FetchedInst {
@@ -128,6 +152,7 @@ class Pipeline {
     std::uint64_t committed = 0;
     std::uint64_t committed_base = 0;      ///< value at last reset_stats
     std::uint64_t fetched = 0;
+    std::uint64_t fetched_base = 0;        ///< value at last reset_stats
   };
 
   class DispatchEnvImpl;
@@ -151,6 +176,13 @@ class Pipeline {
   void apply_wrong_path_squashes(Cycle now);
   unsigned fetch_wrong_path(ThreadId tid, unsigned budget, Cycle now);
   [[nodiscard]] std::uint32_t icount(ThreadId tid) const;
+  /// Registers every component's metrics into `registry_` (constructor).
+  void register_metrics();
+  /// Per-cycle observability: occupancy gauges + stall attribution.
+  void sample_observability();
+  /// Records kSquash for every in-flight instruction of `tid` with
+  /// seq >= `min_seq` (no-op when tracing is off).
+  void trace_squash(ThreadId tid, SeqNum min_seq, Cycle now);
 
   MachineConfig config_;
   std::vector<std::unique_ptr<ThreadState>> threads_;
@@ -169,8 +201,21 @@ class Pipeline {
   Cycle cycle_ = 0;
   Cycle stats_base_cycle_ = 0;
   PipelineStats pstats_;
+  std::vector<ThreadStallStats> stall_stats_;  ///< one per thread
   std::unique_ptr<DispatchEnvImpl> dispatch_env_;
   std::unique_ptr<IssueEnvImpl> issue_env_;
+
+  // Observability.  The registry holds closures over other members and the
+  // scheduler holds a pointer into tracer_; the pipeline is non-copyable,
+  // so both stay valid for its lifetime.
+  obs::InstTracer tracer_;
+  obs::StatRegistry registry_;
+  // Registry-owned per-cycle sampled gauges (reset via reset_sampled()).
+  StreamingStat* occ_iq_ = nullptr;
+  StreamingStat* occ_dab_ = nullptr;
+  std::vector<StreamingStat*> occ_rob_;      ///< per thread
+  std::vector<StreamingStat*> occ_lsq_;      ///< per thread
+  std::vector<StreamingStat*> occ_rename_buffer_;  ///< per thread
 };
 
 }  // namespace msim::smt

@@ -170,5 +170,53 @@ TEST(Fairness, PenalizesImbalance) {
             hmean_weighted_ipc({skewed.data(), 2}, {alone.data(), 2}));
 }
 
+TEST(Histogram, QuantileEdgesZeroAndOne) {
+  Histogram h(8, 2.0);
+  h.add(3.0);  // bucket 1
+  h.add(5.0);  // bucket 2
+  // q=0 resolves to the first bucket's upper edge even when it is empty.
+  EXPECT_DOUBLE_EQ(h.approximate_quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.approximate_quantile(1.0), 6.0);
+  // Out-of-range q clamps to the nearest valid quantile.
+  EXPECT_DOUBLE_EQ(h.approximate_quantile(-0.5), h.approximate_quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.approximate_quantile(1.5), h.approximate_quantile(1.0));
+}
+
+TEST(Histogram, EmptyQuantileEdgesAreZero) {
+  Histogram h(4, 1.0);
+  EXPECT_DOUBLE_EQ(h.approximate_quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.approximate_quantile(1.0), 0.0);
+}
+
+TEST(Histogram, AllMassInOverflowBucket) {
+  Histogram h(4, 1.0);
+  h.add(100.0, 7);
+  EXPECT_EQ(h.bucket(3), 7u);
+  EXPECT_DOUBLE_EQ(h.approximate_quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.approximate_quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(h.approximate_quantile(1.0), 4.0);
+  // The overflow bucket represents values by its lower edge in the mean.
+  EXPECT_DOUBLE_EQ(h.approximate_mean(), 3.0);
+}
+
+TEST(StreamingStat, MergeManyPartitionsMatchesSinglePass) {
+  std::vector<double> xs;
+  for (int i = 0; i < 101; ++i) xs.push_back(std::cos(i) * 50.0 + i * 0.25);
+  StreamingStat reference;
+  std::array<StreamingStat, 4> shards;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    reference.add(xs[i]);
+    shards[i % 4].add(xs[i]);
+  }
+  StreamingStat merged;  // also covers merging into an empty stat
+  for (const StreamingStat& s : shards) merged.merge(s);
+  EXPECT_EQ(merged.count(), reference.count());
+  EXPECT_NEAR(merged.sum(), reference.sum(), 1e-9);
+  EXPECT_NEAR(merged.mean(), reference.mean(), 1e-10);
+  EXPECT_NEAR(merged.stddev(), reference.stddev(), 1e-10);
+  EXPECT_DOUBLE_EQ(merged.min(), reference.min());
+  EXPECT_DOUBLE_EQ(merged.max(), reference.max());
+}
+
 }  // namespace
 }  // namespace msim
