@@ -1,11 +1,14 @@
 // Shared scaffolding for the reproduction benches.
 //
 // Every bench binary accepts `key=value` overrides:
-//   warmup=N horizon=N seed=N iq=32,48,64,96,128 quick=1 json=PATH
-// `quick=1` shrinks the horizons by 4x for smoke runs.  Defaults are sized
-// so the whole bench suite finishes in tens of minutes on one core; the
-// paper used 100M-instruction runs, which `horizon=100000000` reproduces
-// given patience (see DESIGN.md on why short synthetic runs converge).
+//   warmup=N horizon=N seed=N iq=32,48,64,96,128 quick=1 jobs=N json=PATH
+// `quick=1` shrinks the horizons by 4x for smoke runs.  `jobs=N` fans the
+// sweep grid out across N worker threads (default: hardware concurrency;
+// `jobs=1` is the serial path) — results are bit-identical at any job
+// count because every simulation owns a deterministically derived RNG
+// stream.  The paper used 100M-instruction runs, which
+// `horizon=100000000` reproduces given patience (see DESIGN.md on why
+// short synthetic runs converge).
 #pragma once
 
 #include <cstdio>
@@ -19,6 +22,8 @@
 
 #include "common/config.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/timer.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 
@@ -27,6 +32,8 @@ namespace msim::bench {
 struct BenchOptions {
   sim::RunConfig base;
   std::vector<std::uint32_t> iq_sizes{32, 48, 64, 96, 128};
+  /// Worker threads for sweep grids (sim::SweepRequest::jobs).
+  unsigned jobs = 1;
   bool verbose = false;
   /// When non-empty, the sweep grid is also written there as JSON
   /// (sim::write_sweep_json).
@@ -37,12 +44,12 @@ inline BenchOptions parse_options(int argc, char** argv) {
   const KvConfig cli =
       KvConfig::parse({argv + 1, static_cast<std::size_t>(argc - 1)});
   static constexpr std::string_view kKnown[] = {
-      "warmup", "horizon", "seed", "iq", "quick", "verbose", "json"};
+      "warmup", "horizon", "seed", "iq", "quick", "jobs", "verbose", "json"};
   const auto unknown = cli.unknown_keys(kKnown);
   if (!unknown.empty()) {
     std::string msg = "unknown option(s):";
     for (const std::string& k : unknown) msg += " " + k;
-    msg += " (known: warmup horizon seed iq quick verbose json)";
+    msg += " (known: warmup horizon seed iq quick jobs verbose json)";
     throw std::invalid_argument(msg);
   }
   BenchOptions opts;
@@ -55,6 +62,13 @@ inline BenchOptions parse_options(int argc, char** argv) {
     opts.base.warmup /= 4;
     opts.base.horizon /= 4;
   }
+  const std::uint64_t jobs = cli.get_uint("jobs", ThreadPool::default_parallelism());
+  if (jobs == 0) {
+    throw std::invalid_argument(
+        "jobs=0 is invalid: use jobs=1 for the serial path or jobs=N for N "
+        "workers (default: hardware concurrency)");
+  }
+  opts.jobs = static_cast<unsigned>(jobs);
   opts.verbose = cli.get_bool("verbose", false);
   opts.json_path = cli.get_string("json", "");
   return opts;
@@ -86,6 +100,7 @@ inline std::vector<sim::SweepCell> figure_sweep(unsigned thread_count,
                core::SchedulerKind::kTwoOpBlockOoo};
   req.iq_sizes.assign(opts.iq_sizes.begin(), opts.iq_sizes.end());
   req.base = opts.base;
+  req.jobs = opts.jobs;
   if (opts.verbose) {
     req.progress = [](std::string_view msg) { std::cerr << "  " << msg << "\n"; };
   }
@@ -103,7 +118,19 @@ inline void print_figure(std::string_view title,
 
 inline void print_run_parameters(const BenchOptions& opts) {
   std::cout << "# warmup=" << opts.base.warmup << " horizon=" << opts.base.horizon
-            << " seed=" << opts.base.seed << " (override with key=value args)\n\n";
+            << " seed=" << opts.base.seed << " jobs=" << opts.jobs
+            << " (override with key=value args)\n\n";
+}
+
+/// Prints the sweep's wall-clock profile; the "sweep" stage is the number
+/// to compare across job counts (same seed => same simulated results, so
+/// the ratio is pure host speedup).
+inline void print_sweep_timing(const obs::TimerRegistry& timers,
+                               const BenchOptions& opts) {
+  std::cout << "\n";
+  timers.print(std::cout);
+  std::cout << "# sweep wall-clock " << timers.seconds("sweep") << " s at jobs="
+            << opts.jobs << "\n";
 }
 
 /// Standard figure-bench body: sweep one thread count, print one metric.
@@ -112,7 +139,12 @@ inline int run_figure_bench(int argc, char** argv, std::string_view title,
   const BenchOptions opts = parse_options(argc, argv);
   print_run_parameters(opts);
   sim::BaselineCache baselines(opts.base);
-  const auto cells = figure_sweep(thread_count, opts, baselines);
+  obs::TimerRegistry timers;
+  std::vector<sim::SweepCell> cells;
+  {
+    const obs::ScopeTimer timer(timers, "sweep");
+    cells = figure_sweep(thread_count, opts, baselines);
+  }
   static constexpr core::SchedulerKind kKinds[] = {
       core::SchedulerKind::kTraditional, core::SchedulerKind::kTwoOpBlock,
       core::SchedulerKind::kTwoOpBlockOoo};
@@ -121,6 +153,7 @@ inline int run_figure_bench(int argc, char** argv, std::string_view title,
   print_figure(std::string(title) + " -- raw harmonic-mean throughput IPC",
                cells, kKinds, opts, sim::FigureMetric::kThroughputIpc);
   maybe_write_sweep_json(opts, cells);
+  print_sweep_timing(timers, opts);
   return 0;
 }
 

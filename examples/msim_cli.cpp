@@ -14,6 +14,17 @@
 //   iq, scan_depth, watchdog_timeout, oracle_disambiguation, wrong_path,
 //   warmup, horizon, seed, max_cycles
 //
+// Sweep mode (replays a paper figure's grid instead of one run):
+//   sweep=2|3|4           run the 12-mix sweep for that thread count; iq
+//                         becomes a comma list (default 32,48,64,96,128)
+//                         and sched a comma list of kinds to compare
+//                         [traditional,2op_block,2op_block_ooo]
+//   --jobs N              worker threads for the sweep grid (default:
+//                         hardware concurrency; 1 = serial).  Results are
+//                         bit-identical at any job count — every cell owns
+//                         a deterministically derived RNG stream.
+//   --sweep-json <path>   write the sweep grid as JSON (write_sweep_json)
+//
 // Observability (GNU-style `--flag value` is also accepted):
 //   --stats-json <path>   write the full metric registry as JSON
 //   --trace-out <path>    write a per-instruction pipeline trace
@@ -21,14 +32,19 @@
 //   trace_capacity=N      trace ring size in events   [2^20 if tracing]
 //   --dump-config         print the resolved MachineConfig as JSON and exit
 #include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <stdexcept>
+#include <string>
 
 #include "common/config.hpp"
 #include "common/json.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/timer.hpp"
 #include "obs/trace.hpp"
+#include "sim/experiment.hpp"
 #include "sim/report.hpp"
 #include "sim/run.hpp"
 #include "trace/profile.hpp"
@@ -82,7 +98,8 @@ std::vector<std::string> normalize_args(int argc, char** argv) {
       std::replace(a.begin(), a.end(), '-', '_');
       if (a.find('=') == std::string::npos) {
         const bool takes_value = a == "stats_json" || a == "trace_out" ||
-                                 a == "trace_format" || a == "trace_capacity";
+                                 a == "trace_format" || a == "trace_capacity" ||
+                                 a == "jobs" || a == "sweep_json";
         if (takes_value) {
           if (i + 1 >= argc) {
             throw std::invalid_argument("--" + a + " requires a value");
@@ -174,17 +191,83 @@ void dump_machine_config_json(std::ostream& os, const smt::MachineConfig& mc) {
   os << '\n';
 }
 
+/// Replays a paper figure's (kind, iq, mix) grid through the parallel sweep
+/// engine and prints the figure tables; `base` supplies everything except
+/// benchmarks, kind and IQ size.
+int run_sweep_mode(const KvConfig& cli, sim::RunConfig base, unsigned threads,
+                   unsigned jobs) {
+  sim::SweepRequest req;
+  req.thread_count = threads;
+  for (const std::string& name : split_names(
+           cli.get_string("sched", "traditional,2op_block,2op_block_ooo"))) {
+    req.kinds.push_back(parse_sched(name));
+  }
+  for (const std::string& s :
+       split_names(cli.get_string("iq", "32,48,64,96,128"))) {
+    req.iq_sizes.push_back(static_cast<std::uint32_t>(std::stoul(s)));
+  }
+  req.base = std::move(base);
+  req.jobs = jobs;
+  req.progress = [](std::string_view msg) { std::cerr << "  " << msg << "\n"; };
+
+  std::cout << "msim-ooo sweep: " << threads << " threads, " << req.kinds.size()
+            << " scheduler kind(s), " << req.iq_sizes.size()
+            << " IQ size(s), jobs=" << jobs << "\n\n";
+
+  sim::BaselineCache baselines(req.base);
+  obs::TimerRegistry timers;
+  std::vector<sim::SweepCell> cells;
+  {
+    const obs::ScopeTimer timer(timers, "sweep");
+    cells = sim::run_sweep(req, baselines);
+  }
+
+  sim::figure_table(cells, req.kinds, req.iq_sizes, sim::FigureMetric::kIpcSpeedup)
+      .print(std::cout, "throughput-IPC speedup vs traditional (%)");
+  sim::figure_table(cells, req.kinds, req.iq_sizes,
+                    sim::FigureMetric::kFairnessGain)
+      .print(std::cout, "fairness improvement vs traditional (%)");
+  sim::figure_table(cells, req.kinds, req.iq_sizes,
+                    sim::FigureMetric::kThroughputIpc)
+      .print(std::cout, "raw harmonic-mean throughput IPC");
+
+  const std::string sweep_json = cli.get_string("sweep_json", "");
+  if (!sweep_json.empty()) {
+    std::ofstream out(sweep_json);
+    if (!out) throw std::runtime_error("cannot open '" + sweep_json + "'");
+    sim::write_sweep_json(out, cells);
+    std::cout << "wrote " << cells.size() << " sweep cells to " << sweep_json
+              << "\n";
+  }
+
+  timers.print(std::cout);
+  std::cout << "sweep wall-clock " << timers.seconds("sweep") << " s at jobs="
+            << jobs << " (same seed => same numbers at any job count)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::vector<std::string> args = normalize_args(argc, argv);
   const KvConfig cli = KvConfig::parse_strings(args);
 
+  const unsigned sweep = static_cast<unsigned>(cli.get_uint("sweep", 0));
+  const std::uint64_t jobs =
+      cli.get_uint("jobs", ThreadPool::default_parallelism());
+  if (jobs == 0) {
+    throw std::invalid_argument(
+        "jobs=0 is invalid: use jobs=1 for the serial path or jobs=N for N "
+        "workers (default: hardware concurrency)");
+  }
+
   sim::RunConfig cfg;
   cfg.benchmarks = split_names(cli.get_string("benchmarks", "gcc"));
-  cfg.kind = parse_sched(cli.get_string("sched", "traditional"));
+  if (sweep == 0) {
+    cfg.kind = parse_sched(cli.get_string("sched", "traditional"));
+    cfg.iq_entries = static_cast<std::uint32_t>(cli.get_uint("iq", 64));
+  }
   cfg.fetch_policy = parse_fetch(cli.get_string("fetch", "icount"));
-  cfg.iq_entries = static_cast<std::uint32_t>(cli.get_uint("iq", 64));
   cfg.scan_depth = static_cast<std::uint32_t>(cli.get_uint("scan_depth", 0));
   cfg.watchdog_timeout =
       static_cast<std::uint32_t>(cli.get_uint("watchdog_timeout", 450));
@@ -204,6 +287,10 @@ int main(int argc, char** argv) {
     cfg.deadlock = core::DeadlockMode::kWatchdog;
   } else {
     throw std::invalid_argument("unknown deadlock: '" + deadlock + "'");
+  }
+
+  if (sweep != 0) {
+    return run_sweep_mode(cli, cfg, sweep, static_cast<unsigned>(jobs));
   }
 
   const std::string stats_json = cli.get_string("stats_json", "");

@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <span>
+#include <string_view>
 
 namespace msim {
 
@@ -58,5 +59,16 @@ class Rng {
 /// Builds the cumulative weight vector used by Rng::next_index from raw
 /// (non-negative, not all zero) weights.
 std::array<double, 8> cumulative_from_weights(std::span<const double> weights);
+
+/// Derives an independent stream seed from a base seed, a textual tag and
+/// two numeric salts.  Experiment sweeps use this to give every simulation
+/// its own RNG stream that depends only on (base seed, identity of the run),
+/// never on which host thread ran it or in what order — the keystone of the
+/// parallel-equals-serial guarantee.  The derivation is order-sensitive and
+/// well mixed (SplitMix64 finalizer over an FNV-1a digest of the tag).
+[[nodiscard]] std::uint64_t derive_stream_seed(std::uint64_t base,
+                                               std::string_view tag,
+                                               std::uint64_t salt0 = 0,
+                                               std::uint64_t salt1 = 0) noexcept;
 
 }  // namespace msim

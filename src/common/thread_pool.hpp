@@ -1,0 +1,62 @@
+// Fixed-size worker pool for fanning independent simulations out across
+// host cores.
+//
+// Design constraints, in order:
+//   * determinism of the *results* must never depend on the pool: callers
+//     submit closures that write into pre-assigned slots, so aggregation
+//     order is fixed no matter the completion order;
+//   * exceptions thrown by a task must reach the submitter (they surface
+//     from the std::future returned by submit());
+//   * destruction drains: queued tasks still run before the workers join,
+//     so a pool can be scoped tightly around a batch of submissions.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace msim {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 is clamped to 1.
+  explicit ThreadPool(unsigned threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs any still-queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  /// Number of worker threads.
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues `task` for execution on some worker.  The returned future
+  /// carries the task's exception, if any.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Hardware concurrency with a floor of 1 (hardware_concurrency() may
+  /// legitimately return 0 on exotic hosts).
+  [[nodiscard]] static unsigned default_parallelism() noexcept {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1u : hw;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;  ///< guarded by mu_
+};
+
+}  // namespace msim

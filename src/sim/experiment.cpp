@@ -1,25 +1,95 @@
 #include "sim/experiment.hpp"
 
 #include <algorithm>
+#include <future>
 #include <stdexcept>
+#include <utility>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 
 namespace msim::sim {
 
 double BaselineCache::alone_ipc(std::string_view benchmark, std::uint32_t iq_entries) {
   const auto key = std::make_pair(std::string(benchmark), iq_entries);
-  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
 
-  RunConfig cfg = base_;
-  cfg.benchmarks = {key.first};
-  cfg.kind = core::SchedulerKind::kTraditional;
-  cfg.iq_entries = iq_entries;
-  const RunResult result = run_simulation(cfg);
-  MSIM_CHECK(result.throughput_ipc > 0.0);
-  cache_.emplace(key, result.throughput_ipc);
-  return result.throughput_ipc;
+  std::shared_ptr<Slot> slot;
+  bool owner = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = done_.find(key); it != done_.end()) return it->second;
+    auto& entry = slots_[key];
+    if (!entry) {
+      entry = std::make_shared<Slot>();
+      owner = true;
+    }
+    slot = entry;
+  }
+
+  if (!owner) {
+    // Another thread is simulating this key; block on its slot only.
+    std::unique_lock<std::mutex> lock(slot->m);
+    slot->cv.wait(lock, [&] { return slot->ready || slot->failed; });
+    if (slot->failed) {
+      throw std::runtime_error("baseline simulation failed for '" + key.first + "'");
+    }
+    return slot->ipc;
+  }
+
+  try {
+    RunConfig cfg = base_;
+    cfg.benchmarks = {key.first};
+    cfg.kind = core::SchedulerKind::kTraditional;
+    cfg.iq_entries = iq_entries;
+    cfg.seed = derive_stream_seed(base_.seed, "baseline:" + key.first, iq_entries);
+    const RunResult result = run_simulation(cfg);
+    MSIM_CHECK(result.throughput_ipc > 0.0);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      done_.emplace(key, result.throughput_ipc);
+      ++computations_;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(slot->m);
+      slot->ipc = result.throughput_ipc;
+      slot->ready = true;
+    }
+    slot->cv.notify_all();
+    return result.throughput_ipc;
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      slots_.erase(key);  // a later request may retry
+    }
+    {
+      const std::lock_guard<std::mutex> lock(slot->m);
+      slot->failed = true;
+    }
+    slot->cv.notify_all();
+    throw;
+  }
+}
+
+std::size_t BaselineCache::entries() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return done_.size();
+}
+
+std::uint64_t BaselineCache::computations() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return computations_;
+}
+
+std::vector<BaselineEntry> BaselineCache::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BaselineEntry> out;
+  out.reserve(done_.size());
+  for (const auto& [key, ipc] : done_) {
+    out.push_back({key.first, key.second, ipc});
+  }
+  return out;
 }
 
 MixResult run_mix(const trace::WorkloadMix& mix, core::SchedulerKind kind,
@@ -32,6 +102,11 @@ MixResult run_mix(const trace::WorkloadMix& mix, core::SchedulerKind kind,
   }
   cfg.kind = kind;
   cfg.iq_entries = iq_entries;
+  // One stream per (mix, iq): independent of scheduler kind so competing
+  // schedulers see identical workload randomness, and independent of
+  // execution order so parallel sweeps reproduce serial ones bit-for-bit.
+  cfg.seed = derive_stream_seed(base.seed, std::string("mix:").append(mix.name),
+                                iq_entries);
 
   MixResult out;
   out.mix_name = mix.name;
@@ -72,16 +147,20 @@ SweepCell aggregate_cell(core::SchedulerKind kind, std::uint32_t iq,
   return cell;
 }
 
+std::string describe(core::SchedulerKind kind, std::uint32_t iq,
+                     std::string_view mix_name) {
+  return std::string(core::scheduler_kind_name(kind)) + " iq=" +
+         std::to_string(iq) + " " + std::string(mix_name);
+}
+
 }  // namespace
 
 std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& baselines) {
   MSIM_CHECK(!request.iq_sizes.empty());
+  MSIM_CHECK(request.jobs >= 1);
   const auto mixes = trace::mixes_for(request.thread_count);
-  auto note = [&](const std::string& msg) {
-    if (request.progress) request.progress(msg);
-  };
 
-  // The traditional scheduler anchors every speedup; run it first.
+  // The traditional scheduler anchors every speedup; ensure it is present.
   std::vector<core::SchedulerKind> kinds = request.kinds;
   const bool traditional_requested =
       std::find(kinds.begin(), kinds.end(), core::SchedulerKind::kTraditional) !=
@@ -90,23 +169,68 @@ std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& bas
     kinds.insert(kinds.begin(), core::SchedulerKind::kTraditional);
   }
 
-  // kind -> iq -> cell
-  std::vector<SweepCell> cells;
-  std::map<std::uint32_t, const SweepCell*> trad_by_iq;
+  // Flatten the grid kind-major (request order), then iq, then mix: this
+  // fixed enumeration is both the work list and the aggregation order, so
+  // results never depend on which worker finishes first.
+  struct GridPoint {
+    core::SchedulerKind kind;
+    std::uint32_t iq;
+    const trace::WorkloadMix* mix;
+  };
+  std::vector<GridPoint> grid;
+  grid.reserve(kinds.size() * request.iq_sizes.size() * mixes.size());
   for (const core::SchedulerKind kind : kinds) {
     for (const std::uint32_t iq : request.iq_sizes) {
-      std::vector<MixResult> results;
-      results.reserve(mixes.size());
       for (const trace::WorkloadMix& mix : mixes) {
-        note(std::string(core::scheduler_kind_name(kind)) + " iq=" +
-             std::to_string(iq) + " " + std::string(mix.name));
-        results.push_back(run_mix(mix, kind, iq, request.base, baselines));
+        grid.push_back({kind, iq, &mix});
       }
-      cells.push_back(aggregate_cell(kind, iq, std::move(results)));
+    }
+  }
+
+  std::vector<MixResult> results(grid.size());
+  if (request.jobs == 1) {
+    // Serial path: today's behavior, including progress notes before each run.
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const GridPoint& p = grid[i];
+      if (request.progress) {
+        request.progress(describe(p.kind, p.iq, p.mix->name));
+      }
+      results[i] = run_mix(*p.mix, p.kind, p.iq, request.base, baselines);
+    }
+  } else {
+    ThreadPool pool(request.jobs);
+    std::mutex progress_mu;
+    std::vector<std::future<void>> pending;
+    pending.reserve(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      pending.push_back(pool.submit([&, i] {
+        const GridPoint& p = grid[i];
+        results[i] = run_mix(*p.mix, p.kind, p.iq, request.base, baselines);
+        if (request.progress) {
+          const std::lock_guard<std::mutex> lock(progress_mu);
+          request.progress(describe(p.kind, p.iq, p.mix->name));
+        }
+      }));
+    }
+    for (std::future<void>& f : pending) f.get();
+  }
+
+  std::vector<SweepCell> cells;
+  cells.reserve(kinds.size() * request.iq_sizes.size());
+  std::size_t next = 0;
+  for (const core::SchedulerKind kind : kinds) {
+    for (const std::uint32_t iq : request.iq_sizes) {
+      std::vector<MixResult> cell_results(
+          std::make_move_iterator(results.begin() + static_cast<std::ptrdiff_t>(next)),
+          std::make_move_iterator(results.begin() +
+                                  static_cast<std::ptrdiff_t>(next + mixes.size())));
+      next += mixes.size();
+      cells.push_back(aggregate_cell(kind, iq, std::move(cell_results)));
     }
   }
 
   // Compute per-mix speedups against traditional at the same capacity.
+  std::map<std::uint32_t, const SweepCell*> trad_by_iq;
   for (const SweepCell& cell : cells) {
     if (cell.kind == core::SchedulerKind::kTraditional) {
       trad_by_iq[cell.iq_entries] = &cell;

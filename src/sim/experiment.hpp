@@ -3,11 +3,21 @@
 // the 12 mixes of a thread count; speedups relative to the traditional
 // scheduler of the same capacity; fairness = harmonic mean of weighted IPCs
 // using cached single-threaded baseline runs).
+//
+// The sweep grid parallelizes embarrassingly: every (mix, kind, iq) cell is
+// an independent simulation with its own deterministically derived RNG
+// stream (common/rng.hpp, derive_stream_seed), so run_sweep can fan the
+// cells out across a thread pool and still return bit-identical results at
+// any job count — cells are aggregated in fixed grid order, never in
+// completion order.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -18,9 +28,23 @@
 
 namespace msim::sim {
 
+/// One completed baseline: `benchmark` alone on the traditional scheduler.
+struct BaselineEntry {
+  std::string benchmark;
+  std::uint32_t iq_entries = 0;
+  double ipc = 0.0;
+
+  friend bool operator==(const BaselineEntry&, const BaselineEntry&) = default;
+};
+
 /// Memoizes single-threaded IPC of each benchmark on the traditional
 /// scheduler of a given IQ size: the denominator of the weighted-IPC
 /// fairness metric (Section 2, citing [8,16]).
+///
+/// Concurrency-safe with per-key single-flight computation: the first
+/// thread to request a key simulates it while later requesters of the
+/// *same* key block on that key's slot (requests for other keys proceed
+/// unhindered — there is no global lock around the simulation).
 class BaselineCache {
  public:
   explicit BaselineCache(RunConfig base) : base_(std::move(base)) {}
@@ -28,11 +52,33 @@ class BaselineCache {
   /// IPC of `benchmark` running alone (traditional scheduler, `iq_entries`).
   double alone_ipc(std::string_view benchmark, std::uint32_t iq_entries);
 
-  [[nodiscard]] std::size_t entries() const noexcept { return cache_.size(); }
+  /// Number of completed baselines.
+  [[nodiscard]] std::size_t entries() const;
+
+  /// Number of baseline simulations actually executed.  With single-flight
+  /// this equals entries() no matter how many threads raced on a key.
+  [[nodiscard]] std::uint64_t computations() const;
+
+  /// All completed baselines in deterministic (benchmark, iq) order.
+  [[nodiscard]] std::vector<BaselineEntry> snapshot() const;
 
  private:
+  using Key = std::pair<std::string, std::uint32_t>;
+
+  /// Single-flight rendezvous for one key's in-progress simulation.
+  struct Slot {
+    std::mutex m;
+    std::condition_variable cv;
+    bool ready = false;   ///< guarded by m
+    bool failed = false;  ///< guarded by m
+    double ipc = 0.0;     ///< written once before ready=true
+  };
+
   RunConfig base_;
-  std::map<std::pair<std::string, std::uint32_t>, double> cache_;
+  mutable std::mutex mu_;  ///< guards slots_, done_, computations_
+  std::map<Key, std::shared_ptr<Slot>> slots_;
+  std::map<Key, double> done_;
+  std::uint64_t computations_ = 0;
 };
 
 /// One mix under one scheduler configuration.
@@ -44,7 +90,10 @@ struct MixResult {
 };
 
 /// Runs one workload mix; `base` supplies everything except benchmarks,
-/// kind and IQ size.
+/// kind and IQ size.  The run's RNG stream is derived from
+/// (base.seed, mix name, iq) — never from the scheduler kind, so competing
+/// schedulers are compared on identical workload randomness (a paired
+/// comparison, as in the paper).
 MixResult run_mix(const trace::WorkloadMix& mix, core::SchedulerKind kind,
                   std::uint32_t iq_entries, const RunConfig& base,
                   BaselineCache& baselines);
@@ -69,7 +118,13 @@ struct SweepRequest {
   std::vector<core::SchedulerKind> kinds;
   std::vector<std::uint32_t> iq_sizes;
   RunConfig base;  ///< benchmarks/kind/iq fields are ignored
-  /// Optional progress sink (benches report to stderr).
+  /// Worker threads to fan the grid out across.  1 = serial (runs on the
+  /// calling thread); 0 is invalid.  Results are bit-identical at any
+  /// value.
+  unsigned jobs = 1;
+  /// Optional progress sink (benches report to stderr).  With jobs > 1 it
+  /// is invoked under a lock, one whole message at a time, as cells
+  /// *finish* (completion order is nondeterministic).
   std::function<void(std::string_view)> progress;
 };
 

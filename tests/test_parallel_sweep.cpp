@@ -1,0 +1,212 @@
+// The parallel sweep engine's contract: fanning the (mix, kind, iq) grid
+// out across a thread pool changes wall-clock time and *nothing else*.
+// These tests pin that contract from three sides — the pool itself, the
+// single-flight BaselineCache, and end-to-end parallel-equals-serial
+// determinism of run_sweep across several seeds.
+//
+// Double comparisons here deliberately use EXPECT_EQ, not EXPECT_DOUBLE_EQ:
+// the guarantee is bit-identical results, not results within a few ULPs.
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hpp"
+#include "sim/experiment.hpp"
+
+namespace msim::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool unit tests
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, ClampsZeroThreadsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(4);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptionsThroughTheFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);  // single worker => tasks queue up behind each other
+    for (int i = 0; i < 32; ++i) {
+      (void)pool.submit([&counter] { ++counter; });
+    }
+  }  // destruction must run the backlog before joining
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, DefaultParallelismIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_parallelism(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// BaselineCache single-flight concurrency
+// ---------------------------------------------------------------------------
+
+RunConfig tiny_base() {
+  RunConfig cfg;
+  cfg.warmup = 1000;
+  cfg.horizon = 4000;
+  return cfg;
+}
+
+TEST(BaselineCacheConcurrency, OverlappingKeysSimulateExactlyOnce) {
+  BaselineCache cache(tiny_base());
+  struct Key {
+    const char* benchmark;
+    std::uint32_t iq;
+  };
+  const std::vector<Key> keys{{"gzip", 32}, {"gzip", 64}, {"gcc", 32}, {"eon", 64}};
+
+  constexpr unsigned kThreads = 8;
+  std::vector<std::vector<double>> observed(kThreads,
+                                            std::vector<double>(keys.size()));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread walks the keys starting at a different offset, so every
+      // key sees racing first-requesters across runs of this test.
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        const Key& k = keys[(i + t) % keys.size()];
+        observed[t][(i + t) % keys.size()] = cache.alone_ipc(k.benchmark, k.iq);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // Single-flight: racing requesters blocked on the winner instead of
+  // re-simulating, so exactly one computation per distinct key.
+  EXPECT_EQ(cache.computations(), keys.size());
+  EXPECT_EQ(cache.entries(), keys.size());
+  for (unsigned t = 1; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      EXPECT_EQ(observed[t][i], observed[0][i])
+          << "thread " << t << " saw a different IPC for key " << i;
+    }
+  }
+}
+
+TEST(BaselineCacheConcurrency, RepeatRequestsNeverRecompute) {
+  BaselineCache cache(tiny_base());
+  const double first = cache.alone_ipc("gzip", 64);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(cache.alone_ipc("gzip", 64), first);
+  }
+  EXPECT_EQ(cache.computations(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-equals-serial determinism of run_sweep
+// ---------------------------------------------------------------------------
+
+SweepRequest small_request(std::uint64_t seed) {
+  SweepRequest req;
+  req.thread_count = 2;
+  req.kinds = {core::SchedulerKind::kTraditional,
+               core::SchedulerKind::kTwoOpBlockOoo};
+  req.iq_sizes = {32, 64};
+  req.base = tiny_base();
+  req.base.seed = seed;
+  return req;
+}
+
+void expect_bit_identical(const std::vector<SweepCell>& serial,
+                          const std::vector<SweepCell>& parallel) {
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t c = 0; c < serial.size(); ++c) {
+    const SweepCell& a = serial[c];
+    const SweepCell& b = parallel[c];
+    SCOPED_TRACE("cell " + std::to_string(c));
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.iq_entries, b.iq_entries);
+    EXPECT_EQ(a.hmean_ipc, b.hmean_ipc);
+    EXPECT_EQ(a.hmean_fairness, b.hmean_fairness);
+    EXPECT_EQ(a.ipc_speedup_vs_trad, b.ipc_speedup_vs_trad);
+    EXPECT_EQ(a.fairness_gain_vs_trad, b.fairness_gain_vs_trad);
+    EXPECT_EQ(a.mean_all_stall_fraction, b.mean_all_stall_fraction);
+    EXPECT_EQ(a.mean_iq_residency, b.mean_iq_residency);
+    ASSERT_EQ(a.mixes.size(), b.mixes.size());
+    for (std::size_t m = 0; m < a.mixes.size(); ++m) {
+      SCOPED_TRACE("mix " + a.mixes[m].mix_name);
+      EXPECT_EQ(a.mixes[m].mix_name, b.mixes[m].mix_name);
+      EXPECT_EQ(a.mixes[m].throughput_ipc, b.mixes[m].throughput_ipc);
+      EXPECT_EQ(a.mixes[m].fairness, b.mixes[m].fairness);
+      EXPECT_EQ(a.mixes[m].raw.cycles, b.mixes[m].raw.cycles);
+      EXPECT_EQ(a.mixes[m].raw.per_thread_ipc, b.mixes[m].raw.per_thread_ipc);
+      EXPECT_EQ(a.mixes[m].raw.per_thread_committed,
+                b.mixes[m].raw.per_thread_committed);
+    }
+  }
+}
+
+TEST(ParallelSweep, BitIdenticalToSerialAcrossSeeds) {
+  for (const std::uint64_t seed : {1u, 7u, 20260806u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+
+    SweepRequest serial_req = small_request(seed);
+    serial_req.jobs = 1;
+    BaselineCache serial_cache(serial_req.base);
+    const auto serial = run_sweep(serial_req, serial_cache);
+
+    SweepRequest parallel_req = small_request(seed);
+    parallel_req.jobs = 4;
+    BaselineCache parallel_cache(parallel_req.base);
+    const auto parallel = run_sweep(parallel_req, parallel_cache);
+
+    expect_bit_identical(serial, parallel);
+
+    // The caches converged on identical contents: same keys, same IPCs,
+    // in the same deterministic (benchmark, iq) order.
+    EXPECT_EQ(serial_cache.snapshot(), parallel_cache.snapshot());
+  }
+}
+
+TEST(ParallelSweep, JobCountBeyondGridSizeIsHarmless) {
+  SweepRequest req = small_request(3);
+  req.kinds = {core::SchedulerKind::kTwoOpBlock};
+  req.iq_sizes = {32};
+  req.jobs = 32;  // far more workers than the 12-cell grid
+  BaselineCache cache(req.base);
+  const auto cells = run_sweep(req, cache);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].mixes.size(), 12u);
+  EXPECT_GT(cells[0].hmean_ipc, 0.0);
+}
+
+TEST(ParallelSweep, ProgressFiresOncePerMixWhenParallel) {
+  SweepRequest req = small_request(1);
+  req.kinds = {core::SchedulerKind::kTraditional};
+  req.iq_sizes = {32};
+  req.jobs = 4;
+  std::atomic<unsigned> calls{0};
+  req.progress = [&calls](std::string_view) { ++calls; };
+  BaselineCache cache(req.base);
+  (void)run_sweep(req, cache);
+  EXPECT_EQ(calls.load(), 12u);  // one per mix, regardless of worker count
+}
+
+}  // namespace
+}  // namespace msim::sim
