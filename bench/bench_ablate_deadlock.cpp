@@ -22,6 +22,7 @@ struct Variant {
 }  // namespace
 
 int main(int argc, char** argv) {
+  return msim::bench::guarded_main([&]() -> int {
   using namespace msim;
   bench::BenchOptions opts = bench::parse_options(argc, argv);
   bench::print_run_parameters(opts);
@@ -65,4 +66,5 @@ int main(int argc, char** argv) {
                                "-threaded mixes, 64-entry IQ, OOO dispatch");
   }
   return 0;
+  });
 }

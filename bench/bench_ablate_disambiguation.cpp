@@ -9,6 +9,7 @@
 #include "trace/mixes.hpp"
 
 int main(int argc, char** argv) {
+  return msim::bench::guarded_main([&]() -> int {
   using namespace msim;
   bench::BenchOptions opts = bench::parse_options(argc, argv);
   bench::print_run_parameters(opts);
@@ -41,4 +42,5 @@ int main(int argc, char** argv) {
                                ", 64-entry IQ");
   }
   return 0;
+  });
 }

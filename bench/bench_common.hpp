@@ -24,6 +24,7 @@
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/timer.hpp"
+#include "robust/diagnostic.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 
@@ -44,12 +45,14 @@ inline BenchOptions parse_options(int argc, char** argv) {
   const KvConfig cli =
       KvConfig::parse({argv + 1, static_cast<std::size_t>(argc - 1)});
   static constexpr std::string_view kKnown[] = {
-      "warmup", "horizon", "seed", "iq", "quick", "jobs", "verbose", "json"};
+      "warmup", "horizon", "seed", "iq", "quick", "jobs", "verbose", "json",
+      "verify", "hang_cycles"};
   const auto unknown = cli.unknown_keys(kKnown);
   if (!unknown.empty()) {
     std::string msg = "unknown option(s):";
     for (const std::string& k : unknown) msg += " " + k;
-    msg += " (known: warmup horizon seed iq quick jobs verbose json)";
+    msg += " (known: warmup horizon seed iq quick jobs verbose json verify "
+           "hang_cycles)";
     throw std::invalid_argument(msg);
   }
   BenchOptions opts;
@@ -71,7 +74,32 @@ inline BenchOptions parse_options(int argc, char** argv) {
   opts.jobs = static_cast<unsigned>(jobs);
   opts.verbose = cli.get_bool("verbose", false);
   opts.json_path = cli.get_string("json", "");
+  opts.base.verify = cli.get_bool("verify", false);
+  opts.base.hang_cycles = cli.get_uint("hang_cycles", 500'000);
+
+  // Reject unrunnable configurations here, before any sweep starts.  The
+  // mixes supply the real benchmarks later; a placeholder stands in so
+  // RunConfig::validate can exercise the structural checks.
+  sim::RunConfig probe = opts.base;
+  probe.benchmarks = {"gcc"};
+  probe.validate();
   return opts;
+}
+
+/// Wraps a bench body in the standard error protocol: configuration errors
+/// exit 2 with a one-line message, simulation aborts (hang watchdog or
+/// invariant violation) exit 3 — never an uncaught-exception stack dump.
+template <typename F>
+inline int guarded_main(F&& body) {
+  try {
+    return body();
+  } catch (const robust::SimulationAborted& e) {
+    std::cerr << "fatal: " << e.what() << "\n";
+    return 3;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
 }
 
 /// Writes the sweep grid to opts.json_path when requested (json=PATH).
@@ -136,6 +164,7 @@ inline void print_sweep_timing(const obs::TimerRegistry& timers,
 /// Standard figure-bench body: sweep one thread count, print one metric.
 inline int run_figure_bench(int argc, char** argv, std::string_view title,
                             unsigned thread_count, sim::FigureMetric metric) {
+  return guarded_main([&]() -> int {
   const BenchOptions opts = parse_options(argc, argv);
   print_run_parameters(opts);
   sim::BaselineCache baselines(opts.base);
@@ -155,6 +184,7 @@ inline int run_figure_bench(int argc, char** argv, std::string_view title,
   maybe_write_sweep_json(opts, cells);
   print_sweep_timing(timers, opts);
   return 0;
+  });
 }
 
 }  // namespace msim::bench

@@ -9,6 +9,7 @@
 #include "trace/mixes.hpp"
 
 int main(int argc, char** argv) {
+  return msim::bench::guarded_main([&]() -> int {
   using namespace msim;
   bench::BenchOptions opts = bench::parse_options(argc, argv);
   bench::print_run_parameters(opts);
@@ -52,4 +53,5 @@ int main(int argc, char** argv) {
   table.print(std::cout,
               "wakeup CAM hardware and activity, 2-threaded mixes, 64-entry IQ");
   return 0;
+  });
 }

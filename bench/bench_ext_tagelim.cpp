@@ -7,6 +7,7 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
+  return msim::bench::guarded_main([&]() -> int {
   using namespace msim;
   const bench::BenchOptions opts = bench::parse_options(argc, argv);
   bench::print_run_parameters(opts);
@@ -29,4 +30,5 @@ int main(int argc, char** argv) {
                         cells, req.kinds, opts, sim::FigureMetric::kIpcSpeedup);
   }
   return 0;
+  });
 }

@@ -7,6 +7,7 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
+  return msim::bench::guarded_main([&]() -> int {
   using namespace msim;
   const bench::BenchOptions opts = bench::parse_options(argc, argv);
   bench::print_run_parameters(opts);
@@ -48,4 +49,5 @@ int main(int argc, char** argv) {
   table.print(std::cout,
               "Figure 1: 2OP_BLOCK IPC speedup vs traditional IQ of same capacity");
   return 0;
+  });
 }

@@ -8,6 +8,7 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
+  return msim::bench::guarded_main([&]() -> int {
   using namespace msim;
   bench::BenchOptions opts = bench::parse_options(argc, argv);
   bench::print_run_parameters(opts);
@@ -38,4 +39,5 @@ int main(int argc, char** argv) {
               "Section 3/5: fraction of cycles with ALL threads dispatch-stalled "
               "by two-non-ready instructions (64-entry IQ)");
   return 0;
+  });
 }

@@ -7,6 +7,7 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
+  return msim::bench::guarded_main([&]() -> int {
   using namespace msim;
   bench::BenchOptions opts = bench::parse_options(argc, argv);
   bench::print_run_parameters(opts);
@@ -64,4 +65,5 @@ int main(int argc, char** argv) {
               "Section 4: Hidden Dispatchable Instruction statistics "
               "(2-threaded mixes, 64-entry IQ)");
   return 0;
+  });
 }

@@ -5,6 +5,7 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
+  return msim::bench::guarded_main([&]() -> int {
   using namespace msim;
   bench::BenchOptions opts = bench::parse_options(argc, argv);
   bench::print_run_parameters(opts);
@@ -32,4 +33,5 @@ int main(int argc, char** argv) {
   bench::print_figure("mean IQ occupancy context: Section-3 all-stall fraction",
                       cells, kKinds, opts, sim::FigureMetric::kAllStallFraction);
   return 0;
+  });
 }

@@ -31,10 +31,27 @@
 //   trace_format=konata|gantt                                 [konata]
 //   trace_capacity=N      trace ring size in events   [2^20 if tracing]
 //   --dump-config         print the resolved MachineConfig as JSON and exit
+//
+// Robustness (src/robust/, docs/ROBUSTNESS.md):
+//   verify=1              cycle-level invariant checking (InvariantChecker)
+//   hang_cycles=N         hang watchdog: abort after N commit-free cycles
+//                         (0 = off)                            [500000]
+//   fault_intensity=P     inject a randomized fault plan scaled by P in
+//                         [0,1] (FaultPlan::random)            [0 = off]
+//   fault_seed=S, fault_index=I    which plan to derive        [1, 0]
+//   isolate=0|1           sweep mode: crash-isolate cells      [1]
+//   retries=N             sweep mode: retries per failed cell  [1]
+//   --diag <path>         where an abort's JSON diagnostic bundle is
+//                         written                  [msim-diagnostic.json]
+//
+// Exit codes: 0 success; 2 bad usage / configuration error (one-line
+// message); 3 simulation aborted (hang watchdog or invariant violation;
+// diagnostic bundle written).
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -44,6 +61,8 @@
 #include "common/thread_pool.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
+#include "robust/diagnostic.hpp"
+#include "robust/fault.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 #include "sim/run.hpp"
@@ -99,7 +118,8 @@ std::vector<std::string> normalize_args(int argc, char** argv) {
       if (a.find('=') == std::string::npos) {
         const bool takes_value = a == "stats_json" || a == "trace_out" ||
                                  a == "trace_format" || a == "trace_capacity" ||
-                                 a == "jobs" || a == "sweep_json";
+                                 a == "jobs" || a == "sweep_json" ||
+                                 a == "diag";
         if (takes_value) {
           if (i + 1 >= argc) {
             throw std::invalid_argument("--" + a + " requires a value");
@@ -208,6 +228,8 @@ int run_sweep_mode(const KvConfig& cli, sim::RunConfig base, unsigned threads,
   }
   req.base = std::move(base);
   req.jobs = jobs;
+  req.isolate_failures = cli.get_bool("isolate", true);
+  req.retries = static_cast<unsigned>(cli.get_uint("retries", 1));
   req.progress = [](std::string_view msg) { std::cerr << "  " << msg << "\n"; };
 
   std::cout << "msim-ooo sweep: " << threads << " threads, " << req.kinds.size()
@@ -231,6 +253,13 @@ int run_sweep_mode(const KvConfig& cli, sim::RunConfig base, unsigned threads,
                     sim::FigureMetric::kThroughputIpc)
       .print(std::cout, "raw harmonic-mean throughput IPC");
 
+  const std::vector<sim::FailedCell> failures = sim::sweep_failures(cells);
+  for (const sim::FailedCell& f : failures) {
+    std::cerr << "FAILED cell: " << core::scheduler_kind_name(f.kind) << " iq="
+              << f.iq_entries << " " << f.mix_name << " after " << f.attempts
+              << " attempt(s): " << f.error << "\n";
+  }
+
   const std::string sweep_json = cli.get_string("sweep_json", "");
   if (!sweep_json.empty()) {
     std::ofstream out(sweep_json);
@@ -243,15 +272,10 @@ int run_sweep_mode(const KvConfig& cli, sim::RunConfig base, unsigned threads,
   timers.print(std::cout);
   std::cout << "sweep wall-clock " << timers.seconds("sweep") << " s at jobs="
             << jobs << " (same seed => same numbers at any job count)\n";
-  return 0;
+  return failures.empty() ? 0 : 1;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const std::vector<std::string> args = normalize_args(argc, argv);
-  const KvConfig cli = KvConfig::parse_strings(args);
-
+int run_cli(const KvConfig& cli) {
   const unsigned sweep = static_cast<unsigned>(cli.get_uint("sweep", 0));
   const std::uint64_t jobs =
       cli.get_uint("jobs", ThreadPool::default_parallelism());
@@ -287,6 +311,21 @@ int main(int argc, char** argv) {
     cfg.deadlock = core::DeadlockMode::kWatchdog;
   } else {
     throw std::invalid_argument("unknown deadlock: '" + deadlock + "'");
+  }
+
+  // Robustness knobs (docs/ROBUSTNESS.md).
+  cfg.verify = cli.get_bool("verify", false);
+  cfg.hang_cycles = cli.get_uint("hang_cycles", 500'000);
+  const double fault_intensity = cli.get_double("fault_intensity", 0.0);
+  std::optional<robust::FaultInjector> injector;
+  if (fault_intensity > 0.0) {
+    const robust::FaultPlan plan =
+        robust::FaultPlan::random(cli.get_uint("fault_seed", 1),
+                                  cli.get_uint("fault_index", 0),
+                                  fault_intensity);
+    injector.emplace(plan);
+    cfg.faults = &*injector;
+    std::cerr << "fault injection: " << plan.describe() << "\n";
   }
 
   if (sweep != 0) {
@@ -418,4 +457,32 @@ int main(int argc, char** argv) {
               << trace_format << "]\n";
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string diag_path = "msim-diagnostic.json";
+  try {
+    const std::vector<std::string> args = normalize_args(argc, argv);
+    const KvConfig cli = KvConfig::parse_strings(args);
+    diag_path = cli.get_string("diag", diag_path);
+    return run_cli(cli);
+  } catch (const robust::SimulationAborted& e) {
+    // The machine hung or violated an invariant: preserve its final state
+    // for post-mortem analysis instead of dying with a bare message.
+    std::ofstream out(diag_path);
+    if (out) {
+      out << e.bundle();
+      std::cerr << "fatal: " << e.what() << "\ndiagnostic bundle: "
+                << diag_path << "\n";
+    } else {
+      std::cerr << "fatal: " << e.what() << "\n(could not write diagnostic "
+                << "bundle to '" << diag_path << "')\n";
+    }
+    return 3;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
 }

@@ -1,0 +1,78 @@
+// Fault-injection seam for the dispatch/issue machinery.
+//
+// The scheduler and pipeline consult an optional FaultHooks instance at
+// the points where real hardware hazards originate: operand readiness
+// classification, structural-resource admission, and execution latency.
+// The default implementation injects nothing, so a null / default hooks
+// object is exactly the fault-free machine.  Concrete injectors live in
+// src/robust/ (which depends on core, never the reverse).
+//
+// Implementations must be deterministic pure functions of their arguments:
+// the scheduler may query the same (thread, seq, cycle) coordinate several
+// times per cycle and replay the same seq after a watchdog flush, and the
+// sweep engine calls sessions from multiple worker threads.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace msim::core {
+
+class FaultHooks {
+ public:
+  virtual ~FaultHooks() = default;
+
+  /// Treat this instruction as a non-deterministic-latency consumer even
+  /// if its sources are ready (forced NDI storm).
+  [[nodiscard]] virtual bool force_ndi(ThreadId tid, SeqNum seq, Cycle now) const {
+    (void)tid, (void)seq, (void)now;
+    return false;
+  }
+
+  /// Pretend the shared issue queue is full this cycle (transient
+  /// structural exhaustion).
+  [[nodiscard]] virtual bool iq_exhausted(Cycle now) const {
+    (void)now;
+    return false;
+  }
+
+  /// Pretend this thread's ROB is full this cycle (blocks rename).
+  [[nodiscard]] virtual bool rob_exhausted(ThreadId tid, Cycle now) const {
+    (void)tid, (void)now;
+    return false;
+  }
+
+  /// Pretend this thread's LSQ is full this cycle (blocks memory rename).
+  [[nodiscard]] virtual bool lsq_exhausted(ThreadId tid, Cycle now) const {
+    (void)tid, (void)now;
+    return false;
+  }
+
+  /// Extra execution latency, in cycles, added when this instruction
+  /// issues (memory / FU latency perturbation).
+  [[nodiscard]] virtual std::uint32_t extra_issue_latency(ThreadId tid, SeqNum seq,
+                                                          Cycle now) const {
+    (void)tid, (void)seq, (void)now;
+    return 0;
+  }
+
+  /// Sabotage fault: stall the commit stage entirely this cycle.  Used by
+  /// self-tests to manufacture a guaranteed hang; never part of a
+  /// resilience plan the machine is expected to survive.
+  [[nodiscard]] virtual bool commit_blocked(Cycle now) const {
+    (void)now;
+    return false;
+  }
+
+  /// Sabotage fault: silently drop this instruction at dispatch instead
+  /// of inserting it into the issue queue.  Leaks the ROB entry by
+  /// design — used by self-tests to prove the invariant checker catches
+  /// accounting bugs.
+  [[nodiscard]] virtual bool drop_dispatch(ThreadId tid, SeqNum seq, Cycle now) const {
+    (void)tid, (void)seq, (void)now;
+    return false;
+  }
+};
+
+}  // namespace msim::core

@@ -21,4 +21,15 @@ std::string_view deadlock_mode_name(DeadlockMode mode) noexcept {
   return "unknown";
 }
 
+std::string_view dispatch_block_name(DispatchBlock block) noexcept {
+  switch (block) {
+    case DispatchBlock::kNone:        return "none";
+    case DispatchBlock::kEmptyBuffer: return "empty_buffer";
+    case DispatchBlock::kIqFull:      return "iq_full";
+    case DispatchBlock::kTwoNonReady: return "two_non_ready";
+    case DispatchBlock::kWidth:       return "width";
+  }
+  return "unknown";
+}
+
 }  // namespace msim::core

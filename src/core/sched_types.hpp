@@ -98,4 +98,6 @@ enum class DispatchBlock : std::uint8_t {
   kWidth,        ///< machine dispatch width exhausted this cycle
 };
 
+[[nodiscard]] std::string_view dispatch_block_name(DispatchBlock block) noexcept;
+
 }  // namespace msim::core

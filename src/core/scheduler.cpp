@@ -65,6 +65,24 @@ unsigned Scheduler::non_ready_sources(const SchedInst& inst, const DispatchEnv& 
   return count;
 }
 
+unsigned Scheduler::classify_non_ready(const SchedInst& inst, const DispatchEnv& env,
+                                       Cycle now) {
+  if (faults_ && faults_->force_ndi(inst.tid, inst.seq, now)) {
+    ++dstats_.fault_forced_ndis;
+    return isa::kMaxSources;
+  }
+  return non_ready_sources(inst, env);
+}
+
+bool Scheduler::iq_denies(unsigned non_ready, Cycle now) {
+  if (!iq_.has_entry_for(non_ready)) return true;
+  if (faults_ && faults_->iq_exhausted(now)) {
+    ++dstats_.fault_iq_denials;
+    return true;
+  }
+  return false;
+}
+
 bool Scheduler::reads_any(const SchedInst& inst, const std::vector<PhysReg>& regs) {
   for (PhysReg src : inst.src) {
     if (src == kNoPhysReg) continue;
@@ -120,7 +138,7 @@ bool Scheduler::try_dispatch_one(ThreadId tid, Cycle now, const DispatchEnv& env
     // merely lacks a *free* adequate entry right now waits on queue
     // occupancy (the tag-elimination and traditional cases).
     const SchedInst& head = buf.front();
-    const unsigned non_ready = non_ready_sources(head, env);
+    const unsigned non_ready = classify_non_ready(head, env, now);
     if (non_ready > iq_.max_comparators()) {
       if (block_reason_[tid] != DispatchBlock::kTwoNonReady) {
         block_reason_[tid] = DispatchBlock::kTwoNonReady;
@@ -129,10 +147,16 @@ bool Scheduler::try_dispatch_one(ThreadId tid, Cycle now, const DispatchEnv& env
       scan.exhausted = true;
       return false;
     }
-    if (!iq_.has_entry_for(non_ready)) {
+    if (iq_denies(non_ready, now)) {
       block_reason_[tid] = DispatchBlock::kIqFull;
       scan.exhausted = true;
       return false;
+    }
+    if (faults_ && faults_->drop_dispatch(tid, head.seq, now)) {
+      ++dstats_.fault_dropped_dispatches;
+      buf.erase(buf.begin());
+      block_reason_[tid] = DispatchBlock::kNone;
+      return true;
     }
     dispatch_into_iq(head, env, now);
     ++dstats_.dispatched_by_nonready[std::min(non_ready, 2u)];
@@ -147,9 +171,9 @@ bool Scheduler::try_dispatch_one(ThreadId tid, Cycle now, const DispatchEnv& env
   const std::uint32_t depth = config_.effective_scan_depth();
   while (scan.pos < buf.size() && scan.examined < depth) {
     const SchedInst& cand = buf[scan.pos];
-    const unsigned non_ready = non_ready_sources(cand, env);
+    const unsigned non_ready = classify_non_ready(cand, env, now);
     const bool tainted = reads_any(cand, scan.tainted);
-    if (non_ready <= iq_.max_comparators() && !iq_.has_entry_for(non_ready)) {
+    if (non_ready <= iq_.max_comparators() && iq_denies(non_ready, now)) {
       scan.saw_iq_full = true;
       // Deadlock avoidance (Section 4): when the thread's oldest ROB
       // instruction cannot get an IQ entry, park it in the DAB, from
@@ -191,6 +215,12 @@ bool Scheduler::try_dispatch_one(ThreadId tid, Cycle now, const DispatchEnv& env
     }
 
     // Dispatchable: take it.
+    if (faults_ && faults_->drop_dispatch(tid, cand.seq, now)) {
+      ++dstats_.fault_dropped_dispatches;
+      buf.erase(buf.begin() + scan.pos);
+      block_reason_[tid] = DispatchBlock::kNone;
+      return true;
+    }
     if (scan.saw_ndi) {
       ++dstats_.ooo_dispatches;
       if (tainted) {
@@ -364,6 +394,12 @@ void Scheduler::register_stats(obs::StatRegistry& registry,
   registry.counter(prefix + "dispatch.dab_issues", [d] { return d->dab_issues; });
   registry.counter(prefix + "dispatch.watchdog_flushes",
                    [d] { return d->watchdog_flushes; });
+  registry.counter(prefix + "dispatch.fault_forced_ndis",
+                   [d] { return d->fault_forced_ndis; });
+  registry.counter(prefix + "dispatch.fault_iq_denials",
+                   [d] { return d->fault_iq_denials; });
+  registry.counter(prefix + "dispatch.fault_dropped_dispatches",
+                   [d] { return d->fault_dropped_dispatches; });
 
   const IqStats* q = &iq_.stats();
   registry.counter(prefix + "iq.dispatched", [q] { return q->dispatched; });

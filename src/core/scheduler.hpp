@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fault_hooks.hpp"
 #include "core/issue_queue.hpp"
 #include "core/sched_types.hpp"
 #include "obs/registry.hpp"
@@ -80,6 +81,12 @@ struct DispatchStats {
   std::uint64_t dab_inserts = 0;
   std::uint64_t dab_issues = 0;
   std::uint64_t watchdog_flushes = 0;
+  /// Fault injection (src/robust/): classification decisions forced to
+  /// NDI, IQ admissions denied by transient exhaustion, and instructions
+  /// dropped by the sabotage fault.  All zero on a fault-free run.
+  std::uint64_t fault_forced_ndis = 0;
+  std::uint64_t fault_iq_denials = 0;
+  std::uint64_t fault_dropped_dispatches = 0;
 
   [[nodiscard]] double all_stall_fraction() const noexcept {
     return cycles ? static_cast<double>(all_threads_ndi_stall_cycles) /
@@ -154,11 +161,20 @@ class Scheduler {
   /// tracer; nullptr (the default) disables recording.
   void set_tracer(obs::InstTracer* tracer) noexcept { tracer_ = tracer; }
 
+  /// Consults `hooks` at readiness-classification and IQ-admission points;
+  /// nullptr (the default) is the fault-free machine.  Not owned; must
+  /// outlive the scheduler.
+  void set_fault_hooks(const FaultHooks* hooks) noexcept { faults_ = hooks; }
+
   // ---- introspection -----------------------------------------------------
   [[nodiscard]] const SchedulerConfig& config() const noexcept { return config_; }
   [[nodiscard]] const IssueQueue& iq() const noexcept { return iq_; }
   [[nodiscard]] const DispatchStats& dispatch_stats() const noexcept { return dstats_; }
   [[nodiscard]] bool dab_occupied(ThreadId tid) const;
+  /// The instruction parked in `tid`'s DAB slot, if any (invariant checks).
+  [[nodiscard]] const std::optional<SchedInst>& dab_inst(ThreadId tid) const {
+    return dab_.at(tid);
+  }
   /// Instructions currently parked in the deadlock-avoidance buffer.
   [[nodiscard]] std::uint32_t dab_occupancy() const noexcept;
   /// Why `tid` could not dispatch its next instruction in the most recent
@@ -184,6 +200,13 @@ class Scheduler {
   /// Distinct non-ready register sources of `inst` under `env`.
   [[nodiscard]] static unsigned non_ready_sources(const SchedInst& inst,
                                                   const DispatchEnv& env);
+  /// non_ready_sources with the forced-NDI fault folded in (dispatch-side
+  /// classification only; the DAB-rescue readiness check stays truthful).
+  [[nodiscard]] unsigned classify_non_ready(const SchedInst& inst,
+                                            const DispatchEnv& env, Cycle now);
+  /// True when the IQ has no free entry for `non_ready` comparators, or a
+  /// transient-exhaustion fault pretends so this cycle.
+  [[nodiscard]] bool iq_denies(unsigned non_ready, Cycle now);
   [[nodiscard]] static bool reads_any(const SchedInst& inst,
                                       const std::vector<PhysReg>& regs);
 
@@ -210,7 +233,8 @@ class Scheduler {
   std::uint32_t watchdog_remaining_;
   unsigned rr_start_ = 0;  ///< rotating round-robin origin
   DispatchStats dstats_;
-  obs::InstTracer* tracer_ = nullptr;  ///< not owned; nullptr = tracing off
+  obs::InstTracer* tracer_ = nullptr;     ///< not owned; nullptr = tracing off
+  const FaultHooks* faults_ = nullptr;    ///< not owned; nullptr = fault-free
 };
 
 }  // namespace msim::core

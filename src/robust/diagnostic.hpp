@@ -1,0 +1,40 @@
+// Structured crash reporting for aborted simulations.
+//
+// When a run dies — the hang watchdog declares no forward progress, or an
+// invariant check fails — the sim layer converts the failure into a
+// SimulationAborted carrying a JSON diagnostic bundle: the abort reason,
+// the machine configuration knobs that matter for deadlock analysis, a
+// per-thread occupancy snapshot, the full metric registry, and the last-K
+// tracer events when tracing was on.  The bundle is self-contained: it can
+// be written to disk, attached to a CI artifact, and parsed back with
+// msim::JsonValue.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "smt/pipeline.hpp"
+
+namespace msim::robust {
+
+/// A simulation died before reaching its horizon.  what() is the one-line
+/// reason; bundle() is the JSON diagnostic document.
+class SimulationAborted final : public std::runtime_error {
+ public:
+  SimulationAborted(const std::string& what, std::string bundle)
+      : std::runtime_error(what), bundle_(std::move(bundle)) {}
+
+  [[nodiscard]] const std::string& bundle() const noexcept { return bundle_; }
+
+ private:
+  std::string bundle_;
+};
+
+/// Builds the diagnostic bundle for `pipe` in its current (stuck) state.
+/// `reason` is the abort explanation; `max_trace_events` caps the tracer
+/// tail included in the bundle.
+[[nodiscard]] std::string diagnostic_bundle(const smt::Pipeline& pipe,
+                                            const std::string& reason,
+                                            std::size_t max_trace_events = 256);
+
+}  // namespace msim::robust

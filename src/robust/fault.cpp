@@ -1,0 +1,137 @@
+#include "robust/fault.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.hpp"
+
+namespace msim::robust {
+
+namespace {
+
+/// Kind tags keep the per-fault decision streams independent even when
+/// their coordinates collide.
+enum FaultKind : std::uint64_t {
+  kNdiStorm = 1,
+  kIqExhaust = 2,
+  kRobExhaust = 3,
+  kLsqExhaust = 4,
+  kLatency = 5,
+  kDropDispatch = 6,
+};
+
+/// SplitMix64 finalizer: a stateless, well-mixed 64-bit permutation.
+[[nodiscard]] std::uint64_t mix(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+[[nodiscard]] std::uint64_t hash_coords(std::uint64_t seed, std::uint64_t kind,
+                                        std::uint64_t a, std::uint64_t b) noexcept {
+  return mix(seed + mix(kind * 0x9e3779b97f4a7c15ULL + mix(a + mix(b))));
+}
+
+/// Uniform [0, 1) from the decision hash.
+[[nodiscard]] double unit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+class FaultSession final : public core::FaultHooks {
+ public:
+  explicit FaultSession(const FaultPlan& plan) : plan_(plan) {}
+
+  [[nodiscard]] bool force_ndi(ThreadId tid, SeqNum seq, Cycle now) const override {
+    (void)seq;  // storms are per (thread, time window), not per instruction
+    if (plan_.ndi_storm_p <= 0.0) return false;
+    return unit(hash_coords(plan_.seed, kNdiStorm, tid, now / plan_.window)) <
+           plan_.ndi_storm_p;
+  }
+
+  [[nodiscard]] bool iq_exhausted(Cycle now) const override {
+    if (plan_.iq_exhaust_p <= 0.0) return false;
+    return unit(hash_coords(plan_.seed, kIqExhaust, now / plan_.window, 0)) <
+           plan_.iq_exhaust_p;
+  }
+
+  [[nodiscard]] bool rob_exhausted(ThreadId tid, Cycle now) const override {
+    if (plan_.rob_exhaust_p <= 0.0) return false;
+    return unit(hash_coords(plan_.seed, kRobExhaust, tid, now / plan_.window)) <
+           plan_.rob_exhaust_p;
+  }
+
+  [[nodiscard]] bool lsq_exhausted(ThreadId tid, Cycle now) const override {
+    if (plan_.lsq_exhaust_p <= 0.0) return false;
+    return unit(hash_coords(plan_.seed, kLsqExhaust, tid, now / plan_.window)) <
+           plan_.lsq_exhaust_p;
+  }
+
+  [[nodiscard]] std::uint32_t extra_issue_latency(ThreadId tid, SeqNum seq,
+                                                  Cycle now) const override {
+    (void)now;  // per instruction, so a replayed seq perturbs identically
+    if (plan_.latency_p <= 0.0 || plan_.latency_max == 0) return 0;
+    const std::uint64_t h = hash_coords(plan_.seed, kLatency, tid, seq);
+    if (unit(h) >= plan_.latency_p) return 0;
+    return 1 + static_cast<std::uint32_t>(mix(h) % plan_.latency_max);
+  }
+
+  [[nodiscard]] bool commit_blocked(Cycle now) const override {
+    return now >= plan_.commit_block_from;
+  }
+
+  [[nodiscard]] bool drop_dispatch(ThreadId tid, SeqNum seq,
+                                   Cycle now) const override {
+    (void)now;
+    if (plan_.drop_dispatch_p <= 0.0) return false;
+    return unit(hash_coords(plan_.seed, kDropDispatch, tid, seq)) <
+           plan_.drop_dispatch_p;
+  }
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace
+
+std::string FaultPlan::describe() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "seed=%llu window=%llu ndi=%.2f iq=%.2f rob=%.2f lsq=%.2f "
+                "lat=%.2f/max%u%s%s",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(window), ndi_storm_p, iq_exhaust_p,
+                rob_exhaust_p, lsq_exhaust_p, latency_p, latency_max,
+                commit_block_from != kCycleNever ? " commit_block" : "",
+                drop_dispatch_p > 0.0 ? " drop_dispatch" : "");
+  return buf;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t base_seed, std::uint64_t index,
+                            double intensity) {
+  intensity = std::clamp(intensity, 0.0, 1.0);
+  Rng rng(derive_stream_seed(base_seed, "fault-plan", index));
+  FaultPlan plan;
+  plan.seed = rng.next_u64();
+  plan.window = 16 + rng.next_below(113);  // 16..128 cycles
+  plan.ndi_storm_p = intensity * rng.next_double();
+  plan.iq_exhaust_p = intensity * rng.next_double();
+  // Rename-side exhaustion compounds with the dispatch-side faults; keep
+  // it moderate so plans stress the remedies rather than just idling the
+  // whole front end.
+  plan.rob_exhaust_p = 0.5 * intensity * rng.next_double();
+  plan.lsq_exhaust_p = 0.5 * intensity * rng.next_double();
+  plan.latency_p = intensity * rng.next_double();
+  plan.latency_max = 1 + static_cast<std::uint32_t>(rng.next_below(64));
+  return plan;
+}
+
+std::unique_ptr<core::FaultHooks> FaultInjector::session(
+    std::uint64_t run_stream_seed) const {
+  if (!plan_.applies_to(run_stream_seed)) return nullptr;
+  return std::make_unique<FaultSession>(plan_);
+}
+
+}  // namespace msim::robust

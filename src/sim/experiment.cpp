@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <future>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -33,7 +34,8 @@ double BaselineCache::alone_ipc(std::string_view benchmark, std::uint32_t iq_ent
     std::unique_lock<std::mutex> lock(slot->m);
     slot->cv.wait(lock, [&] { return slot->ready || slot->failed; });
     if (slot->failed) {
-      throw std::runtime_error("baseline simulation failed for '" + key.first + "'");
+      throw std::runtime_error("baseline simulation failed for '" + key.first +
+                               "': " + slot->error);
     }
     return slot->ipc;
   }
@@ -66,6 +68,14 @@ double BaselineCache::alone_ipc(std::string_view benchmark, std::uint32_t iq_ent
     {
       const std::lock_guard<std::mutex> lock(slot->m);
       slot->failed = true;
+      // Chain the underlying reason into waiters' rethrown error text.
+      try {
+        throw;
+      } catch (const std::exception& e) {
+        slot->error = e.what();
+      } catch (...) {
+        slot->error = "unknown (non-standard exception)";
+      }
     }
     slot->cv.notify_all();
     throw;
@@ -133,7 +143,10 @@ SweepCell aggregate_cell(core::SchedulerKind kind, std::uint32_t iq,
   std::vector<double> fairs;
   StreamingStat stall;
   StreamingStat residency;
+  // Failed mixes (crash isolation) are excluded from every aggregate; with
+  // nothing surviving, the means degrade to 0.
   for (const MixResult& m : mixes) {
+    if (!m.ok) continue;
     ipcs.push_back(m.throughput_ipc);
     fairs.push_back(m.fairness);
     stall.add(m.raw.dispatch.all_stall_fraction());
@@ -187,6 +200,35 @@ std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& bas
     }
   }
 
+  // Crash isolation: while the grid executes, MSIM_CHECK failures throw
+  // msim::CheckError instead of aborting the process.  The handler slot is
+  // process-wide, so it is installed once around the whole grid (including
+  // the serial path), never per worker.
+  std::optional<ScopedCheckThrow> check_guard;
+  if (request.isolate_failures) check_guard.emplace();
+
+  auto run_cell = [&](const GridPoint& p) -> MixResult {
+    if (!request.isolate_failures) {
+      return run_mix(*p.mix, p.kind, p.iq, request.base, baselines);
+    }
+    std::string last_error = "unknown failure";
+    for (unsigned attempt = 1; attempt <= request.retries + 1; ++attempt) {
+      try {
+        MixResult r = run_mix(*p.mix, p.kind, p.iq, request.base, baselines);
+        r.attempts = attempt;
+        return r;
+      } catch (const std::exception& e) {
+        last_error = e.what();
+      }
+    }
+    MixResult failed;
+    failed.mix_name = p.mix->name;
+    failed.ok = false;
+    failed.error = last_error;
+    failed.attempts = request.retries + 1;
+    return failed;
+  };
+
   std::vector<MixResult> results(grid.size());
   if (request.jobs == 1) {
     // Serial path: today's behavior, including progress notes before each run.
@@ -195,7 +237,7 @@ std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& bas
       if (request.progress) {
         request.progress(describe(p.kind, p.iq, p.mix->name));
       }
-      results[i] = run_mix(*p.mix, p.kind, p.iq, request.base, baselines);
+      results[i] = run_cell(p);
     }
   } else {
     ThreadPool pool(request.jobs);
@@ -205,15 +247,17 @@ std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& bas
     for (std::size_t i = 0; i < grid.size(); ++i) {
       pending.push_back(pool.submit([&, i] {
         const GridPoint& p = grid[i];
-        results[i] = run_mix(*p.mix, p.kind, p.iq, request.base, baselines);
+        results[i] = run_cell(p);
         if (request.progress) {
           const std::lock_guard<std::mutex> lock(progress_mu);
-          request.progress(describe(p.kind, p.iq, p.mix->name));
+          request.progress(describe(p.kind, p.iq, p.mix->name) +
+                           (results[i].ok ? "" : " FAILED"));
         }
       }));
     }
     for (std::future<void>& f : pending) f.get();
   }
+  check_guard.reset();
 
   std::vector<SweepCell> cells;
   cells.reserve(kinds.size() * request.iq_sizes.size());
@@ -243,6 +287,9 @@ std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& bas
     MSIM_CHECK(trad->mixes.size() == cell.mixes.size());
     for (std::size_t i = 0; i < cell.mixes.size(); ++i) {
       MSIM_CHECK(trad->mixes[i].mix_name == cell.mixes[i].mix_name);
+      // A speedup is a paired comparison: it exists only when both sides of
+      // the pair survived.  Failed mixes drop out of the mean.
+      if (!trad->mixes[i].ok || !cell.mixes[i].ok) continue;
       ipc_ratios.push_back(cell.mixes[i].throughput_ipc /
                            trad->mixes[i].throughput_ipc);
       fair_ratios.push_back(cell.mixes[i].fairness / trad->mixes[i].fairness);
@@ -265,6 +312,18 @@ const SweepCell& cell_for(const std::vector<SweepCell>& cells,
     if (cell.kind == kind && cell.iq_entries == iq_entries) return cell;
   }
   throw std::invalid_argument("no sweep cell for requested (kind, iq)");
+}
+
+std::vector<FailedCell> sweep_failures(const std::vector<SweepCell>& cells) {
+  std::vector<FailedCell> failures;
+  for (const SweepCell& cell : cells) {
+    for (const MixResult& m : cell.mixes) {
+      if (m.ok) continue;
+      failures.push_back(
+          {cell.kind, cell.iq_entries, m.mix_name, m.error, m.attempts});
+    }
+  }
+  return failures;
 }
 
 }  // namespace msim::sim

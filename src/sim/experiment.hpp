@@ -72,6 +72,7 @@ class BaselineCache {
     bool ready = false;   ///< guarded by m
     bool failed = false;  ///< guarded by m
     double ipc = 0.0;     ///< written once before ready=true
+    std::string error;    ///< the owner's failure message (guarded by m)
   };
 
   RunConfig base_;
@@ -87,6 +88,12 @@ struct MixResult {
   double throughput_ipc = 0.0;
   double fairness = 0.0;  ///< harmonic mean of per-thread weighted IPCs
   RunResult raw;
+  /// Crash isolation (SweepRequest::isolate_failures): false when every
+  /// attempt at this cell died; `error` keeps the last failure message and
+  /// the numeric fields above stay zero.
+  bool ok = true;
+  std::string error;
+  unsigned attempts = 1;  ///< simulation attempts consumed (retries included)
 };
 
 /// Runs one workload mix; `base` supplies everything except benchmarks,
@@ -126,6 +133,14 @@ struct SweepRequest {
   /// is invoked under a lock, one whole message at a time, as cells
   /// *finish* (completion order is nondeterministic).
   std::function<void(std::string_view)> progress;
+  /// Crash isolation: catch per-cell failures (invariant violations, hang
+  /// watchdog, exceptions), retry each failed cell `retries` times, and
+  /// return partial results with the failures recorded per mix — one bad
+  /// cell degrades the sweep instead of destroying it.  MSIM_CHECK
+  /// failures inside isolated cells surface as msim::CheckError.
+  /// Successful cells are bit-identical with isolation on or off.
+  bool isolate_failures = true;
+  unsigned retries = 1;
 };
 
 /// Runs the full cross product.  kTraditional is always run (it anchors the
@@ -136,5 +151,18 @@ std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& bas
 /// Finds the cell for (kind, iq); throws std::invalid_argument if missing.
 const SweepCell& cell_for(const std::vector<SweepCell>& cells,
                           core::SchedulerKind kind, std::uint32_t iq_entries);
+
+/// One mix that failed every attempt in an isolated sweep.
+struct FailedCell {
+  core::SchedulerKind kind = core::SchedulerKind::kTraditional;
+  std::uint32_t iq_entries = 0;
+  std::string mix_name;
+  std::string error;
+  unsigned attempts = 0;
+};
+
+/// Collects the failed mixes of an isolated sweep in grid order.
+[[nodiscard]] std::vector<FailedCell> sweep_failures(
+    const std::vector<SweepCell>& cells);
 
 }  // namespace msim::sim

@@ -60,6 +60,15 @@ TextTable mix_table(const SweepCell& cell) {
                    "iq_residency"});
   for (const MixResult& m : cell.mixes) {
     table.begin_row();
+    if (!m.ok) {
+      // A mix that failed every isolated attempt has no numbers to show.
+      table.add_cell(m.mix_name + " [FAILED]");
+      table.add_cell("-");
+      table.add_cell("-");
+      table.add_cell("-");
+      table.add_cell("-");
+      continue;
+    }
     table.add_cell(m.mix_name);
     table.add_cell(m.throughput_ipc, 3);
     table.add_cell(m.fairness, 3);
@@ -94,6 +103,9 @@ void write_run_json(std::ostream& os, const RunConfig& config,
   w.kv("horizon", config.horizon);
   w.kv("max_cycles", config.max_cycles);
   w.kv("trace_capacity", static_cast<std::uint64_t>(config.trace_capacity));
+  w.kv("verify", config.verify);
+  w.kv("hang_cycles", config.hang_cycles);
+  w.kv("fault_injection", config.faults != nullptr);
   w.end_object();
 
   w.kv("cycles", result.cycles);
@@ -138,6 +150,14 @@ void write_sweep_json(std::ostream& os, const std::vector<SweepCell>& cells,
     for (const MixResult& m : cell.mixes) {
       w.begin_object();
       w.kv("mix", m.mix_name);
+      w.kv("ok", m.ok);
+      w.kv("attempts", m.attempts);
+      if (!m.ok) {
+        // Crash-isolated failure: the error replaces the measurements.
+        w.kv("error", m.error);
+        w.end_object();
+        continue;
+      }
       w.kv("throughput_ipc", m.throughput_ipc);
       w.kv("fairness", m.fairness);
       w.kv("cycles", m.raw.cycles);
@@ -153,6 +173,23 @@ void write_sweep_json(std::ostream& os, const std::vector<SweepCell>& cells,
     w.end_object();
   }
   w.end_array();
+
+  const std::vector<FailedCell> failures = sweep_failures(cells);
+  w.kv("failed_count", static_cast<std::uint64_t>(failures.size()));
+  if (!failures.empty()) {
+    w.key("failed_cells");
+    w.begin_array();
+    for (const FailedCell& f : failures) {
+      w.begin_object();
+      w.kv("scheduler", core::scheduler_kind_name(f.kind));
+      w.kv("iq_entries", f.iq_entries);
+      w.kv("mix", f.mix_name);
+      w.kv("error", f.error);
+      w.kv("attempts", f.attempts);
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
   os << '\n';
 }

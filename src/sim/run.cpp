@@ -1,6 +1,11 @@
 #include "sim/run.hpp"
 
+#include <stdexcept>
+
 #include "common/check.hpp"
+#include "robust/diagnostic.hpp"
+#include "robust/fault.hpp"
+#include "robust/invariant.hpp"
 #include "trace/profile.hpp"
 
 namespace msim::sim {
@@ -18,21 +23,62 @@ smt::MachineConfig RunConfig::machine() const {
   mc.fetch_policy = fetch_policy;
   mc.model_wrong_path = model_wrong_path;
   mc.trace_capacity = trace_capacity;
+  mc.hang_cycles = hang_cycles;
   return mc;
 }
 
+void RunConfig::validate() const {
+  auto fail = [](const std::string& msg) {
+    throw std::invalid_argument("run config: " + msg);
+  };
+  if (benchmarks.empty()) {
+    fail("no benchmarks named; give one profile per hardware thread "
+         "(e.g. benchmarks=gcc,swim)");
+  }
+  if (benchmarks.size() > kMaxThreads) {
+    fail(std::to_string(benchmarks.size()) + " benchmarks named but the machine "
+         "supports at most " + std::to_string(kMaxThreads) + " threads");
+  }
+  if (horizon == 0) fail("horizon=0 would measure nothing; set horizon >= 1");
+  machine().validate();  // structural knobs (IQ/ROB/LSQ sizes, watchdog...)
+}
+
 RunResult run_simulation(const RunConfig& config) {
-  MSIM_CHECK(!config.benchmarks.empty() && config.benchmarks.size() <= kMaxThreads);
+  config.validate();
   std::vector<trace::BenchmarkProfile> profiles;
   profiles.reserve(config.benchmarks.size());
   for (const std::string& name : config.benchmarks) {
     profiles.push_back(trace::profile_or_throw(name));
   }
 
-  smt::Pipeline pipe(config.machine(), profiles, config.seed);
-  pipe.run(config.warmup, config.max_cycles);
-  pipe.reset_stats();
-  pipe.run(config.horizon, config.max_cycles);
+  // A fault injector decides per run whether its plan targets this run's
+  // RNG stream (sweep sabotage targets exactly one cell); a null session
+  // is the fault-free machine.
+  std::unique_ptr<core::FaultHooks> fault_session;
+  smt::MachineConfig mc = config.machine();
+  if (config.faults) {
+    fault_session = config.faults->session(config.seed);
+    mc.fault_hooks = fault_session.get();
+  }
+
+  smt::Pipeline pipe(mc, profiles, config.seed);
+  robust::InvariantChecker checker;
+  if (config.verify) pipe.set_observer(&checker);
+
+  try {
+    pipe.run(config.warmup, config.max_cycles);
+    pipe.reset_stats();
+    pipe.run(config.horizon, config.max_cycles);
+  } catch (const smt::NoForwardProgress& e) {
+    throw robust::SimulationAborted(
+        std::string("hang watchdog: ") + e.what(),
+        robust::diagnostic_bundle(pipe, e.what()));
+  } catch (const CheckError& e) {
+    // An invariant (cycle-level or structural MSIM_CHECK under a throwing
+    // handler) failed; the machine state is suspect but still readable.
+    throw robust::SimulationAborted(
+        e.what(), robust::diagnostic_bundle(pipe, e.what()));
+  }
 
   RunResult out;
   out.cycles = pipe.cycles();

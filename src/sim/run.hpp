@@ -15,6 +15,10 @@
 #include "smt/machine_config.hpp"
 #include "smt/pipeline.hpp"
 
+namespace msim::robust {
+class FaultInjector;
+}
+
 namespace msim::sim {
 
 struct RunConfig {
@@ -45,8 +49,24 @@ struct RunConfig {
   /// Per-instruction lifecycle trace ring capacity in events (0 = off).
   std::size_t trace_capacity = 0;
 
+  // Robustness (src/robust/).
+  /// Cycle-level invariant checking (robust::InvariantChecker); a violation
+  /// aborts the run with robust::SimulationAborted.
+  bool verify = false;
+  /// Simulator hang watchdog threshold in commit-free cycles (0 = off);
+  /// see smt::MachineConfig::hang_cycles.
+  std::uint64_t hang_cycles = 500'000;
+  /// Fault injector; not owned, may be nullptr (fault-free).  The injector
+  /// decides per run whether its plan targets this run's RNG stream.
+  const robust::FaultInjector* faults = nullptr;
+
   /// Builds the Table-1 machine with this run's scheduler settings applied.
   [[nodiscard]] smt::MachineConfig machine() const;
+
+  /// Rejects unrunnable configurations (no benchmarks, zero horizon,
+  /// zero-size structures, an unarmable watchdog...) with an actionable
+  /// std::invalid_argument.  run_simulation calls this first.
+  void validate() const;
 };
 
 /// Snapshot of one run's results.
@@ -75,7 +95,10 @@ struct RunResult {
 };
 
 /// Runs one simulation to completion and returns the measured statistics.
-/// Throws std::invalid_argument for unknown benchmark names.
+/// Throws std::invalid_argument for invalid configurations or unknown
+/// benchmark names, and robust::SimulationAborted (carrying a JSON
+/// diagnostic bundle) when the hang watchdog fires or — under verify —
+/// an invariant check fails.
 [[nodiscard]] RunResult run_simulation(const RunConfig& config);
 
 }  // namespace msim::sim

@@ -2,10 +2,15 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 
 #include "bpred/predictor.hpp"
+#include "common/types.hpp"
+#include "core/fault_hooks.hpp"
 #include "core/sched_types.hpp"
+#include "isa/instruction.hpp"
 #include "mem/hierarchy.hpp"
 
 namespace msim::smt {
@@ -58,6 +63,17 @@ struct MachineConfig {
   /// branch each).  See obs::InstTracer.
   std::size_t trace_capacity = 0;
 
+  // Robustness (src/robust/): fault injection and forward-progress checks.
+  /// Consulted at hazard-origin points each cycle; nullptr (the default) is
+  /// the fault-free machine.  Not owned; must outlive the pipeline.
+  const core::FaultHooks* fault_hooks = nullptr;
+  /// Simulator-level hang watchdog: if NO thread commits for this many
+  /// consecutive cycles, Pipeline::run throws smt::NoForwardProgress
+  /// instead of spinning forever.  Must comfortably exceed the in-pipeline
+  /// watchdog timeout so the architectural remedy gets to act first.
+  /// 0 disables the check.
+  Cycle hang_cycles = 500'000;
+
   core::SchedulerConfig scheduler{};
   mem::HierarchyConfig memory{};
   bpred::PredictorConfig predictor{};
@@ -65,6 +81,65 @@ struct MachineConfig {
   /// Cycles an instruction spends between fetch and rename eligibility.
   [[nodiscard]] unsigned front_end_delay() const noexcept {
     return front_end_stages - 1;
+  }
+
+  /// Rejects configurations the pipeline cannot run (or cannot run
+  /// meaningfully) with an actionable std::invalid_argument, instead of
+  /// tripping an MSIM_CHECK deep inside construction.
+  void validate() const {
+    auto fail = [](const std::string& msg) {
+      throw std::invalid_argument("machine config: " + msg);
+    };
+    if (thread_count < 1 || thread_count > kMaxThreads) {
+      fail("thread_count must be in [1, " + std::to_string(kMaxThreads) + "], got " +
+           std::to_string(thread_count));
+    }
+    if (fetch_width < 1 || rename_width < 1 || dispatch_width < 1 ||
+        issue_width < 1 || commit_width < 1) {
+      fail("all machine widths (fetch/rename/dispatch/issue/commit) must be >= 1");
+    }
+    if (fetch_threads_per_cycle < 1) fail("fetch_threads_per_cycle must be >= 1");
+    if (rob_entries_per_thread == 0) {
+      fail("rob_entries_per_thread=0: no instruction could ever rename");
+    }
+    if (lsq_entries_per_thread == 0) {
+      fail("lsq_entries_per_thread=0: no load or store could ever rename");
+    }
+    if (scheduler.iq_entries == 0) {
+      fail("scheduler.iq_entries=0: the issue queue needs at least one entry");
+    }
+    if (scheduler.rename_buffer_entries == 0) {
+      fail("scheduler.rename_buffer_entries=0: dispatch buffers need >= 1 entry");
+    }
+    if (front_end_stages < 1) fail("front_end_stages must be >= 1");
+    if (fetch_queue_entries == 0) {
+      fail("fetch_queue_entries=0: fetched instructions would have nowhere to go");
+    }
+    if (int_phys_regs <= thread_count * isa::kIntArchRegs) {
+      fail("int_phys_regs=" + std::to_string(int_phys_regs) + " cannot back " +
+           std::to_string(thread_count) + " threads x " +
+           std::to_string(isa::kIntArchRegs) +
+           " architectural registers; raise int_phys_regs or lower thread_count");
+    }
+    if (fp_phys_regs <= thread_count * isa::kFpArchRegs) {
+      fail("fp_phys_regs=" + std::to_string(fp_phys_regs) + " cannot back " +
+           std::to_string(thread_count) + " threads x " +
+           std::to_string(isa::kFpArchRegs) +
+           " architectural registers; raise fp_phys_regs or lower thread_count");
+    }
+    if (scheduler.deadlock == core::DeadlockMode::kWatchdog &&
+        core::ooo_dispatch(scheduler.kind) && scheduler.watchdog_timeout == 0) {
+      fail("watchdog_timeout=0 under deadlock=watchdog can never fire and the "
+           "machine may deadlock; set a positive timeout (the paper uses a few "
+           "hundred cycles)");
+    }
+    if (hang_cycles != 0 && hang_cycles <= scheduler.watchdog_timeout) {
+      fail("hang_cycles=" + std::to_string(hang_cycles) +
+           " must exceed watchdog_timeout=" +
+           std::to_string(scheduler.watchdog_timeout) +
+           " so the in-pipeline watchdog can rescue the machine before the "
+           "simulator declares a hang");
+    }
   }
 };
 

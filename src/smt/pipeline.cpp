@@ -90,6 +90,15 @@ class Pipeline::IssueEnvImpl final : public core::IssueEnv {
       complete = now + timing.latency;
     }
 
+    if (p.faults_) {
+      const std::uint32_t extra =
+          p.faults_->extra_issue_latency(inst.tid, inst.seq, now);
+      if (extra != 0) {
+        complete += extra;
+        p.pstats_.fault_extra_latency_cycles += extra;
+      }
+    }
+
     e.issued = true;
     e.issued_at = now;
     e.complete_at = complete;
@@ -134,12 +143,14 @@ Pipeline::Pipeline(const MachineConfig& config,
     : config_(config),
       rename_(config.thread_count, config.int_phys_regs, config.fp_phys_regs),
       mem_(config.memory),
-      bpred_(config.predictor, config.thread_count) {
+      bpred_(config.predictor, config.thread_count),
+      faults_(config.fault_hooks) {
   MSIM_CHECK(workload.size() == config_.thread_count);
   MSIM_CHECK(config_.thread_count >= 1 && config_.thread_count <= kMaxThreads);
   scheduler_ = std::make_unique<core::Scheduler>(
       config_.scheduler, config_.thread_count, config_.dispatch_width,
       config_.issue_width);
+  scheduler_->set_fault_hooks(faults_);
   Rng seeder(seed);
   threads_.reserve(config_.thread_count);
   for (ThreadId t = 0; t < config_.thread_count; ++t) {
@@ -162,6 +173,10 @@ Pipeline::~Pipeline() = default;
 // ---- per-cycle stages --------------------------------------------------------
 
 void Pipeline::do_commit(Cycle now) {
+  if (faults_ && faults_->commit_blocked(now)) {
+    ++pstats_.fault_commit_blocked_cycles;
+    return;
+  }
   unsigned remaining = config_.commit_width;
   bool progress = true;
   const unsigned start = static_cast<unsigned>(now % config_.thread_count);
@@ -184,6 +199,7 @@ void Pipeline::do_commit(Cycle now) {
       }
       rename_.commit(tid, head.inst.dest, head.dest_phys, head.prev_dest_phys);
       tracer_.record(now, tid, head.inst.seq, obs::TraceStage::kCommit);
+      if (observer_) observer_->on_commit(tid, head.inst.seq, now);
       ts.rob.pop_head();
       ++ts.committed;
       --remaining;
@@ -226,7 +242,15 @@ void Pipeline::do_rename(Cycle now) {
       if (f.fetched_at + config_.front_end_delay() > now) continue;
       const isa::DynInst& di = f.inst;
       if (ts.rob.full()) continue;
+      if (faults_ && faults_->rob_exhausted(tid, now)) {
+        ++pstats_.fault_rob_denials;
+        continue;
+      }
       if (di.is_mem() && ts.lsq.full()) continue;
+      if (di.is_mem() && faults_ && faults_->lsq_exhausted(tid, now)) {
+        ++pstats_.fault_lsq_denials;
+        continue;
+      }
       if (!scheduler_->buffer_has_space(tid)) continue;
       if (!rename_.can_allocate(di.dest)) continue;
 
@@ -567,6 +591,7 @@ void Pipeline::tick() {
   do_fetch(now);
   scheduler_->tick_stats();
   sample_observability();
+  if (observer_) observer_->on_cycle_end(*this, now);
   ++cycle_;
 }
 
@@ -578,9 +603,33 @@ Cycle Pipeline::run(std::uint64_t horizon, Cycle max_cycles) {
     }
     return false;
   };
+  // Simulator-level hang watchdog: tracks the raw (reset-independent)
+  // commit total so a reset_stats between warm-up and measurement cannot
+  // fake a stall.
+  auto raw_committed = [&] {
+    std::uint64_t total = 0;
+    for (const auto& ts : threads_) total += ts->committed;
+    return total;
+  };
+  std::uint64_t last_total = raw_committed();
+  Cycle last_progress = cycle_;
   while (!reached()) {
     if (max_cycles != 0 && cycle_ - start >= max_cycles) break;
     tick();
+    if (config_.hang_cycles != 0) {
+      const std::uint64_t total = raw_committed();
+      if (total != last_total) {
+        last_total = total;
+        last_progress = cycle_;
+      } else if (cycle_ - last_progress >= config_.hang_cycles) {
+        const Cycle stalled = cycle_ - last_progress;
+        throw NoForwardProgress(
+            "no thread committed an instruction for " + std::to_string(stalled) +
+                " cycles (hang declared at cycle " + std::to_string(cycle_) +
+                "); the configured deadlock remedy failed to restore progress",
+            cycle_, stalled);
+      }
+    }
   }
   return cycle_ - start;
 }
@@ -626,6 +675,22 @@ const LsqStats& Pipeline::lsq_stats(ThreadId tid) const {
   return threads_.at(tid)->lsq.stats();
 }
 
+std::uint32_t Pipeline::rob_size(ThreadId tid) const {
+  return threads_.at(tid)->rob.size();
+}
+
+std::uint32_t Pipeline::lsq_size(ThreadId tid) const {
+  return static_cast<std::uint32_t>(threads_.at(tid)->lsq.size());
+}
+
+std::uint32_t Pipeline::fetch_queue_size(ThreadId tid) const {
+  return static_cast<std::uint32_t>(threads_.at(tid)->fetch_queue.size());
+}
+
+std::uint32_t Pipeline::replay_depth(ThreadId tid) const {
+  return static_cast<std::uint32_t>(threads_.at(tid)->replay.size());
+}
+
 // ---- observability ----------------------------------------------------------
 
 void Pipeline::register_metrics() {
@@ -656,6 +721,12 @@ void Pipeline::register_metrics() {
                     [p] { return p->wrong_path_issued; });
   registry_.counter("pipeline.wrong_path_squashes",
                     [p] { return p->wrong_path_squashes; });
+  registry_.counter("pipeline.fault.commit_blocked_cycles",
+                    [p] { return p->fault_commit_blocked_cycles; });
+  registry_.counter("pipeline.fault.rob_denials", [p] { return p->fault_rob_denials; });
+  registry_.counter("pipeline.fault.lsq_denials", [p] { return p->fault_lsq_denials; });
+  registry_.counter("pipeline.fault.extra_latency_cycles",
+                    [p] { return p->fault_extra_latency_cycles; });
 
   const FuStats* fu = &fu_.stats();
   for (unsigned k = 0; k < isa::kFuKindCount; ++k) {

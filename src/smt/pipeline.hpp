@@ -18,6 +18,8 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "bpred/predictor.hpp"
@@ -32,7 +34,29 @@
 #include "smt/rob.hpp"
 #include "trace/generator.hpp"
 
+namespace msim::robust {
+class InvariantChecker;  // friend of Pipeline; see src/robust/invariant.hpp
+}
+
 namespace msim::smt {
+
+/// Thrown by Pipeline::run when the simulator-level hang watchdog fires:
+/// no thread committed anything for MachineConfig::hang_cycles consecutive
+/// cycles, so the architectural deadlock remedies (DAB / watchdog flush)
+/// have evidently failed and the run would spin forever.
+class NoForwardProgress final : public std::runtime_error {
+ public:
+  NoForwardProgress(const std::string& what, Cycle at_cycle, Cycle stalled_for)
+      : std::runtime_error(what), at_cycle_(at_cycle), stalled_for_(stalled_for) {}
+  /// Absolute machine cycle at which the hang was declared.
+  [[nodiscard]] Cycle at_cycle() const noexcept { return at_cycle_; }
+  /// Consecutive commit-free cycles observed.
+  [[nodiscard]] Cycle stalled_for() const noexcept { return stalled_for_; }
+
+ private:
+  Cycle at_cycle_;
+  Cycle stalled_for_;
+};
 
 /// Aggregate per-run counters not owned by a sub-component.
 struct PipelineStats {
@@ -51,6 +75,13 @@ struct PipelineStats {
   std::uint64_t wrong_path_fetched = 0;
   std::uint64_t wrong_path_issued = 0;
   std::uint64_t wrong_path_squashes = 0;
+  /// Fault injection (src/robust/): commit cycles stolen by the sabotage
+  /// fault, rename admissions denied by transient ROB/LSQ exhaustion, and
+  /// total extra execution latency injected.  All zero on a fault-free run.
+  std::uint64_t fault_commit_blocked_cycles = 0;
+  std::uint64_t fault_rob_denials = 0;
+  std::uint64_t fault_lsq_denials = 0;
+  std::uint64_t fault_extra_latency_cycles = 0;
 };
 
 /// Per-thread dispatch-stall attribution, classified once per cycle for
@@ -61,6 +92,20 @@ struct ThreadStallStats {
   std::uint64_t rob_full_cycles = 0;       ///< rename gated by a full ROB
   std::uint64_t lsq_full_cycles = 0;       ///< rename gated by a full LSQ
   std::uint64_t fetch_starved_cycles = 0;  ///< nothing buffered to dispatch
+};
+
+class Pipeline;
+
+/// Cycle-level observation hook, called synchronously from the pipeline.
+/// The robust::InvariantChecker implements this to audit structural
+/// invariants after every cycle; implementations may throw to abort a run.
+class PipelineObserver {
+ public:
+  virtual ~PipelineObserver() = default;
+  /// An instruction of `tid` retired this cycle (called in commit order).
+  virtual void on_commit(ThreadId tid, SeqNum seq, Cycle now) = 0;
+  /// All stages of cycle `now` have run; the machine is quiescent.
+  virtual void on_cycle_end(const Pipeline& pipe, Cycle now) = 0;
 };
 
 class Pipeline {
@@ -78,7 +123,14 @@ class Pipeline {
 
   /// Runs until some thread has committed `horizon` instructions (the
   /// paper's stop rule) or `max_cycles` elapses; returns cycles executed.
+  /// Throws NoForwardProgress if no thread commits for
+  /// MachineConfig::hang_cycles consecutive cycles (0 disables).
   Cycle run(std::uint64_t horizon, Cycle max_cycles = 0);
+
+  /// Installs a cycle-level observer (invariant checking); nullptr (the
+  /// default) disables.  Not owned; must outlive the pipeline or be
+  /// detached before destruction.
+  void set_observer(PipelineObserver* observer) noexcept { observer_ = observer; }
 
   /// Zeroes the cycle-counter-relative statistics (post-warm-up reset);
   /// machine state (caches, predictors, in-flight work) is preserved.
@@ -103,6 +155,13 @@ class Pipeline {
     return stall_stats_.at(tid);
   }
 
+  // Structure occupancies (diagnostic bundles, invariant checking).
+  [[nodiscard]] std::uint32_t rob_size(ThreadId tid) const;
+  [[nodiscard]] std::uint32_t lsq_size(ThreadId tid) const;
+  [[nodiscard]] std::uint32_t fetch_queue_size(ThreadId tid) const;
+  /// Correct-path instructions queued for refetch after a flush.
+  [[nodiscard]] std::uint32_t replay_depth(ThreadId tid) const;
+
   /// Every metric of every component, registered at construction under
   /// hierarchical names ("scheduler.", "mem.", "bpred.", "pipeline.",
   /// "thread.N.", "occupancy.", "fu.").
@@ -113,6 +172,10 @@ class Pipeline {
   [[nodiscard]] const obs::InstTracer& tracer() const noexcept { return tracer_; }
 
  private:
+  /// The invariant checker audits internal structures (rename free lists,
+  /// per-thread ROB contents, scheduler accounting) read-only each cycle.
+  friend class ::msim::robust::InvariantChecker;
+
   struct FetchedInst {
     isa::DynInst inst;
     Cycle fetched_at = 0;
@@ -201,6 +264,8 @@ class Pipeline {
   Cycle cycle_ = 0;
   Cycle stats_base_cycle_ = 0;
   PipelineStats pstats_;
+  PipelineObserver* observer_ = nullptr;       ///< not owned; nullptr = off
+  const core::FaultHooks* faults_ = nullptr;   ///< not owned; nullptr = fault-free
   std::vector<ThreadStallStats> stall_stats_;  ///< one per thread
   std::unique_ptr<DispatchEnvImpl> dispatch_env_;
   std::unique_ptr<IssueEnvImpl> issue_env_;
