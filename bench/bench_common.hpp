@@ -52,7 +52,7 @@ inline BenchOptions parse_options(int argc, char** argv) {
     std::string msg = "unknown option(s):";
     for (const std::string& k : unknown) msg += " " + k;
     msg += " (known: warmup horizon seed iq quick jobs verbose json verify "
-           "hang_cycles)";
+           "hang_cycles; see the knob table in EXPERIMENTS.md)";
     throw std::invalid_argument(msg);
   }
   BenchOptions opts;

@@ -337,7 +337,7 @@ int main(int argc, char** argv) {
       std::string msg = "unknown option(s):";
       for (const std::string& k : unknown) msg += " " + k;
       msg += " (known: plans intensity seed quick jobs sabotage warmup "
-             "horizon diag_dir)";
+             "horizon diag_dir; see the knob table in EXPERIMENTS.md)";
       throw std::invalid_argument(msg);
     }
 

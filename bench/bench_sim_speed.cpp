@@ -1,11 +1,23 @@
 // Microbenchmark (google-benchmark): simulator throughput in simulated
 // instructions per wall-clock second, per scheduler design and thread
-// count.  Useful for sizing experiment horizons.
+// count.  Useful for sizing experiment horizons and for tracking the
+// hot-path optimizations documented in docs/PERFORMANCE.md.
 //
 // Each benchmark self-profiles with obs::ScopeTimer and reports, besides
 // google-benchmark's own timing, host seconds per stage (construct vs run)
 // and simulated KIPS (thousands of simulated instructions per host second).
+//
+// Besides the usual --benchmark_* flags, accepts `json=PATH` in the
+// repo-wide key=value style: the per-benchmark simulated_kips counters are
+// then written to PATH in the BENCH_sim_speed.json schema that
+// tools/check_speed.py gates CI on.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "obs/timer.hpp"
 #include "smt/pipeline.hpp"
@@ -81,6 +93,87 @@ BENCHMARK(BM_TwoOpBlock4T)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TwoOpBlockOoo4T)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TwoOpBlockOoo4T_Traced)->Unit(benchmark::kMillisecond);
 
+/// Console reporting as usual, plus capture of each run's counters so main
+/// can export the machine-readable speed baseline.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double simulated_kips = 0.0;
+    double sim_instructions_per_second = 0.0;
+    double real_ms_per_iteration = 0.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      if (const auto it = run.counters.find("simulated_kips");
+          it != run.counters.end()) {
+        row.simulated_kips = it->second.value;
+      }
+      if (const auto it = run.counters.find("sim_instructions_per_second");
+          it != run.counters.end()) {
+        row.sim_instructions_per_second = it->second.value;
+      }
+      if (run.iterations > 0) {
+        row.real_ms_per_iteration =
+            run.real_accumulated_time * 1e3 / static_cast<double>(run.iterations);
+      }
+      rows.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<Row> rows;
+};
+
+void write_speed_json(const std::string& path,
+                      const std::vector<CapturingReporter::Row>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot open '" << path << "'\n";
+    std::exit(2);
+  }
+  out << "{\n  \"schema\": \"msim.bench_sim_speed.v1\",\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const CapturingReporter::Row& r = rows[i];
+    out << "    {\"name\": \"" << r.name << "\", \"simulated_kips\": "
+        << r.simulated_kips << ", \"sim_instructions_per_second\": "
+        << r.sim_instructions_per_second << ", \"real_ms_per_iteration\": "
+        << r.real_ms_per_iteration << "}" << (i + 1 < rows.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << rows.size() << " benchmark rows to " << path << "\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off the repo-style json=PATH key before google-benchmark sees the
+  // command line; everything else passes through to its flag parser.
+  std::string json_path;
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "json=", 5) == 0) {
+      json_path = argv[i] + 5;
+      continue;
+    }
+    passthrough.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&filtered_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, passthrough.data())) {
+    std::cerr << "error: unknown option(s); this bench takes --benchmark_* "
+                 "flags plus json=PATH (see the knob table in "
+                 "EXPERIMENTS.md)\n";
+    return 2;
+  }
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_path.empty()) write_speed_json(json_path, reporter.rows);
+  return 0;
+}

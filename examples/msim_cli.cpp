@@ -2,7 +2,7 @@
 // SimpleScalar's sim-outorder.  Runs one configuration and prints a complete
 // statistics report from every component.
 //
-//   ./msim_cli benchmarks=equake,gzip sched=2op_block_ooo iq=64 \
+//   ./msim_cli benchmarks=equake,gzip sched=2op_block_ooo iq=64
 //              fetch=icount deadlock=dab horizon=200000
 //
 // Keys:
@@ -461,11 +461,75 @@ int run_cli(const KvConfig& cli) {
 
 }  // namespace
 
+// Printed by --help; one line per knob, mirroring the canonical knob table
+// in EXPERIMENTS.md ("Harness knobs and exit codes") -- keep the two in
+// sync.
+constexpr const char* kUsage = R"(usage: msim_cli [key=value | --flag value]...
+
+Runs one simulator configuration (or a figure sweep) and prints a full
+statistics report.  All knobs are key=value; GNU-style --flag value is
+accepted for the flags marked below.  See the knob table in EXPERIMENTS.md
+for the authoritative reference.
+
+Machine:
+  benchmarks=A,B,...    profile names, one per thread (1-8)    [gcc]
+  sched=K               traditional | 2op_block | 2op_block_ooo |
+                        2op_block_ooo_filtered | tag_elimination
+  fetch=P               icount | round_robin | stall | flush   [icount]
+  deadlock=D            dab | dab_shared | watchdog            [dab]
+  iq=N  scan_depth=N  watchdog_timeout=N  oracle_disambiguation=0|1
+  wrong_path=0|1
+
+Run horizon:
+  warmup=N  horizon=N  seed=N  max_cycles=N
+
+Sweep mode:
+  sweep=2|3|4           12-mix figure sweep for that thread count
+                        (iq and sched become comma lists)
+  jobs=N (--jobs N)     sweep worker threads; results bit-identical
+                        at any job count                       [hw conc.]
+  --sweep-json PATH     write the sweep grid as JSON
+
+Observability:
+  --stats-json PATH     full metric registry as JSON
+  --trace-out PATH      per-instruction pipeline trace
+  trace_format=konata|gantt  trace_capacity=N
+  --dump-config         print resolved MachineConfig JSON and exit
+
+Robustness:
+  verify=1              cycle-level invariant checking         [off]
+  hang_cycles=N         abort after N commit-free cycles (0=off) [500000]
+  fault_intensity=P  fault_seed=S  fault_index=I   fault injection
+  isolate=0|1  retries=N                    sweep crash isolation
+  --diag PATH           abort diagnostic bundle    [msim-diagnostic.json]
+
+Exit codes: 0 success; 2 bad usage or configuration error; 3 simulation
+aborted (hang watchdog / invariant violation; diagnostic bundle written).
+)";
+
+constexpr std::string_view kKnownKeys[] = {
+    "benchmarks", "sched", "fetch", "deadlock", "iq", "scan_depth",
+    "watchdog_timeout", "oracle_disambiguation", "wrong_path", "warmup",
+    "horizon", "seed", "max_cycles", "sweep", "jobs", "sweep_json",
+    "stats_json", "trace_out", "trace_format", "trace_capacity",
+    "dump_config", "verify", "hang_cycles", "fault_intensity", "fault_seed",
+    "fault_index", "isolate", "retries", "diag", "help"};
+
 int main(int argc, char** argv) {
   std::string diag_path = "msim-diagnostic.json";
   try {
     const std::vector<std::string> args = normalize_args(argc, argv);
     const KvConfig cli = KvConfig::parse_strings(args);
+    if (cli.get_bool("help", false)) {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (const auto unknown = cli.unknown_keys(kKnownKeys); !unknown.empty()) {
+      std::string msg = "unknown option(s):";
+      for (const std::string& k : unknown) msg += " " + k;
+      msg += " (run msim_cli --help, or see the knob table in EXPERIMENTS.md)";
+      throw std::invalid_argument(msg);
+    }
     diag_path = cli.get_string("diag", diag_path);
     return run_cli(cli);
   } catch (const robust::SimulationAborted& e) {

@@ -13,7 +13,21 @@ namespace msim {
 /// Online mean / variance / min / max accumulator (Welford's algorithm).
 class StreamingStat {
  public:
-  void add(double x) noexcept;
+  // Inline: called once per simulated cycle per sampled gauge, which makes
+  // it one of the hottest functions in the whole simulator.
+  void add(double x) noexcept {
+    if (n_ == 0) {
+      min_ = max_ = x;
+    } else {
+      min_ = x < min_ ? x : min_;
+      max_ = x > max_ ? x : max_;
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
 
   [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }

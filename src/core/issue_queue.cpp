@@ -9,7 +9,14 @@ namespace msim::core {
 IssueQueue::IssueQueue(const IqLayout& layout)
     : layout_(layout), capacity_(layout.total()) {
   MSIM_CHECK(capacity_ > 0);
-  entries_.resize(capacity_);
+  inst_.resize(capacity_);
+  pending_.resize(capacity_, 0);
+  comparators_.resize(capacity_, 0);
+  valid_.resize(capacity_, 0);
+  gen_.resize(capacity_, 0);
+  dispatched_at_.resize(capacity_, 0);
+  age_stamp_.resize(capacity_, 0);
+  ready_set_.reserve(capacity_);
   // Lay entries out class-major and seed the per-class free lists.
   std::uint32_t slot = 0;
   for (unsigned cmp = 0; cmp <= isa::kMaxSources; ++cmp) {
@@ -17,7 +24,7 @@ IssueQueue::IssueQueue(const IqLayout& layout)
     if (count > 0) max_cmp_ = static_cast<std::uint8_t>(cmp);
     free_by_cmp_[cmp].reserve(count);
     for (std::uint32_t i = 0; i < count; ++i, ++slot) {
-      entries_[slot].comparators = static_cast<std::uint8_t>(cmp);
+      comparators_[slot] = static_cast<std::uint8_t>(cmp);
       free_by_cmp_[cmp].push_back(slot);
     }
   }
@@ -47,20 +54,21 @@ std::uint32_t IssueQueue::dispatch(const SchedInst& inst,
   }
   MSIM_CHECK(slot < capacity_);  // caller must check has_entry_for first
 
-  Entry& e = entries_[slot];
-  e.inst = inst;
-  e.pending = 0;
-  e.waiting[0] = e.waiting[1] = kNoPhysReg;
-  for (std::size_t i = 0; i < waiting.size(); ++i) {
-    MSIM_CHECK(waiting[i] != kNoPhysReg);
-    e.waiting[i] = waiting[i];
-    ++e.pending;
+  inst_[slot] = inst;
+  pending_[slot] = static_cast<std::uint8_t>(waiting.size());
+  MSIM_CHECK(pending_[slot] <= comparators_[slot]);
+  dispatched_at_[slot] = now;
+  age_stamp_[slot] = next_stamp_++;
+  valid_[slot] = 1;
+  const std::uint32_t gen = gen_[slot];
+  for (const PhysReg tag : waiting) {
+    MSIM_CHECK(tag != kNoPhysReg);
+    if (tag >= waiters_.size()) waiters_.resize(tag + 1u);
+    waiters_[tag].push_back(WaitNode{slot, gen});
   }
-  MSIM_CHECK(e.pending <= e.comparators);
-  e.dispatched_at = now;
-  e.age_stamp = next_stamp_++;
-  e.valid = true;
+  if (waiting.empty()) mark_ready(slot);
   ++live_;
+  live_cmp_ += comparators_[slot];
   ++per_thread_.at(inst.tid);
   ++stats_.dispatched;
   return slot;
@@ -68,69 +76,89 @@ std::uint32_t IssueQueue::dispatch(const SchedInst& inst,
 
 void IssueQueue::broadcast(PhysReg tag) noexcept {
   ++stats_.broadcasts;
-  if (live_ == 0) return;
-  for (Entry& e : entries_) {
-    if (!e.valid) continue;
-    // Every comparator of an occupied entry observes the broadcast; that
-    // is the CAM energy the reduced-tag designs halve.
-    stats_.comparator_ops += e.comparators;
-    if (e.pending == 0) continue;
-    for (PhysReg& w : e.waiting) {
-      if (w == tag) {
-        w = kNoPhysReg;
-        MSIM_CHECK(e.pending > 0);
-        --e.pending;
-        ++stats_.wakeups;
-      }
-    }
+  // Every comparator of an occupied entry observes the broadcast; that is
+  // the CAM energy the reduced-tag designs halve.  The sum over occupied
+  // entries is maintained incrementally instead of being re-derived by a
+  // queue scan.
+  stats_.comparator_ops += live_cmp_;
+  if (tag >= waiters_.size()) return;
+  SmallVec<WaitNode, 4>& list = waiters_[tag];
+  for (const WaitNode node : list) {
+    // A generation mismatch means the occupant this node was parked for has
+    // issued or been squashed since (and the slot possibly reused): dead
+    // node, skip.  A match implies the source is still outstanding, because
+    // the only event that clears it is this very broadcast.
+    if (gen_[node.slot] != node.gen) continue;
+    MSIM_CHECK(valid_[node.slot] && pending_[node.slot] > 0);
+    ++stats_.wakeups;
+    if (--pending_[node.slot] == 0) mark_ready(node.slot);
   }
+  list.clear();
+}
+
+void IssueQueue::mark_ready(std::uint32_t slot) noexcept {
+  ready_set_.push_back(ReadyNode{age_stamp_[slot], slot, gen_[slot]});
 }
 
 void IssueQueue::collect_ready(std::vector<std::uint32_t>& out) const {
-  const std::size_t first = out.size();
-  for (std::uint32_t i = 0; i < capacity_; ++i) {
-    const Entry& e = entries_[i];
-    if (e.valid && e.pending == 0) out.push_back(i);
+  // Compact away nodes whose entry has left the queue since going ready
+  // (issued last cycle, or squashed), then order survivors oldest first.
+  // Age stamps are unique, so this order is exactly what a full-queue scan
+  // sorted by age would produce.
+  std::size_t keep = 0;
+  for (const ReadyNode node : ready_set_) {
+    if (gen_[node.slot] == node.gen) ready_set_[keep++] = node;
   }
-  std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end(),
-            [this](std::uint32_t a, std::uint32_t b) {
-              return entries_[a].age_stamp < entries_[b].age_stamp;
-            });
+  ready_set_.resize(keep);
+  // Insertion sort: compaction preserves order, so only the nodes appended
+  // since the last call are out of place and the array is nearly sorted.
+  // Age stamps are unique, making any correct sort produce the same order.
+  for (std::size_t i = 1; i < keep; ++i) {
+    const ReadyNode node = ready_set_[i];
+    std::size_t j = i;
+    for (; j > 0 && ready_set_[j - 1].age_stamp > node.age_stamp; --j) {
+      ready_set_[j] = ready_set_[j - 1];
+    }
+    ready_set_[j] = node;
+  }
+  out.reserve(out.size() + keep);
+  for (const ReadyNode node : ready_set_) out.push_back(node.slot);
 }
 
 const SchedInst& IssueQueue::at(std::uint32_t slot) const {
-  MSIM_CHECK(slot < capacity_ && entries_[slot].valid);
-  return entries_[slot].inst;
+  MSIM_CHECK(slot < capacity_ && valid_[slot]);
+  return inst_[slot];
 }
 
 bool IssueQueue::ready(std::uint32_t slot) const {
-  MSIM_CHECK(slot < capacity_ && entries_[slot].valid);
-  return entries_[slot].pending == 0;
+  MSIM_CHECK(slot < capacity_ && valid_[slot]);
+  return pending_[slot] == 0;
 }
 
 void IssueQueue::release_slot(std::uint32_t slot) noexcept {
-  Entry& e = entries_[slot];
-  e.valid = false;
-  free_by_cmp_[e.comparators].push_back(slot);
+  valid_[slot] = 0;
+  // Invalidate every wakeup-list and ready-set node parked for this
+  // occupancy; they are skipped lazily wherever encountered.
+  ++gen_[slot];
+  free_by_cmp_[comparators_[slot]].push_back(slot);
   MSIM_CHECK(live_ > 0);
   --live_;
-  MSIM_CHECK(per_thread_.at(e.inst.tid) > 0);
-  --per_thread_.at(e.inst.tid);
+  live_cmp_ -= comparators_[slot];
+  MSIM_CHECK(per_thread_.at(inst_[slot].tid) > 0);
+  --per_thread_.at(inst_[slot].tid);
 }
 
 void IssueQueue::issue(std::uint32_t slot, Cycle now) {
   MSIM_CHECK(slot < capacity_);
-  Entry& e = entries_[slot];
-  MSIM_CHECK(e.valid && e.pending == 0);
-  stats_.residency.add(static_cast<double>(now - e.dispatched_at));
+  MSIM_CHECK(valid_[slot] && pending_[slot] == 0);
+  stats_.residency.add(static_cast<double>(now - dispatched_at_[slot]));
   ++stats_.issued;
   release_slot(slot);
 }
 
 void IssueQueue::squash_younger(ThreadId tid, SeqNum after_seq) noexcept {
   for (std::uint32_t i = 0; i < capacity_; ++i) {
-    Entry& e = entries_[i];
-    if (e.valid && e.inst.tid == tid && e.inst.seq > after_seq) {
+    if (valid_[i] && inst_[i].tid == tid && inst_[i].seq > after_seq) {
       release_slot(i);
     }
   }
@@ -139,10 +167,13 @@ void IssueQueue::squash_younger(ThreadId tid, SeqNum after_seq) noexcept {
 void IssueQueue::clear() noexcept {
   for (auto& free_list : free_by_cmp_) free_list.clear();
   for (std::uint32_t i = 0; i < capacity_; ++i) {
-    entries_[i].valid = false;
-    free_by_cmp_[entries_[i].comparators].push_back(i);
+    valid_[i] = 0;
+    ++gen_[i];
+    free_by_cmp_[comparators_[i]].push_back(i);
   }
+  ready_set_.clear();
   live_ = 0;
+  live_cmp_ = 0;
   per_thread_.fill(0);
 }
 

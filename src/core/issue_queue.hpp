@@ -14,6 +14,20 @@
 // The model also accounts CAM activity: every tag broadcast drives every
 // comparator of every occupied entry, which is precisely the wakeup power
 // and delay cost the reduced-tag designs attack.
+//
+// Simulation-speed architecture (docs/PERFORMANCE.md): the *model* above is
+// a CAM scan, but the *implementation* is event-driven so host cost scales
+// with wakeup events, not queue capacity.  Each physical register carries a
+// wakeup list of waiting (slot, generation) nodes; a broadcast drains one
+// list instead of scanning every entry, and the per-broadcast CAM energy is
+// charged from an incrementally maintained live-comparator sum.  Entries
+// whose last source arrives join an explicit ready set, so select reads
+// only ready instructions.  Slot reuse is made safe by per-slot generation
+// counters: nodes left behind by an issued or squashed occupant are lazily
+// discarded when their generation no longer matches.  All of this is
+// observationally bit-identical to the scan (ready order is by unique age
+// stamp; statistics are order-independent sums) — tests/test_perf_paths.cpp
+// holds the implementation to that contract against a reference scan model.
 #pragma once
 
 #include <array>
@@ -21,6 +35,7 @@
 #include <span>
 #include <vector>
 
+#include "common/small_vector.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "core/sched_types.hpp"
@@ -112,12 +127,12 @@ class IssueQueue {
   std::uint32_t dispatch(const SchedInst& inst, std::span<const PhysReg> waiting,
                          Cycle now);
 
-  /// Tag broadcast: clears matching waiting sources in every entry and
-  /// accounts the comparator activity.
+  /// Tag broadcast: wakes every entry waiting on `tag` and accounts the
+  /// CAM activity of the modeled full-queue comparator scan.
   void broadcast(PhysReg tag) noexcept;
 
   /// Appends the slots of all ready (fully woken) entries, ordered oldest
-  /// dispatch first, to `out`.
+  /// dispatch first, to `out`.  Idempotent within a cycle.
   void collect_ready(std::vector<std::uint32_t>& out) const;
 
   [[nodiscard]] const SchedInst& at(std::uint32_t slot) const;
@@ -141,25 +156,56 @@ class IssueQueue {
   void reset_stats() { stats_ = IqStats{}; }
 
  private:
-  struct Entry {
-    SchedInst inst{};
-    PhysReg waiting[isa::kMaxSources] = {kNoPhysReg, kNoPhysReg};
-    std::uint8_t pending = 0;
-    std::uint8_t comparators = 0;  ///< fixed per slot by the layout
-    Cycle dispatched_at = 0;
-    std::uint64_t age_stamp = 0;   ///< global dispatch order for oldest-first
-    bool valid = false;
+  /// A consumer parked on a physical register's wakeup list.  `gen` pins
+  /// the slot occupancy the node was created for: if the slot has been
+  /// issued, squashed or reused since, the generations differ and the node
+  /// is dead weight to be skipped.
+  struct WaitNode {
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+  /// A fully woken entry awaiting select.  Carries its age stamp so the
+  /// ready set can be ordered oldest-first without touching the entries.
+  struct ReadyNode {
+    std::uint64_t age_stamp;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
 
   void release_slot(std::uint32_t slot) noexcept;
+  void mark_ready(std::uint32_t slot) noexcept;
 
   IqLayout layout_;
   std::uint32_t capacity_;
   std::uint8_t max_cmp_ = 0;
   std::uint32_t live_ = 0;
+  /// Sum of comparators over occupied entries: the CAM energy one
+  /// broadcast costs (kept incrementally; see broadcast()).
+  std::uint32_t live_cmp_ = 0;
   std::uint64_t next_stamp_ = 0;
-  std::vector<Entry> entries_;
-  /// One free list per comparator class.
+
+  // Entry state, structure-of-arrays: the hot paths (wakeup, ready
+  // collection) each touch exactly one narrow array instead of striding
+  // over fat Entry records.
+  std::vector<SchedInst> inst_;
+  std::vector<std::uint8_t> pending_;
+  std::vector<std::uint8_t> comparators_;  ///< fixed per slot by the layout
+  std::vector<std::uint8_t> valid_;
+  std::vector<std::uint32_t> gen_;         ///< bumped on every release
+  std::vector<Cycle> dispatched_at_;
+  std::vector<std::uint64_t> age_stamp_;   ///< global dispatch order
+
+  /// One wakeup list per physical register, grown lazily to the largest
+  /// tag ever parked on.  Lists are nearly always tiny, so they live in
+  /// SmallVec inline storage (no per-tag heap block) and keep any spilled
+  /// capacity across drains.
+  std::vector<SmallVec<WaitNode, 4>> waiters_;
+  /// Entries with pending == 0, possibly including stale nodes for slots
+  /// released since; compacted in place by collect_ready.
+  mutable std::vector<ReadyNode> ready_set_;
+
+  /// One free list per comparator class (LIFO, seeded in ascending slot
+  /// order; rebuilt the same way by clear()).
   std::array<std::vector<std::uint32_t>, isa::kMaxSources + 1> free_by_cmp_;
   std::array<std::uint32_t, kMaxThreads> per_thread_{};
   IqStats stats_;

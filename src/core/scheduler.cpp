@@ -27,7 +27,7 @@ Scheduler::Scheduler(const SchedulerConfig& config, unsigned thread_count,
   MSIM_CHECK(thread_count_ >= 1 && thread_count_ <= kMaxThreads);
   MSIM_CHECK(dispatch_width_ >= 1 && issue_width_ >= 1);
   MSIM_CHECK(config_.rename_buffer_entries >= 1);
-  for (auto& buf : buffers_) buf.reserve(config_.rename_buffer_entries);
+  for (auto& buf : buffers_) buf.init(config_.rename_buffer_entries);
 }
 
 bool Scheduler::buffer_has_space(ThreadId tid) const {
@@ -115,7 +115,7 @@ void Scheduler::sample_behind_ndi(ThreadId tid, const DispatchEnv& env) {
   // This feeds the Section-4 observation that ~90% of such instructions
   // are HDIs.  Note HDI status here considers only the comparator
   // constraint, not momentary IQ occupancy, matching the paper's usage.
-  for (std::size_t i = 1; i < buf.size(); ++i) {
+  for (std::uint32_t i = 1; i < buf.size(); ++i) {
     ++dstats_.behind_ndi_examined;
     if (non_ready_sources(buf[i], env) <= 1) ++dstats_.behind_ndi_hdis;
   }
@@ -154,14 +154,14 @@ bool Scheduler::try_dispatch_one(ThreadId tid, Cycle now, const DispatchEnv& env
     }
     if (faults_ && faults_->drop_dispatch(tid, head.seq, now)) {
       ++dstats_.fault_dropped_dispatches;
-      buf.erase(buf.begin());
+      buf.pop_front();
       block_reason_[tid] = DispatchBlock::kNone;
       return true;
     }
     dispatch_into_iq(head, env, now);
     ++dstats_.dispatched_by_nonready[std::min(non_ready, 2u)];
     if (tracer_) tracer_->record(now, tid, head.seq, obs::TraceStage::kDispatch);
-    buf.erase(buf.begin());
+    buf.pop_front();
     block_reason_[tid] = DispatchBlock::kNone;
     return true;
   }
@@ -183,7 +183,8 @@ bool Scheduler::try_dispatch_one(ThreadId tid, Cycle now, const DispatchEnv& env
           env.is_oldest_in_rob(tid, buf.front().seq)) {
         MSIM_CHECK(non_ready_sources(buf.front(), env) == 0);
         dab_[tid] = buf.front();
-        buf.erase(buf.begin());
+        ++dab_live_;
+        buf.pop_front();
         if (scan.pos > 0) --scan.pos;
         ++dstats_.dab_inserts;
         if (tracer_) {
@@ -217,7 +218,7 @@ bool Scheduler::try_dispatch_one(ThreadId tid, Cycle now, const DispatchEnv& env
     // Dispatchable: take it.
     if (faults_ && faults_->drop_dispatch(tid, cand.seq, now)) {
       ++dstats_.fault_dropped_dispatches;
-      buf.erase(buf.begin() + scan.pos);
+      buf.erase_at(scan.pos);
       block_reason_[tid] = DispatchBlock::kNone;
       return true;
     }
@@ -235,7 +236,7 @@ bool Scheduler::try_dispatch_one(ThreadId tid, Cycle now, const DispatchEnv& env
                       scan.saw_ndi ? obs::kTraceFlagOooBypass : std::uint8_t{0});
     }
     ++scan.examined;
-    buf.erase(buf.begin() + scan.pos);  // pos now indexes the next entry
+    buf.erase_at(scan.pos);  // pos now indexes the next entry
     block_reason_[tid] = DispatchBlock::kNone;
     return true;
   }
@@ -250,7 +251,7 @@ bool Scheduler::try_dispatch_one(ThreadId tid, Cycle now, const DispatchEnv& env
 DispatchCycleResult Scheduler::run_dispatch(Cycle now, const DispatchEnv& env) {
   ++dstats_.cycles;
   for (ThreadId t = 0; t < thread_count_; ++t) {
-    scan_[t] = ScanState{};
+    scan_[t].reset();
     block_reason_[t] = DispatchBlock::kNone;
   }
 
@@ -305,23 +306,24 @@ DispatchCycleResult Scheduler::run_dispatch(Cycle now, const DispatchEnv& env) {
 
 unsigned Scheduler::run_select(Cycle now, IssueEnv& env) {
   unsigned issued = 0;
-  bool dab_occupied = false;
-  for (ThreadId t = 0; t < thread_count_ && issued < issue_width_; ++t) {
-    const auto tid = static_cast<ThreadId>((rr_start_ + t) % thread_count_);
-    if (!dab_[tid]) continue;
-    dab_occupied = true;
-    if (env.try_issue(*dab_[tid], /*from_dab=*/true)) {
-      dab_[tid].reset();
-      ++issued;
-      ++dstats_.dab_issues;
+  // The DAB is empty on the overwhelming majority of cycles; dab_live_
+  // makes that the zero-work case.
+  if (dab_live_ > 0) {
+    for (ThreadId t = 0; t < thread_count_ && issued < issue_width_; ++t) {
+      const auto tid = static_cast<ThreadId>((rr_start_ + t) % thread_count_);
+      if (!dab_[tid]) continue;
+      if (env.try_issue(*dab_[tid], /*from_dab=*/true)) {
+        dab_[tid].reset();
+        --dab_live_;
+        ++issued;
+        ++dstats_.dab_issues;
+      }
     }
+    // The paper's chosen DAB variant disables IQ selection while the DAB
+    // holds instructions ("instructions in this buffer ... simply take
+    // precedence over the instructions in the IQ").
+    if (config_.dab_exclusive) return issued;
   }
-  for (const auto& slot : dab_) dab_occupied = dab_occupied || slot.has_value();
-
-  // The paper's chosen DAB variant disables IQ selection while the DAB
-  // holds instructions ("instructions in this buffer ... simply take
-  // precedence over the instructions in the IQ").
-  if (dab_occupied && config_.dab_exclusive) return issued;
 
   ready_scratch_.clear();
   iq_.collect_ready(ready_scratch_);
@@ -338,7 +340,10 @@ unsigned Scheduler::run_select(Cycle now, IssueEnv& env) {
 void Scheduler::squash_younger(ThreadId tid, SeqNum after_seq) noexcept {
   auto& buf = buffers_.at(tid);
   while (!buf.empty() && buf.back().seq > after_seq) buf.pop_back();
-  if (dab_.at(tid) && dab_.at(tid)->seq > after_seq) dab_.at(tid).reset();
+  if (dab_.at(tid) && dab_.at(tid)->seq > after_seq) {
+    dab_.at(tid).reset();
+    --dab_live_;
+  }
   iq_.squash_younger(tid, after_seq);
   // Replay restarts at an older sequence number.
   insert_seq_valid_.at(tid) = 0;
@@ -347,6 +352,7 @@ void Scheduler::squash_younger(ThreadId tid, SeqNum after_seq) noexcept {
 void Scheduler::flush() noexcept {
   for (auto& buf : buffers_) buf.clear();
   for (auto& slot : dab_) slot.reset();
+  dab_live_ = 0;
   std::fill(insert_seq_valid_.begin(), insert_seq_valid_.end(), std::uint8_t{0});
   iq_.clear();
   watchdog_remaining_ = config_.watchdog_timeout;
@@ -354,11 +360,7 @@ void Scheduler::flush() noexcept {
 
 bool Scheduler::dab_occupied(ThreadId tid) const { return dab_.at(tid).has_value(); }
 
-std::uint32_t Scheduler::dab_occupancy() const noexcept {
-  std::uint32_t n = 0;
-  for (const auto& slot : dab_) n += slot.has_value() ? 1u : 0u;
-  return n;
-}
+std::uint32_t Scheduler::dab_occupancy() const noexcept { return dab_live_; }
 
 void Scheduler::register_stats(obs::StatRegistry& registry,
                                const std::string& prefix) const {

@@ -195,6 +195,64 @@ class Scheduler {
     /// Destinations of bypassed NDIs and of instructions (dispatched or
     /// suppressed) that transitively depend on one.
     std::vector<PhysReg> tainted;
+
+    /// Per-cycle reset that keeps tainted's capacity (this runs for every
+    /// thread every cycle; reallocating the vector each time showed up in
+    /// profiles).
+    void reset() noexcept {
+      pos = 0;
+      examined = 0;
+      exhausted = false;
+      saw_iq_full = false;
+      saw_ndi = false;
+      tainted.clear();
+    }
+  };
+
+  /// Fixed-capacity circular buffer holding one thread's renamed-but-not-
+  /// dispatched instructions in program order.  Dispatch consumes from the
+  /// front (or, under out-of-order dispatch, from the middle near the
+  /// front) every cycle, which on a std::vector meant shifting the whole
+  /// tail; here the common front-pop is O(1) and a middle erase shifts
+  /// only the handful of bypassed entries in front of the dispatch point.
+  class RenameBuffer {
+   public:
+    void init(std::uint32_t capacity) {
+      mask_ = 1;
+      while (mask_ < capacity) mask_ <<= 1;
+      data_.resize(mask_);
+      --mask_;
+      head_ = size_ = 0;
+    }
+    [[nodiscard]] std::uint32_t size() const noexcept { return size_; }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+    [[nodiscard]] const SchedInst& operator[](std::uint32_t i) const noexcept {
+      return data_[(head_ + i) & mask_];
+    }
+    [[nodiscard]] const SchedInst& front() const noexcept { return (*this)[0]; }
+    [[nodiscard]] const SchedInst& back() const noexcept { return (*this)[size_ - 1]; }
+    void push_back(const SchedInst& inst) noexcept {
+      data_[(head_ + size_) & mask_] = inst;
+      ++size_;
+    }
+    void pop_front() noexcept {
+      head_ = (head_ + 1) & mask_;
+      --size_;
+    }
+    void pop_back() noexcept { --size_; }
+    /// Removes the element at `i`, shifting the (short) front run [0, i)
+    /// back by one; program order of the survivors is preserved.
+    void erase_at(std::uint32_t i) noexcept {
+      for (; i > 0; --i) data_[(head_ + i) & mask_] = data_[(head_ + i - 1) & mask_];
+      pop_front();
+    }
+    void clear() noexcept { head_ = size_ = 0; }
+
+   private:
+    std::vector<SchedInst> data_;
+    std::uint32_t mask_ = 0;
+    std::uint32_t head_ = 0;
+    std::uint32_t size_ = 0;
   };
 
   /// Distinct non-ready register sources of `inst` under `env`.
@@ -222,8 +280,9 @@ class Scheduler {
   unsigned issue_width_;
 
   IssueQueue iq_;
-  std::vector<std::vector<SchedInst>> buffers_;       ///< per thread, program order
+  std::vector<RenameBuffer> buffers_;                 ///< per thread, program order
   std::vector<std::optional<SchedInst>> dab_;         ///< one slot per thread
+  std::uint32_t dab_live_ = 0;                        ///< occupied DAB slots
   std::vector<ScanState> scan_;                       ///< per thread, per cycle
   std::vector<DispatchBlock> block_reason_;           ///< per thread, per cycle
   std::vector<SeqNum> last_inserted_seq_;             ///< program-order check

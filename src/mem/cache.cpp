@@ -15,13 +15,7 @@ Cache::Cache(const CacheConfig& config) : config_(config), set_count_(config.set
 }
 
 void Cache::prune_outstanding(Cycle now) {
-  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
-    if (it->second <= now) {
-      it = outstanding_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  std::erase_if(outstanding_, [now](const auto& miss) { return miss.second <= now; });
 }
 
 Cache::AccessResult Cache::access(Addr addr, bool is_store, Cycle now) {
@@ -38,9 +32,9 @@ Cache::AccessResult Cache::access(Addr addr, bool is_store, Cycle now) {
       // accesses wait for the fill to complete (miss coalescing).
       std::uint32_t wait = 0;
       if (!outstanding_.empty()) {
-        if (const auto it = outstanding_.find(laddr);
-            it != outstanding_.end() && it->second > now) {
-          wait = static_cast<std::uint32_t>(it->second - now);
+        if (const auto* miss = find_outstanding(laddr);
+            miss != nullptr && miss->second > now) {
+          wait = static_cast<std::uint32_t>(miss->second - now);
           ++stats_.coalesced_misses;
         }
       }
@@ -51,9 +45,9 @@ Cache::AccessResult Cache::access(Addr addr, bool is_store, Cycle now) {
   prune_outstanding(now);
 
   // Coalesce with an in-flight miss to the same line.
-  if (const auto it = outstanding_.find(laddr); it != outstanding_.end()) {
+  if (const auto* miss = find_outstanding(laddr); miss != nullptr) {
     ++stats_.coalesced_misses;
-    const auto wait = static_cast<std::uint32_t>(it->second - now);
+    const auto wait = static_cast<std::uint32_t>(miss->second - now);
     return {.hit = true, .extra_latency = config_.hit_extra + wait, .miss_start = now};
   }
 
@@ -62,9 +56,7 @@ Cache::AccessResult Cache::access(Addr addr, bool is_store, Cycle now) {
   Cycle miss_start = now;
   if (outstanding_.size() >= config_.mshr_count) {
     Cycle earliest = kCycleNever;
-    for (const auto& [line, fill_time] : outstanding_) {
-      earliest = std::min(earliest, fill_time);
-    }
+    for (const auto& miss : outstanding_) earliest = std::min(earliest, miss.second);
     miss_start = earliest;
     stats_.mshr_stall_cycles += miss_start - now;
   }
@@ -94,8 +86,11 @@ void Cache::fill(Addr addr, bool is_store, Cycle now, Cycle fill_time) {
   victim->dirty = is_store;
 
   prune_outstanding(now);
-  if (fill_time > now) {
-    outstanding_.emplace(laddr, fill_time);
+  // Mirrors map::emplace semantics: never create a duplicate entry for a
+  // line (cannot happen today -- a line with an in-flight fill coalesces
+  // at access() and is not re-filled -- but stay defensive).
+  if (fill_time > now && find_outstanding(laddr) == nullptr) {
+    outstanding_.emplace_back(laddr, fill_time);
   }
 }
 

@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -97,8 +96,16 @@ class Cache {
   CacheConfig config_;
   std::uint32_t set_count_;
   std::vector<Line> lines_;  ///< set-major: lines_[set * assoc + way]
-  /// line address -> fill completion time, for coalescing & MSHR occupancy.
-  std::map<Addr, Cycle> outstanding_;
+  /// (line address, fill completion time) pairs, for coalescing & MSHR
+  /// occupancy.  At most ~mshr_count entries live at once, so a flat array
+  /// with linear search beats a tree.
+  std::vector<std::pair<Addr, Cycle>> outstanding_;
+  [[nodiscard]] const std::pair<Addr, Cycle>* find_outstanding(Addr laddr) const noexcept {
+    for (const auto& miss : outstanding_) {
+      if (miss.first == laddr) return &miss;
+    }
+    return nullptr;
+  }
   CacheStats stats_;
 };
 

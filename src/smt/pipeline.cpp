@@ -105,7 +105,7 @@ class Pipeline::IssueEnvImpl final : public core::IssueEnv {
     ++p.pstats_.issued;
     if (e.wrong_path) ++p.pstats_.wrong_path_issued;
     if (e.dest_phys != kNoPhysReg) {
-      p.broadcasts_[complete].push_back(e.dest_phys);
+      p.broadcasts_.schedule(complete, e.dest_phys);
     }
     if (p.tracer_.enabled()) {
       std::uint8_t flags = 0;
@@ -182,8 +182,10 @@ void Pipeline::do_commit(Cycle now) {
   const unsigned start = static_cast<unsigned>(now % config_.thread_count);
   while (remaining > 0 && progress) {
     progress = false;
-    for (unsigned i = 0; i < config_.thread_count && remaining > 0; ++i) {
-      const auto tid = static_cast<ThreadId>((start + i) % config_.thread_count);
+    unsigned slot = start;
+    for (unsigned i = 0; i < config_.thread_count && remaining > 0;
+         ++i, slot = slot + 1 == config_.thread_count ? 0 : slot + 1) {
+      const auto tid = static_cast<ThreadId>(slot);
       ThreadState& ts = *threads_[tid];
       if (ts.rob.empty()) continue;
       RobEntry& head = ts.rob.head();
@@ -209,13 +211,10 @@ void Pipeline::do_commit(Cycle now) {
 }
 
 void Pipeline::apply_broadcasts(Cycle now) {
-  while (!broadcasts_.empty() && broadcasts_.begin()->first <= now) {
-    for (const PhysReg tag : broadcasts_.begin()->second) {
-      rename_.set_ready(tag);
-      scheduler_->broadcast(tag);
-    }
-    broadcasts_.erase(broadcasts_.begin());
-  }
+  broadcasts_.drain_due(now, [this](PhysReg tag) {
+    rename_.set_ready(tag);
+    scheduler_->broadcast(tag);
+  });
 }
 
 void Pipeline::do_issue(Cycle now) {
@@ -234,8 +233,10 @@ void Pipeline::do_rename(Cycle now) {
   const unsigned start = static_cast<unsigned>(now % config_.thread_count);
   while (remaining > 0 && progress) {
     progress = false;
-    for (unsigned i = 0; i < config_.thread_count && remaining > 0; ++i) {
-      const auto tid = static_cast<ThreadId>((start + i) % config_.thread_count);
+    unsigned slot = start;
+    for (unsigned i = 0; i < config_.thread_count && remaining > 0;
+         ++i, slot = slot + 1 == config_.thread_count ? 0 : slot + 1) {
+      const auto tid = static_cast<ThreadId>(slot);
       ThreadState& ts = *threads_[tid];
       if (ts.fetch_queue.empty()) continue;
       const FetchedInst& f = ts.fetch_queue.front();
@@ -424,8 +425,19 @@ void Pipeline::do_fetch(Cycle now) {
     order[t] = static_cast<ThreadId>((now + t) % config_.thread_count);
   }
   if (config_.fetch_policy != FetchPolicy::kRoundRobin) {
-    std::stable_sort(order.begin(), order.begin() + config_.thread_count,
-                     [this](ThreadId a, ThreadId b) { return icount(a) < icount(b); });
+    // icount() walks three structures; compute it once per thread and
+    // stable-insertion-sort the (tiny) order array on the cached values.
+    std::array<std::uint32_t, kMaxThreads> counts;
+    for (unsigned t = 0; t < config_.thread_count; ++t) {
+      counts[order[t]] = icount(order[t]);
+    }
+    for (unsigned i = 1; i < config_.thread_count; ++i) {
+      const ThreadId tid = order[i];
+      const std::uint32_t count = counts[tid];
+      unsigned j = i;
+      for (; j > 0 && counts[order[j - 1]] > count; --j) order[j] = order[j - 1];
+      order[j] = tid;
+    }
   }
   const bool l2_gating = config_.fetch_policy == FetchPolicy::kStall ||
                          config_.fetch_policy == FetchPolicy::kFlush;
@@ -512,9 +524,7 @@ void Pipeline::flush_thread_after(ThreadId tid, SeqNum after_seq, Cycle now,
     if (e.dest_phys != kNoPhysReg) {
       rename_.rewind_mapping(tid, e.inst.dest, e.dest_phys, e.prev_dest_phys);
       if (e.issued && e.complete_at > now) {
-        if (const auto it = broadcasts_.find(e.complete_at); it != broadcasts_.end()) {
-          std::erase(it->second, e.dest_phys);
-        }
+        broadcasts_.cancel(e.complete_at, e.dest_phys);
       }
     }
     if (!e.wrong_path) refetch.push_front(e.inst);

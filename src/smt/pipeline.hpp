@@ -27,6 +27,7 @@
 #include "mem/hierarchy.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "smt/broadcast_schedule.hpp"
 #include "smt/fu.hpp"
 #include "smt/lsq.hpp"
 #include "smt/machine_config.hpp"
@@ -254,8 +255,8 @@ class Pipeline {
   FuPools fu_;
   mem::MemoryHierarchy mem_;
   bpred::BranchPredictor bpred_;
-  /// Scheduled result-tag broadcasts: completion cycle -> tags.
-  std::map<Cycle, std::vector<PhysReg>> broadcasts_;
+  /// Scheduled result-tag broadcasts, bucketed by completion cycle.
+  BroadcastSchedule broadcasts_;
 
   /// FLUSH policy: per-thread squash point requested during issue, applied
   /// between the issue and dispatch phases of the same cycle.

@@ -48,8 +48,11 @@ class RenameUnit {
   /// and `prev` the mapping it displaced.
   void rewind_mapping(ThreadId tid, ArchReg arch, PhysReg current, PhysReg prev);
 
-  [[nodiscard]] bool is_ready(PhysReg reg) const { return ready_.at(reg) != 0; }
-  void set_ready(PhysReg reg) { ready_.at(reg) = 1; }
+  // Hot path (queried per source per dispatch candidate per cycle):
+  // physical register indices are produced by this unit, so plain indexing
+  // is safe.
+  [[nodiscard]] bool is_ready(PhysReg reg) const noexcept { return ready_[reg] != 0; }
+  void set_ready(PhysReg reg) noexcept { ready_[reg] = 1; }
 
   [[nodiscard]] unsigned free_int_regs() const noexcept {
     return static_cast<unsigned>(free_int_.size());

@@ -1,0 +1,470 @@
+// Guard rails for the event-driven scheduler hot paths (docs/PERFORMANCE.md).
+//
+// Three layers, from micro to macro:
+//   1. Randomized equivalence: the wakeup-list IssueQueue must behave
+//      exactly like a brute-force reference scan model under randomized
+//      dependency graphs (dispatch/broadcast/issue/squash interleavings).
+//   2. Free-list exhaustion & reuse: recycled slots must not be woken by
+//      stale wakeup-list nodes left behind by their previous occupant.
+//   3. Golden bit-identity: committed-instruction digests of full 2T/4T
+//      pipeline runs are pinned.  Any optimization that changes a digest
+//      changed machine behavior and violated the bit-identity contract.
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/issue_queue.hpp"
+#include "smt/pipeline.hpp"
+#include "trace/profile.hpp"
+
+namespace msim::core {
+namespace {
+
+// ---- 1. randomized equivalence against a reference scan model --------------
+
+/// Executable specification: the pre-wakeup-list IssueQueue algorithm,
+/// verbatim.  Free entries come from per-class LIFO lists (identical to the
+/// production queue, so both pick the same slot); wakeup is a full-queue
+/// CAM scan and ready collection a full-queue sweep.  Obviously correct,
+/// deliberately slow.
+class ReferenceScanIq {
+ public:
+  explicit ReferenceScanIq(const IqLayout& layout) {
+    std::uint32_t slot = 0;
+    for (unsigned cmp = 0; cmp <= isa::kMaxSources; ++cmp) {
+      for (std::uint32_t i = 0; i < layout.entries_by_comparators[cmp];
+           ++i, ++slot) {
+        Entry e;
+        e.comparators = static_cast<std::uint8_t>(cmp);
+        entries_.push_back(e);
+        free_by_cmp_[cmp].push_back(slot);
+      }
+    }
+  }
+
+  [[nodiscard]] bool has_entry_for(unsigned non_ready) const {
+    for (unsigned cmp = non_ready; cmp <= isa::kMaxSources; ++cmp) {
+      if (!free_by_cmp_[cmp].empty()) return true;
+    }
+    return false;
+  }
+
+  std::uint32_t dispatch(const SchedInst& inst, std::span<const PhysReg> waiting,
+                         Cycle now) {
+    std::uint32_t slot = static_cast<std::uint32_t>(entries_.size());
+    for (unsigned cmp = static_cast<unsigned>(waiting.size());
+         cmp <= isa::kMaxSources; ++cmp) {
+      if (!free_by_cmp_[cmp].empty()) {
+        slot = free_by_cmp_[cmp].back();
+        free_by_cmp_[cmp].pop_back();
+        break;
+      }
+    }
+    EXPECT_LT(slot, entries_.size());
+    Entry& e = entries_[slot];
+    e.inst = inst;
+    e.pending = 0;
+    e.waiting[0] = e.waiting[1] = kNoPhysReg;
+    for (std::size_t i = 0; i < waiting.size(); ++i) {
+      e.waiting[i] = waiting[i];
+      ++e.pending;
+    }
+    e.dispatched_at = now;
+    e.age_stamp = next_stamp_++;
+    e.valid = true;
+    ++live_;
+    ++ref_stats_.dispatched;
+    return slot;
+  }
+
+  void broadcast(PhysReg tag) {
+    ++ref_stats_.broadcasts;
+    if (live_ == 0) return;
+    for (Entry& e : entries_) {
+      if (!e.valid) continue;
+      ref_stats_.comparator_ops += e.comparators;
+      if (e.pending == 0) continue;
+      for (PhysReg& w : e.waiting) {
+        if (w == tag) {
+          w = kNoPhysReg;
+          --e.pending;
+          ++ref_stats_.wakeups;
+        }
+      }
+    }
+  }
+
+  void collect_ready(std::vector<std::uint32_t>& out) const {
+    const std::size_t first = out.size();
+    for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].valid && entries_[i].pending == 0) out.push_back(i);
+    }
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                return entries_[a].age_stamp < entries_[b].age_stamp;
+              });
+  }
+
+  void issue(std::uint32_t slot) {
+    release(slot);
+    ++ref_stats_.issued;
+  }
+
+  void squash_younger(ThreadId tid, SeqNum after_seq) {
+    for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+      Entry& e = entries_[i];
+      if (e.valid && e.inst.tid == tid && e.inst.seq > after_seq) release(i);
+    }
+  }
+
+  [[nodiscard]] const SchedInst& at(std::uint32_t slot) const {
+    return entries_[slot].inst;
+  }
+
+  struct RefStats {
+    std::uint64_t dispatched = 0;
+    std::uint64_t issued = 0;
+    std::uint64_t broadcasts = 0;
+    std::uint64_t wakeups = 0;
+    std::uint64_t comparator_ops = 0;
+  };
+  [[nodiscard]] const RefStats& stats() const { return ref_stats_; }
+
+ private:
+  struct Entry {
+    SchedInst inst{};
+    PhysReg waiting[isa::kMaxSources] = {kNoPhysReg, kNoPhysReg};
+    std::uint8_t pending = 0;
+    std::uint8_t comparators = 0;
+    Cycle dispatched_at = 0;
+    std::uint64_t age_stamp = 0;
+    bool valid = false;
+  };
+
+  void release(std::uint32_t slot) {
+    Entry& e = entries_[slot];
+    e.valid = false;
+    free_by_cmp_[e.comparators].push_back(slot);
+    --live_;
+  }
+
+  std::vector<Entry> entries_;
+  std::array<std::vector<std::uint32_t>, isa::kMaxSources + 1> free_by_cmp_;
+  std::uint32_t live_ = 0;
+  std::uint64_t next_stamp_ = 0;
+  RefStats ref_stats_;
+};
+
+/// Drives the production IssueQueue and the reference model with the same
+/// randomized stream of dispatch / broadcast / issue / squash events and
+/// asserts identical observable behavior after every step.
+void run_equivalence(std::uint64_t seed, const IqLayout& layout,
+                     unsigned tag_space, unsigned steps) {
+  IssueQueue iq(layout);
+  ReferenceScanIq ref(layout);
+  Rng rng(seed);
+
+  SeqNum next_seq[4] = {1, 1, 1, 1};
+  Cycle now = 0;
+  std::vector<std::uint32_t> got;
+  std::vector<std::uint32_t> want;
+  /// Tags some dispatched instruction is (or was) waiting on; broadcasting
+  /// one models its producer completing.
+  std::vector<PhysReg> outstanding;
+
+  for (unsigned step = 0; step < steps; ++step) {
+    ++now;
+    const double roll = rng.next_double();
+    if (roll < 0.45) {
+      // Dispatch with 0-2 distinct waiting tags, when an entry exists.
+      const auto tid = static_cast<ThreadId>(rng.next_u64() % 4);
+      PhysReg waiting[isa::kMaxSources];
+      std::size_t n = rng.next_u64() % (isa::kMaxSources + 1);
+      const unsigned max_cmp = iq.max_comparators();
+      if (n > max_cmp) n = max_cmp;
+      if (n >= 1) waiting[0] = static_cast<PhysReg>(rng.next_u64() % tag_space);
+      if (n == 2) {
+        waiting[1] = static_cast<PhysReg>(rng.next_u64() % tag_space);
+        if (waiting[1] == waiting[0]) n = 1;
+      }
+      ASSERT_EQ(iq.has_entry_for(static_cast<unsigned>(n)),
+                ref.has_entry_for(static_cast<unsigned>(n)));
+      if (!iq.has_entry_for(static_cast<unsigned>(n))) continue;
+      SchedInst inst;
+      inst.tid = tid;
+      inst.seq = next_seq[tid]++;
+      const std::uint32_t a = iq.dispatch(inst, {waiting, n}, now);
+      const std::uint32_t b = ref.dispatch(inst, {waiting, n}, now);
+      ASSERT_EQ(a, b) << "free-entry choice diverged at step " << step;
+      for (std::size_t i = 0; i < n; ++i) outstanding.push_back(waiting[i]);
+    } else if (roll < 0.75 && !outstanding.empty()) {
+      // Broadcast one outstanding tag (a producer completes; every consumer
+      // of that tag wakes at once, so drop all its occurrences).
+      const std::size_t pick = rng.next_u64() % outstanding.size();
+      const PhysReg tag = outstanding[pick];
+      std::erase(outstanding, tag);
+      iq.broadcast(tag);
+      ref.broadcast(tag);
+    } else if (roll < 0.9) {
+      // Issue up to issue-width ready entries, oldest first.
+      got.clear();
+      want.clear();
+      iq.collect_ready(got);
+      ref.collect_ready(want);
+      ASSERT_EQ(got, want) << "ready sets diverged at step " << step;
+      const std::size_t width = std::min<std::size_t>(got.size(), 4);
+      for (std::size_t i = 0; i < width; ++i) {
+        ASSERT_EQ(iq.at(got[i]).seq, ref.at(want[i]).seq);
+        ASSERT_EQ(iq.at(got[i]).tid, ref.at(want[i]).tid);
+        iq.issue(got[i], now);
+        ref.issue(want[i]);
+      }
+    } else if (roll < 0.95) {
+      // Partial squash of one thread (FLUSH fetch policy path).  Both
+      // implementations release squashed slots in ascending slot order, so
+      // the free lists stay in lockstep.
+      const auto tid = static_cast<ThreadId>(rng.next_u64() % 4);
+      if (next_seq[tid] <= 1) continue;
+      const SeqNum after = rng.next_u64() % next_seq[tid];
+      iq.squash_younger(tid, after);
+      ref.squash_younger(tid, after);
+    }
+
+    got.clear();
+    want.clear();
+    iq.collect_ready(got);
+    ref.collect_ready(want);
+    ASSERT_EQ(got, want) << "ready sets diverged after step " << step;
+    ASSERT_EQ(iq.stats().wakeups, ref.stats().wakeups) << "step " << step;
+    ASSERT_EQ(iq.stats().comparator_ops, ref.stats().comparator_ops)
+        << "step " << step;
+    ASSERT_EQ(iq.stats().broadcasts, ref.stats().broadcasts);
+    ASSERT_EQ(iq.stats().dispatched, ref.stats().dispatched);
+    ASSERT_EQ(iq.stats().issued, ref.stats().issued);
+  }
+}
+
+TEST(WakeupListEquivalence, UniformTwoComparatorQueue) {
+  run_equivalence(1, IqLayout::uniform(16, 2), /*tag_space=*/48, /*steps=*/4000);
+  run_equivalence(2, IqLayout::uniform(64, 2), /*tag_space=*/160, /*steps=*/4000);
+}
+
+TEST(WakeupListEquivalence, UniformOneComparatorQueue) {
+  run_equivalence(3, IqLayout::uniform(16, 1), /*tag_space=*/48, /*steps=*/4000);
+  run_equivalence(4, IqLayout::uniform(64, 1), /*tag_space=*/160, /*steps=*/4000);
+}
+
+TEST(WakeupListEquivalence, TagEliminatedQueue) {
+  run_equivalence(5, IqLayout::tag_eliminated(32), /*tag_space=*/96,
+                  /*steps=*/4000);
+}
+
+TEST(WakeupListEquivalence, TinyQueueHighContention) {
+  // A 4-entry queue forces constant exhaustion, reuse and stale-node churn.
+  run_equivalence(6, IqLayout::uniform(4, 2), /*tag_space=*/8, /*steps=*/6000);
+  run_equivalence(7, IqLayout::uniform(4, 1), /*tag_space=*/6, /*steps=*/6000);
+}
+
+// ---- 2. free-list exhaustion and slot reuse --------------------------------
+
+SchedInst make_inst(ThreadId tid, SeqNum seq) {
+  SchedInst inst;
+  inst.tid = tid;
+  inst.seq = seq;
+  return inst;
+}
+
+TEST(IqFreeList, ExhaustReuseCycle) {
+  IssueQueue iq(4, 2);
+  std::vector<std::uint32_t> ready;
+  // Fill to exhaustion with ready instructions.
+  for (SeqNum s = 1; s <= 4; ++s) {
+    ASSERT_TRUE(iq.has_entry_for(0));
+    iq.dispatch(make_inst(0, s), {}, s);
+  }
+  EXPECT_TRUE(iq.full());
+  EXPECT_FALSE(iq.has_entry_for(0));
+  // Drain and refill twice: every slot must be reusable.
+  for (int round = 0; round < 2; ++round) {
+    ready.clear();
+    iq.collect_ready(ready);
+    ASSERT_EQ(ready.size(), 4u);
+    for (const std::uint32_t slot : ready) iq.issue(slot, 10);
+    EXPECT_EQ(iq.size(), 0u);
+    for (SeqNum s = 1; s <= 4; ++s) {
+      ASSERT_TRUE(iq.has_entry_for(2));
+      const PhysReg tags[2] = {static_cast<PhysReg>(s), static_cast<PhysReg>(s + 8)};
+      iq.dispatch(make_inst(1, s + 10 * static_cast<SeqNum>(round)), {tags, 2}, 20);
+    }
+    EXPECT_TRUE(iq.full());
+    for (SeqNum s = 1; s <= 4; ++s) {
+      iq.broadcast(static_cast<PhysReg>(s));
+      iq.broadcast(static_cast<PhysReg>(s + 8));
+    }
+  }
+  EXPECT_EQ(iq.stats().dispatched, 12u);
+  EXPECT_EQ(iq.stats().wakeups, 16u);
+}
+
+TEST(IqFreeList, StaleWakeupNodeDoesNotWakeReusedSlot) {
+  IssueQueue iq(2, 2);
+  // A waits on tag 7; squash A before the broadcast.
+  const std::uint32_t slot_a =
+      iq.dispatch(make_inst(0, 1), std::array<PhysReg, 1>{7}, 1);
+  iq.squash_younger(0, 0);
+  EXPECT_EQ(iq.size(), 0u);
+  // B reuses the slot, also waiting on tag 7; C occupies the other slot
+  // waiting on tag 9.  The stale node for A must neither wake B twice nor
+  // corrupt the wakeup statistics.
+  const std::uint32_t slot_b =
+      iq.dispatch(make_inst(1, 1), std::array<PhysReg, 1>{7}, 2);
+  EXPECT_EQ(slot_a, slot_b);  // LIFO free list hands the slot straight back
+  iq.dispatch(make_inst(1, 2), std::array<PhysReg, 1>{9}, 2);
+  iq.broadcast(7);
+  EXPECT_EQ(iq.stats().wakeups, 1u);
+  EXPECT_TRUE(iq.ready(slot_b));
+  std::vector<std::uint32_t> ready;
+  iq.collect_ready(ready);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], slot_b);
+  // Re-broadcasting an already-consumed tag is a no-op for readiness.
+  iq.broadcast(7);
+  EXPECT_EQ(iq.stats().wakeups, 1u);
+  iq.broadcast(9);
+  ready.clear();
+  iq.collect_ready(ready);
+  EXPECT_EQ(ready.size(), 2u);
+}
+
+TEST(IqFreeList, ClearForgetsAllWaiters) {
+  IssueQueue iq(4, 2);
+  iq.dispatch(make_inst(0, 1), std::array<PhysReg, 2>{3, 4}, 1);
+  iq.dispatch(make_inst(0, 2), std::array<PhysReg, 1>{3}, 1);
+  iq.clear();
+  EXPECT_EQ(iq.size(), 0u);
+  // Post-clear, a fresh consumer of tag 3 must see exactly one wakeup.
+  iq.dispatch(make_inst(1, 1), std::array<PhysReg, 1>{3}, 2);
+  iq.broadcast(3);
+  EXPECT_EQ(iq.stats().wakeups, 1u);
+  std::vector<std::uint32_t> ready;
+  iq.collect_ready(ready);
+  EXPECT_EQ(ready.size(), 1u);
+}
+
+// ---- 3. golden bit-identity digests ----------------------------------------
+
+std::vector<trace::BenchmarkProfile> workload(
+    std::initializer_list<const char*> names) {
+  std::vector<trace::BenchmarkProfile> out;
+  for (const char* n : names) out.push_back(trace::profile_or_throw(n));
+  return out;
+}
+
+/// FNV-1a over every committed (tid, seq, cycle) triple, in commit order.
+class CommitDigest final : public smt::PipelineObserver {
+ public:
+  void on_commit(ThreadId tid, SeqNum seq, Cycle now) override {
+    mix(tid);
+    mix(seq);
+    mix(now);
+  }
+  void on_cycle_end(const smt::Pipeline&, Cycle) override {}
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  void mix(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xff;
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+struct GoldenRun {
+  std::uint64_t digest = 0;
+  Cycle cycles = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t iq_wakeups = 0;
+  std::uint64_t iq_comparator_ops = 0;
+  std::uint64_t dispatched = 0;
+};
+
+GoldenRun run_digest(SchedulerKind kind, std::initializer_list<const char*> names,
+                     std::uint64_t seed) {
+  const auto w = workload(names);
+  smt::MachineConfig mc;
+  mc.thread_count = static_cast<unsigned>(w.size());
+  mc.scheduler.kind = kind;
+  mc.scheduler.iq_entries = 64;
+  smt::Pipeline pipe(mc, w, seed);
+  CommitDigest digest;
+  pipe.set_observer(&digest);
+  pipe.run(30'000);
+  pipe.set_observer(nullptr);
+  GoldenRun g;
+  g.digest = digest.value();
+  g.cycles = pipe.cycles();
+  g.committed = pipe.total_committed();
+  g.iq_wakeups = pipe.scheduler().iq().stats().wakeups;
+  g.iq_comparator_ops = pipe.scheduler().iq().stats().comparator_ops;
+  g.dispatched = pipe.scheduler().dispatch_stats().dispatched;
+  return g;
+}
+
+void expect_golden(const GoldenRun& got, const GoldenRun& want) {
+  EXPECT_EQ(got.digest, want.digest) << "committed-instruction stream changed";
+  EXPECT_EQ(got.cycles, want.cycles);
+  EXPECT_EQ(got.committed, want.committed);
+  EXPECT_EQ(got.iq_wakeups, want.iq_wakeups);
+  EXPECT_EQ(got.iq_comparator_ops, want.iq_comparator_ops);
+  EXPECT_EQ(got.dispatched, want.dispatched);
+}
+
+// The constants below were produced by the pre-optimization (PR-3)
+// scheduler and pin the machine's architectural behavior: the event-driven
+// hot paths must reproduce them bit for bit.  If a change moves one of
+// these on purpose (a modeling change, not an optimization), re-derive the
+// constants and say so loudly in the PR; docs/PERFORMANCE.md explains the
+// contract.
+TEST(GoldenBitIdentity, TwoThreadTraditional) {
+  expect_golden(run_digest(SchedulerKind::kTraditional, {"gzip", "equake"}, 1),
+                GoldenRun{10830539571080912323ULL, 37241, 46411, 28340, 2082294, 46589});
+}
+
+TEST(GoldenBitIdentity, TwoThreadTwoOpBlockOoo) {
+  expect_golden(run_digest(SchedulerKind::kTwoOpBlockOoo, {"gzip", "equake"}, 1),
+                GoldenRun{12392273267717430596ULL, 37112, 46411, 24695, 936831, 46585});
+}
+
+TEST(GoldenBitIdentity, FourThreadTraditional) {
+  expect_golden(
+      run_digest(SchedulerKind::kTraditional, {"gzip", "equake", "gcc", "mesa"}, 1),
+      GoldenRun{15374823743679590000ULL, 33632, 74292, 39443, 5085728, 74521});
+}
+
+TEST(GoldenBitIdentity, FourThreadTwoOpBlock) {
+  expect_golden(
+      run_digest(SchedulerKind::kTwoOpBlock, {"gzip", "equake", "gcc", "mesa"}, 1),
+      GoldenRun{6333350359642444287ULL, 33461, 70535, 32252, 1518349, 70658});
+}
+
+TEST(GoldenBitIdentity, FourThreadTwoOpBlockOoo) {
+  expect_golden(
+      run_digest(SchedulerKind::kTwoOpBlockOoo, {"gzip", "equake", "gcc", "mesa"}, 1),
+      GoldenRun{17558748911921286022ULL, 33087, 73790, 34823, 2434789, 74016});
+}
+
+TEST(GoldenBitIdentity, FourThreadTagElimination) {
+  expect_golden(
+      run_digest(SchedulerKind::kTagElimination, {"gzip", "equake", "gcc", "mesa"}, 1),
+      GoldenRun{15796738916688664714ULL, 33844, 74460, 36158, 2863349, 74692});
+}
+
+}  // namespace
+}  // namespace msim::core

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Fail on dead intra-repo links in the repository's Markdown files.
+
+Usage:
+    check_links.py [ROOT]
+
+Scans every *.md file under ROOT (default: the repo root containing this
+script) for Markdown links and inline references to repository paths, and
+exits 1 if any relative link target does not exist.  External links
+(http/https/mailto) are ignored; anchors are stripped before the
+existence check.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_DIRS = {".git", "build", "build-prof", ".github"}
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else
+                           os.path.join(os.path.dirname(__file__), os.pardir))
+    dead = []
+    checked = 0
+    for path in sorted(md_files(root)):
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target))
+            checked += 1
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(path, root)
+                dead.append(f"{rel}: dead link -> {match.group(1)}")
+    for line in dead:
+        print(line)
+    print(f"checked {checked} intra-repo links, {len(dead)} dead")
+    return 1 if dead else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

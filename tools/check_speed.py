@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Gate simulator speed against the committed baseline.
+
+Usage:
+    check_speed.py BASELINE.json CURRENT.json [--tolerance 0.30]
+
+Both files use the msim.bench_sim_speed.v1 schema written by
+`bench_sim_speed json=PATH`.  The check fails (exit 1) when any
+benchmark's simulated_kips drops more than --tolerance below the
+baseline, or when a baseline benchmark is missing from the current run.
+Large improvements only print a hint to refresh the baseline.
+
+Absolute KIPS depend on host hardware; see the triage checklist in
+docs/PERFORMANCE.md before acting on a failure.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "msim.bench_sim_speed.v1":
+        sys.exit(f"error: {path}: expected schema msim.bench_sim_speed.v1, "
+                 f"got {doc.get('schema')!r}")
+    rows = {}
+    for row in doc.get("benchmarks", []):
+        rows[row["name"]] = float(row["simulated_kips"])
+    if not rows:
+        sys.exit(f"error: {path}: no benchmark rows")
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional regression (default 0.30)")
+    args = parser.parse_args()
+
+    baseline = load_rows(args.baseline)
+    current = load_rows(args.current)
+
+    failed = False
+    for name, base_kips in sorted(baseline.items()):
+        if name not in current:
+            print(f"FAIL {name}: missing from {args.current}")
+            failed = True
+            continue
+        cur_kips = current[name]
+        ratio = cur_kips / base_kips if base_kips > 0 else float("inf")
+        floor = 1.0 - args.tolerance
+        verdict = "FAIL" if ratio < floor else "ok"
+        print(f"{verdict:4} {name}: {cur_kips:.0f} KIPS vs baseline "
+              f"{base_kips:.0f} ({ratio:.2f}x, floor {floor:.2f}x)")
+        if ratio < floor:
+            failed = True
+        elif ratio > 1.0 + args.tolerance:
+            print(f"     note: {name} is >{args.tolerance:.0%} above baseline; "
+                  f"consider refreshing BENCH_sim_speed.json")
+
+    for name in sorted(set(current) - set(baseline)):
+        print(f"note {name}: not in baseline (new benchmark?)")
+
+    if failed:
+        print("\nspeed gate FAILED -- see docs/PERFORMANCE.md triage checklist")
+        return 1
+    print("\nspeed gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
