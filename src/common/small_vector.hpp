@@ -58,7 +58,8 @@ class SmallVec {
   [[nodiscard]] const T* begin() const noexcept { return data(); }
   [[nodiscard]] const T* end() const noexcept { return data() + size_; }
 
-  void push_back(const T& value) noexcept {
+  // Not noexcept: growth allocates and may throw std::bad_alloc.
+  void push_back(const T& value) {
     if (size_ == capacity_) reserve(capacity_ * 2);
     data()[size_++] = value;
   }

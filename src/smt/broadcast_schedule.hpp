@@ -44,6 +44,10 @@ class BroadcastSchedule {
   /// one cycle ahead).
   void schedule(Cycle when, PhysReg tag) {
     MSIM_CHECK(when >= base_);
+    // While drain_due() walks drain_cycle_'s bucket a same-cycle schedule
+    // would append to the vector under iteration; later cycles are safe
+    // (within the ring horizon they always map to a different bucket).
+    MSIM_CHECK(!draining_ || when > drain_cycle_);
     if (when - base_ <= mask_) {
       ring_[when & mask_].push_back(tag);
     } else {
@@ -55,14 +59,19 @@ class BroadcastSchedule {
   /// Removes every scheduled broadcast of `tag` at cycle `when` (squash of
   /// an issued-but-incomplete instruction).
   void cancel(Cycle when, PhysReg tag) {
-    std::vector<PhysReg>* bucket = nullptr;
+    MSIM_CHECK(!draining_ || when > drain_cycle_);
+    // Ring-vs-spill placement was decided against base_ at schedule()
+    // time, which may be further in the past: a tag scheduled beyond the
+    // ring horizon lives in the spill map even if `when` has since come
+    // within horizon of the current base_.  Check both homes.
+    std::uint64_t erased = 0;
     if (when >= base_ && when - base_ <= mask_) {
-      bucket = &ring_[when & mask_];
-    } else if (const auto it = spill_.find(when); it != spill_.end()) {
-      bucket = &it->second;
+      erased += std::erase(ring_[when & mask_], tag);
     }
-    if (bucket == nullptr) return;
-    const auto erased = std::erase(*bucket, tag);
+    if (const auto it = spill_.find(when); it != spill_.end()) {
+      erased += std::erase(it->second, tag);
+      if (it->second.empty()) spill_.erase(it);
+    }
     MSIM_CHECK(pending_ >= erased);
     pending_ -= erased;
   }
@@ -75,7 +84,9 @@ class BroadcastSchedule {
       base_ = std::max(base_, now + 1);
       return;
     }
+    draining_ = true;
     for (Cycle c = base_; c <= now; ++c) {
+      drain_cycle_ = c;
       std::vector<PhysReg>& bucket = ring_[c & mask_];
       for (const PhysReg tag : bucket) {
         fn(tag);
@@ -90,6 +101,7 @@ class BroadcastSchedule {
         spill_.erase(spill_.begin());
       }
     }
+    draining_ = false;
     base_ = now + 1;
   }
 
@@ -109,6 +121,8 @@ class BroadcastSchedule {
   std::uint32_t mask_ = 0;
   Cycle base_ = 0;      ///< earliest cycle not yet drained
   std::uint64_t pending_ = 0;
+  Cycle drain_cycle_ = 0;   ///< cycle whose bucket drain_due() is walking
+  bool draining_ = false;
 };
 
 }  // namespace msim::smt

@@ -1,23 +1,31 @@
 // Guard rails for the event-driven scheduler hot paths (docs/PERFORMANCE.md).
 //
-// Three layers, from micro to macro:
+// Four layers, from micro to macro:
 //   1. Randomized equivalence: the wakeup-list IssueQueue must behave
 //      exactly like a brute-force reference scan model under randomized
 //      dependency graphs (dispatch/broadcast/issue/squash interleavings).
 //   2. Free-list exhaustion & reuse: recycled slots must not be woken by
 //      stale wakeup-list nodes left behind by their previous occupant.
-//   3. Golden bit-identity: committed-instruction digests of full 2T/4T
+//   3. BroadcastSchedule equivalence: the calendar queue (ring + spill
+//      map) must drain the same per-cycle tag multisets as the std::map
+//      it replaced, across schedule/cancel/drain interleavings including
+//      beyond-horizon spills and cancels after the drain point advances.
+//   4. Golden bit-identity: committed-instruction digests of full 2T/4T
 //      pipeline runs are pinned.  Any optimization that changes a digest
 //      changed machine behavior and violated the bit-identity contract.
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "core/issue_queue.hpp"
+#include "smt/broadcast_schedule.hpp"
 #include "smt/pipeline.hpp"
 #include "trace/profile.hpp"
 
@@ -355,7 +363,176 @@ TEST(IqFreeList, ClearForgetsAllWaiters) {
   EXPECT_EQ(ready.size(), 1u);
 }
 
-// ---- 3. golden bit-identity digests ----------------------------------------
+// ---- 3. BroadcastSchedule calendar queue vs. ordered-map reference ---------
+
+/// Executable specification: the std::map<Cycle, vector> the calendar
+/// queue replaced.  Placement is trivially correct, so any divergence in
+/// drained tags or pending counts is a calendar-queue bug.
+class ReferenceBroadcastMap {
+ public:
+  void schedule(Cycle when, PhysReg tag) {
+    map_[when].push_back(tag);
+    ++pending_;
+  }
+
+  void cancel(Cycle when, PhysReg tag) {
+    const auto it = map_.find(when);
+    if (it == map_.end()) return;
+    pending_ -= std::erase(it->second, tag);
+    if (it->second.empty()) map_.erase(it);
+  }
+
+  template <typename Fn>
+  void drain_due(Cycle now, Fn&& fn) {
+    while (!map_.empty() && map_.begin()->first <= now) {
+      for (const PhysReg tag : map_.begin()->second) {
+        fn(tag);
+        --pending_;
+      }
+      map_.erase(map_.begin());
+    }
+  }
+
+  [[nodiscard]] std::uint64_t pending() const { return pending_; }
+
+ private:
+  std::map<Cycle, std::vector<PhysReg>> map_;
+  std::uint64_t pending_ = 0;
+};
+
+/// Drives BroadcastSchedule and the reference map with an identical
+/// randomized stream of schedule (including beyond the ring horizon, so
+/// the spill map is exercised), cancel and per-cycle drain events,
+/// asserting identical drained multisets per cycle and pending counts.
+/// Ring and spill entries for one cycle may drain in a different relative
+/// order than pure insertion order (documented as unobservable), hence
+/// multiset comparison.
+void run_broadcast_equivalence(std::uint64_t seed, std::uint32_t horizon,
+                               unsigned steps) {
+  smt::BroadcastSchedule bs(horizon);
+  ReferenceBroadcastMap ref;
+  Rng rng(seed);
+  Cycle now = 0;
+  std::vector<std::pair<Cycle, PhysReg>> live;  // not yet drained or canceled
+  std::vector<PhysReg> got;
+  std::vector<PhysReg> want;
+
+  const auto drain_one_cycle = [&](Cycle c) {
+    got.clear();
+    want.clear();
+    bs.drain_due(c, [&](PhysReg t) { got.push_back(t); });
+    ref.drain_due(c, [&](PhysReg t) { want.push_back(t); });
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    ASSERT_EQ(got, want) << "drained multiset diverged at cycle " << c
+                         << " (seed " << seed << ")";
+    ASSERT_EQ(bs.pending(), ref.pending()) << "cycle " << c;
+  };
+
+  for (unsigned step = 0; step < steps; ++step) {
+    const double roll = rng.next_double();
+    if (roll < 0.5) {
+      // Mostly near-future completions; every ~8th lands far beyond the
+      // ring horizon and must take the spill-map path.
+      const Cycle offset = (rng.next_u64() % 8 == 0)
+                               ? 1 + horizon + rng.next_u64() % (4 * horizon + 8)
+                               : 1 + rng.next_u64() % 6;
+      const Cycle when = now + offset;
+      const auto tag = static_cast<PhysReg>(rng.next_u64() % 32);
+      bs.schedule(when, tag);
+      ref.schedule(when, tag);
+      live.emplace_back(when, tag);
+    } else if (roll < 0.65 && !live.empty()) {
+      // Squash a not-yet-due broadcast.  cancel() drops every occurrence
+      // of the (cycle, tag) pair in both implementations.
+      const auto [when, tag] = live[rng.next_u64() % live.size()];
+      bs.cancel(when, tag);
+      ref.cancel(when, tag);
+      std::erase_if(live, [when, tag](const std::pair<Cycle, PhysReg>& p) {
+        return p.first == when && p.second == tag;
+      });
+    } else {
+      // Advance time cycle by cycle so per-cycle multisets are compared.
+      const Cycle until = now + 1 + rng.next_u64() % 10;
+      for (Cycle c = now + 1; c <= until; ++c) drain_one_cycle(c);
+      now = until;
+      std::erase_if(live, [now](const std::pair<Cycle, PhysReg>& p) {
+        return p.first <= now;
+      });
+    }
+    ASSERT_EQ(bs.pending(), ref.pending()) << "step " << step;
+    ASSERT_EQ(bs.empty(), ref.pending() == 0);
+  }
+  // Flush: everything still pending must drain identically too.
+  while (bs.pending() != 0 || ref.pending() != 0) drain_one_cycle(++now);
+}
+
+TEST(BroadcastScheduleEquivalence, RandomizedVsMap) {
+  run_broadcast_equivalence(1, /*horizon=*/8, /*steps=*/4000);
+  run_broadcast_equivalence(2, /*horizon=*/8, /*steps=*/4000);
+  run_broadcast_equivalence(3, /*horizon=*/64, /*steps=*/4000);
+}
+
+TEST(BroadcastScheduleEquivalence, DegenerateOneBucketRing) {
+  // horizon_hint=1 gives a single-bucket ring: all but same-cycle inserts
+  // spill, so the spill map and its interaction with cancel dominate.
+  run_broadcast_equivalence(4, /*horizon=*/1, /*steps=*/3000);
+}
+
+// Regression: a tag scheduled beyond the ring horizon lives in the spill
+// map.  Once the drain point advances far enough that `when` falls within
+// horizon of the *current* base, cancel() must still find it in the spill
+// map — looking only in the (empty) ring bucket would let the squashed
+// broadcast fire later against a rewound/reallocated phys reg.
+TEST(BroadcastSchedule, CancelFindsSpilledTagAfterBaseAdvances) {
+  smt::BroadcastSchedule bs(/*horizon_hint=*/8);
+  bs.schedule(100, 7);  // 100 cycles out: beyond the 8-deep ring, spills
+  EXPECT_EQ(bs.pending(), 1u);
+  unsigned fired = 0;
+  bs.drain_due(95, [&](PhysReg) { ++fired; });
+  EXPECT_EQ(fired, 0u);
+  bs.cancel(100, 7);  // now within ring horizon of base, but stored in spill
+  EXPECT_EQ(bs.pending(), 0u);
+  bs.drain_due(100, [&](PhysReg) { ++fired; });
+  EXPECT_EQ(fired, 0u) << "squashed broadcast must not fire";
+  EXPECT_TRUE(bs.empty());
+}
+
+TEST(BroadcastSchedule, CancelInRingAndDrainOrder) {
+  smt::BroadcastSchedule bs(/*horizon_hint=*/8);
+  bs.schedule(2, 10);
+  bs.schedule(1, 11);
+  bs.schedule(2, 12);
+  bs.cancel(2, 10);
+  std::vector<PhysReg> fired;
+  bs.drain_due(3, [&](PhysReg t) { fired.push_back(t); });
+  EXPECT_EQ(fired, (std::vector<PhysReg>{11, 12}));  // ascending cycle order
+  EXPECT_TRUE(bs.empty());
+}
+
+TEST(BroadcastSchedule, DrainCallbackMayScheduleAheadButNotSameCycle) {
+  // The pipeline always schedules completions at least one cycle ahead;
+  // schedule() now enforces that contract while a drain is in progress
+  // (a same-cycle insert would append to the bucket being walked).
+  smt::BroadcastSchedule ok(/*horizon_hint=*/8);
+  ok.schedule(3, 1);
+  std::vector<PhysReg> fired;
+  ok.drain_due(3, [&](PhysReg t) {
+    fired.push_back(t);
+    if (t == 1) ok.schedule(4, 2);
+  });
+  ok.drain_due(4, [&](PhysReg t) { fired.push_back(t); });
+  EXPECT_EQ(fired, (std::vector<PhysReg>{1, 2}));
+  EXPECT_TRUE(ok.empty());
+
+  ScopedCheckThrow guard;
+  smt::BroadcastSchedule bad(/*horizon_hint=*/8);
+  bad.schedule(5, 1);
+  EXPECT_THROW(
+      bad.drain_due(5, [&](PhysReg) { bad.schedule(5, 2); }), CheckError);
+}
+
+// ---- 4. golden bit-identity digests ----------------------------------------
 
 std::vector<trace::BenchmarkProfile> workload(
     std::initializer_list<const char*> names) {
