@@ -2,6 +2,7 @@
 //
 // Every bench binary accepts `key=value` overrides:
 //   warmup=N horizon=N seed=N iq=32,48,64,96,128 quick=1 jobs=N json=PATH
+//   checkpoint=PATH resume=0|1
 // `quick=1` shrinks the horizons by 4x for smoke runs.  `jobs=N` fans the
 // sweep grid out across N worker threads (default: hardware concurrency;
 // `jobs=1` is the serial path) — results are bit-identical at any job
@@ -15,6 +16,7 @@
 #include <fstream>
 #include <iostream>
 #include <span>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -24,6 +26,8 @@
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/timer.hpp"
+#include "persist/atomic_file.hpp"
+#include "persist/signal.hpp"
 #include "robust/diagnostic.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
@@ -39,6 +43,11 @@ struct BenchOptions {
   /// When non-empty, the sweep grid is also written there as JSON
   /// (sim::write_sweep_json).
   std::string json_path;
+  /// Write-ahead journal of completed sweep cells (checkpoint=PATH); with
+  /// resume=1 an existing journal's cells are replayed instead of re-run.
+  /// See docs/CHECKPOINT.md.
+  std::string journal_path;
+  bool resume = false;
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -46,13 +55,14 @@ inline BenchOptions parse_options(int argc, char** argv) {
       KvConfig::parse({argv + 1, static_cast<std::size_t>(argc - 1)});
   static constexpr std::string_view kKnown[] = {
       "warmup", "horizon", "seed", "iq", "quick", "jobs", "verbose", "json",
-      "verify", "hang_cycles"};
+      "verify", "hang_cycles", "checkpoint", "resume"};
   const auto unknown = cli.unknown_keys(kKnown);
   if (!unknown.empty()) {
     std::string msg = "unknown option(s):";
     for (const std::string& k : unknown) msg += " " + k;
     msg += " (known: warmup horizon seed iq quick jobs verbose json verify "
-           "hang_cycles; see the knob table in EXPERIMENTS.md)";
+           "hang_cycles checkpoint resume; see the knob table in "
+           "EXPERIMENTS.md)";
     throw std::invalid_argument(msg);
   }
   BenchOptions opts;
@@ -76,6 +86,16 @@ inline BenchOptions parse_options(int argc, char** argv) {
   opts.json_path = cli.get_string("json", "");
   opts.base.verify = cli.get_bool("verify", false);
   opts.base.hang_cycles = cli.get_uint("hang_cycles", 500'000);
+  opts.journal_path = cli.get_string("checkpoint", "");
+  opts.resume = cli.get_bool("resume", false);
+  if (opts.resume && opts.journal_path.empty()) {
+    throw std::invalid_argument(
+        "resume=1 needs checkpoint=PATH naming the journal to resume");
+  }
+  // guarded_main installs persist::SignalGuard, so every cell polls for
+  // SIGINT/SIGTERM and a killed sweep exits 128+signum with its journal
+  // flushed.
+  opts.base.watch_signals = true;
 
   // Reject unrunnable configurations here, before any sweep starts.  The
   // mixes supply the real benchmarks later; a placeholder stands in so
@@ -88,11 +108,18 @@ inline BenchOptions parse_options(int argc, char** argv) {
 
 /// Wraps a bench body in the standard error protocol: configuration errors
 /// exit 2 with a one-line message, simulation aborts (hang watchdog or
-/// invariant violation) exit 3 — never an uncaught-exception stack dump.
+/// invariant violation) exit 3, interrupts exit 128+signum after the cell
+/// journal is flushed — never an uncaught-exception stack dump.
 template <typename F>
 inline int guarded_main(F&& body) {
+  const persist::SignalGuard signals;
   try {
     return body();
+  } catch (const persist::Interrupted& e) {
+    std::cerr << "interrupted: " << e.what()
+              << " (journaled cells are resumable with checkpoint=PATH "
+                 "resume=1)\n";
+    return e.exit_code();
   } catch (const robust::SimulationAborted& e) {
     std::cerr << "fatal: " << e.what() << "\n";
     return 3;
@@ -103,12 +130,13 @@ inline int guarded_main(F&& body) {
 }
 
 /// Writes the sweep grid to opts.json_path when requested (json=PATH).
+/// Atomic (temp + rename): readers never observe a half-written report.
 inline void maybe_write_sweep_json(const BenchOptions& opts,
                                    const std::vector<sim::SweepCell>& cells) {
   if (opts.json_path.empty()) return;
-  std::ofstream out(opts.json_path);
-  if (!out) throw std::runtime_error("cannot open '" + opts.json_path + "'");
+  std::ostringstream out;
   sim::write_sweep_json(out, cells);
+  persist::write_text_atomic(opts.json_path, out.str());
   std::cout << "wrote " << cells.size() << " sweep cells to " << opts.json_path
             << "\n";
 }
@@ -129,6 +157,8 @@ inline std::vector<sim::SweepCell> figure_sweep(unsigned thread_count,
   req.iq_sizes.assign(opts.iq_sizes.begin(), opts.iq_sizes.end());
   req.base = opts.base;
   req.jobs = opts.jobs;
+  req.journal_path = opts.journal_path;
+  req.resume = opts.resume;
   if (opts.verbose) {
     req.progress = [](std::string_view msg) { std::cerr << "  " << msg << "\n"; };
   }

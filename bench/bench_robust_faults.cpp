@@ -12,10 +12,12 @@
 // Part 2 (sabotage self-tests): manufactures guaranteed failures to prove
 // the detectors detect.  A commit blockade must trip the hang watchdog in
 // every combination and yield a parseable JSON diagnostic bundle; dropped
-// dispatches must trip the invariant checker; and a sabotage plan targeted
+// dispatches must trip the invariant checker; a sabotage plan targeted
 // at exactly one sweep cell's RNG stream must be isolated by run_sweep —
 // partial results, the victim reported, every surviving cell bit-identical
-// to a fault-free serial sweep.
+// to a fault-free serial sweep; and a journaled sweep killed mid-grid by a
+// deterministic fault-hook abort must resume from its write-ahead journal
+// with byte-identical aggregate JSON (docs/CHECKPOINT.md).
 //
 // Options: plans=N intensity=P seed=N quick=1 jobs=N sabotage=0|1
 //          warmup=N horizon=N diag_dir=PATH
@@ -26,8 +28,11 @@
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "bench_common.hpp"
 #include "common/json.hpp"
@@ -323,6 +328,110 @@ int test_sweep_isolation(const CampaignOptions& opts) {
   return failures;
 }
 
+/// Self-test 4: a journaled sweep killed mid-grid by a deterministic
+/// fault-hook abort must resume from its write-ahead journal and emit
+/// byte-identical aggregate JSON.
+int test_kill_resume(const CampaignOptions& opts) {
+  std::cout << "== recovery: killed sweep must resume from its journal "
+               "byte-identically\n";
+  sim::SweepRequest req;
+  req.thread_count = 2;
+  req.kinds = {core::SchedulerKind::kTraditional,
+               core::SchedulerKind::kTwoOpBlockOoo};
+  req.iq_sizes = {32, 48};
+  req.base = opts.base;
+  req.base.verify = true;
+  req.base.hang_cycles = 3'000;
+
+  // The same commit-blockade sabotage as the isolation self-test: the
+  // poisoned (iq=48, first mix) stream hangs both scheduler kinds.
+  const std::string victim(trace::mixes_for(2).front().name);
+  robust::FaultPlan plan;
+  plan.commit_block_from = 0;
+  plan.target_stream = derive_stream_seed(req.base.seed, "mix:" + victim, 48);
+  const robust::FaultInjector injector(plan);
+  req.base.faults = &injector;
+
+  const auto sweep_json = [](const std::vector<sim::SweepCell>& cells) {
+    std::ostringstream os;
+    sim::write_sweep_json(os, cells);
+    return os.str();
+  };
+
+  // Reference: one uninterrupted crash-isolated sweep — the victim cells
+  // are recorded as failures, everything else completes.
+  std::string want;
+  {
+    sim::SweepRequest ref = req;
+    ref.jobs = opts.jobs;
+    sim::BaselineCache baselines(ref.base);
+    want = sweep_json(run_sweep(ref, baselines));
+  }
+
+  const std::string journal =
+      (std::filesystem::temp_directory_path() /
+       ("msim-robust-journal-" + std::to_string(::getpid()) + ".jsonl"))
+          .string();
+
+  int failures = 0;
+  // Phase 1: serial, crash isolation off, journaling on.  The victim's
+  // hang-watchdog abort kills the sweep mid-grid at a deterministic cell,
+  // leaving exactly the completed cells in the journal.
+  std::size_t journaled = 0;
+  {
+    sim::SweepRequest killed = req;
+    killed.jobs = 1;
+    killed.isolate_failures = false;
+    killed.journal_path = journal;
+    sim::BaselineCache baselines(killed.base);
+    bool died = false;
+    try {
+      (void)run_sweep(killed, baselines);
+    } catch (const robust::SimulationAborted&) {
+      died = true;
+    }
+    if (!died) {
+      ++failures;
+      std::cerr << "FAIL kill/resume: un-isolated sweep survived the "
+                   "poisoned cell\n";
+    }
+  }
+
+  // Phase 2: resume the same grid with isolation back on, at the requested
+  // job count — journaled cells replay, the rest (victim included) run
+  // fresh.  The aggregate JSON must match the uninterrupted sweep exactly.
+  {
+    sim::SweepRequest resumed = req;
+    resumed.jobs = opts.jobs;
+    resumed.journal_path = journal;
+    resumed.resume = true;
+    resumed.progress = [&journaled](std::string_view msg) {
+      if (msg.find("journal: replaying") != std::string_view::npos) {
+        ++journaled;
+      }
+    };
+    sim::BaselineCache baselines(resumed.base);
+    const std::string got = sweep_json(run_sweep(resumed, baselines));
+    if (journaled == 0) {
+      ++failures;
+      std::cerr << "FAIL kill/resume: the killed sweep journaled no "
+                   "completed cells to replay\n";
+    }
+    if (got != want) {
+      ++failures;
+      std::cerr << "FAIL kill/resume: resumed sweep JSON differs from the "
+                   "uninterrupted sweep (" << got.size() << " vs "
+                << want.size() << " bytes)\n";
+    } else {
+      std::cout << "  resumed sweep JSON byte-identical to the uninterrupted "
+                   "sweep (" << got.size() << " bytes) at jobs=" << opts.jobs
+                << "\n";
+    }
+  }
+  std::filesystem::remove(journal);
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -368,6 +477,7 @@ int main(int argc, char** argv) {
       failures += test_hang_detection(opts);
       failures += test_invariant_detection(opts);
       failures += test_sweep_isolation(opts);
+      failures += test_kill_resume(opts);
     }
     if (failures != 0) {
       std::cerr << "\nbench_robust_faults: " << failures << " check(s) FAILED\n";

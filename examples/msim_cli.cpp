@@ -44,14 +44,27 @@
 //   --diag <path>         where an abort's JSON diagnostic bundle is
 //                         written                  [msim-diagnostic.json]
 //
+// Checkpoint / restore (src/persist/, docs/CHECKPOINT.md):
+//   --checkpoint <path>   single run: checkpoint file, saved periodically
+//                         and on SIGINT/SIGTERM; sweep mode: write-ahead
+//                         journal of completed cells
+//   --checkpoint-every N  absolute-cycle period between periodic
+//                         checkpoints (single run; 0 = only on interrupt)
+//   --resume <path>       single run: restore this checkpoint before
+//                         running; sweep mode: replay this journal's
+//                         completed cells and append the rest
+//   checkpoint_exit=N     test knob: save + exit 130 at absolute cycle N
+//
 // Exit codes: 0 success; 2 bad usage / configuration error (one-line
 // message); 3 simulation aborted (hang watchdog or invariant violation;
-// diagnostic bundle written).
+// diagnostic bundle written); 128+N killed by signal N after saving the
+// checkpoint / flushing the journal (SIGINT=130, SIGTERM=143).
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -61,6 +74,8 @@
 #include "common/thread_pool.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
+#include "persist/atomic_file.hpp"
+#include "persist/signal.hpp"
 #include "robust/diagnostic.hpp"
 #include "robust/fault.hpp"
 #include "sim/experiment.hpp"
@@ -119,7 +134,8 @@ std::vector<std::string> normalize_args(int argc, char** argv) {
         const bool takes_value = a == "stats_json" || a == "trace_out" ||
                                  a == "trace_format" || a == "trace_capacity" ||
                                  a == "jobs" || a == "sweep_json" ||
-                                 a == "diag";
+                                 a == "diag" || a == "checkpoint" ||
+                                 a == "checkpoint_every" || a == "resume";
         if (takes_value) {
           if (i + 1 >= argc) {
             throw std::invalid_argument("--" + a + " requires a value");
@@ -230,6 +246,14 @@ int run_sweep_mode(const KvConfig& cli, sim::RunConfig base, unsigned threads,
   req.jobs = jobs;
   req.isolate_failures = cli.get_bool("isolate", true);
   req.retries = static_cast<unsigned>(cli.get_uint("retries", 1));
+  // In sweep mode --checkpoint/--resume name the write-ahead cell journal:
+  // a killed sweep (exit 128+N) resumes from it, replaying completed cells.
+  req.journal_path = cli.get_string("checkpoint", "");
+  const std::string resume_journal = cli.get_string("resume", "");
+  if (!resume_journal.empty()) {
+    req.journal_path = resume_journal;
+    req.resume = true;
+  }
   req.progress = [](std::string_view msg) { std::cerr << "  " << msg << "\n"; };
 
   std::cout << "msim-ooo sweep: " << threads << " threads, " << req.kinds.size()
@@ -262,9 +286,9 @@ int run_sweep_mode(const KvConfig& cli, sim::RunConfig base, unsigned threads,
 
   const std::string sweep_json = cli.get_string("sweep_json", "");
   if (!sweep_json.empty()) {
-    std::ofstream out(sweep_json);
-    if (!out) throw std::runtime_error("cannot open '" + sweep_json + "'");
+    std::ostringstream out;
     sim::write_sweep_json(out, cells);
+    persist::write_text_atomic(sweep_json, out.str());
     std::cout << "wrote " << cells.size() << " sweep cells to " << sweep_json
               << "\n";
   }
@@ -316,6 +340,9 @@ int run_cli(const KvConfig& cli) {
   // Robustness knobs (docs/ROBUSTNESS.md).
   cfg.verify = cli.get_bool("verify", false);
   cfg.hang_cycles = cli.get_uint("hang_cycles", 500'000);
+  // Checkpoint / restore (docs/CHECKPOINT.md).  A SignalGuard is installed
+  // in main, so every run and sweep cell polls for SIGINT/SIGTERM.
+  cfg.watch_signals = true;
   const double fault_intensity = cli.get_double("fault_intensity", 0.0);
   std::optional<robust::FaultInjector> injector;
   if (fault_intensity > 0.0) {
@@ -331,6 +358,13 @@ int run_cli(const KvConfig& cli) {
   if (sweep != 0) {
     return run_sweep_mode(cli, cfg, sweep, static_cast<unsigned>(jobs));
   }
+
+  // Single-run checkpointing (sweep mode interprets these knobs as the
+  // cell journal instead, above).
+  cfg.checkpoint_path = cli.get_string("checkpoint", "");
+  cfg.checkpoint_every = cli.get_uint("checkpoint_every", 0);
+  cfg.checkpoint_exit_cycles = cli.get_uint("checkpoint_exit", 0);
+  cfg.resume_path = cli.get_string("resume", "");
 
   const std::string stats_json = cli.get_string("stats_json", "");
   const std::string trace_out = cli.get_string("trace_out", "");
@@ -438,9 +472,9 @@ int run_cli(const KvConfig& cli) {
   front.print(std::cout, "front end");
 
   if (!stats_json.empty()) {
-    std::ofstream out(stats_json);
-    if (!out) throw std::runtime_error("cannot open '" + stats_json + "'");
+    std::ostringstream out;
     sim::write_run_json(out, cfg, r);
+    persist::write_text_atomic(stats_json, out.str());
     std::cout << "\nwrote " << r.metrics.size() << " metrics to " << stats_json
               << "\n";
   }
@@ -503,8 +537,19 @@ Robustness:
   isolate=0|1  retries=N                    sweep crash isolation
   --diag PATH           abort diagnostic bundle    [msim-diagnostic.json]
 
+Checkpoint / restore (docs/CHECKPOINT.md):
+  --checkpoint PATH     single run: checkpoint file (periodic + on signal);
+                        sweep: write-ahead journal of completed cells
+  --checkpoint-every N  cycles between periodic checkpoints  [0 = on
+                        interrupt only]
+  --resume PATH         single run: restore checkpoint; sweep: replay the
+                        journal's completed cells, append the rest
+  checkpoint_exit=N     test knob: save + exit 130 at absolute cycle N
+
 Exit codes: 0 success; 2 bad usage or configuration error; 3 simulation
-aborted (hang watchdog / invariant violation; diagnostic bundle written).
+aborted (hang watchdog / invariant violation; diagnostic bundle written);
+128+N killed by signal N after saving resumable state (SIGINT=130,
+SIGTERM=143).
 )";
 
 constexpr std::string_view kKnownKeys[] = {
@@ -513,9 +558,13 @@ constexpr std::string_view kKnownKeys[] = {
     "horizon", "seed", "max_cycles", "sweep", "jobs", "sweep_json",
     "stats_json", "trace_out", "trace_format", "trace_capacity",
     "dump_config", "verify", "hang_cycles", "fault_intensity", "fault_seed",
-    "fault_index", "isolate", "retries", "diag", "help"};
+    "fault_index", "isolate", "retries", "diag", "checkpoint",
+    "checkpoint_every", "checkpoint_exit", "resume", "help"};
 
 int main(int argc, char** argv) {
+  // Convert SIGINT/SIGTERM into a polled flag: runs save a final checkpoint
+  // (and sweeps flush their journal) before exiting 128+signum.
+  const persist::SignalGuard signals;
   std::string diag_path = "msim-diagnostic.json";
   try {
     const std::vector<std::string> args = normalize_args(argc, argv);
@@ -532,17 +581,21 @@ int main(int argc, char** argv) {
     }
     diag_path = cli.get_string("diag", diag_path);
     return run_cli(cli);
+  } catch (const persist::Interrupted& e) {
+    std::cerr << "interrupted: " << e.what()
+              << " (resumable state saved where configured; rerun with "
+                 "--resume)\n";
+    return e.exit_code();
   } catch (const robust::SimulationAborted& e) {
     // The machine hung or violated an invariant: preserve its final state
     // for post-mortem analysis instead of dying with a bare message.
-    std::ofstream out(diag_path);
-    if (out) {
-      out << e.bundle();
+    try {
+      persist::write_text_atomic(diag_path, e.bundle());
       std::cerr << "fatal: " << e.what() << "\ndiagnostic bundle: "
                 << diag_path << "\n";
-    } else {
+    } catch (const std::exception& io) {
       std::cerr << "fatal: " << e.what() << "\n(could not write diagnostic "
-                << "bundle to '" << diag_path << "')\n";
+                << "bundle to '" << diag_path << "': " << io.what() << ")\n";
     }
     return 3;
   } catch (const std::exception& e) {

@@ -1,5 +1,6 @@
 #include "bpred/btb.hpp"
 
+#include "common/archive.hpp"
 #include "common/check.hpp"
 
 namespace msim::bpred {
@@ -56,5 +57,20 @@ void Btb::update(ThreadId tid, Addr pc, Addr target) {
   }
   *victim = {.tag = tag, .target = target, .last_used = tick_, .valid = true};
 }
+
+void Btb::state_io(persist::Archive& ar) {
+  ar.section("btb");
+  ar.io_sequence(entries_, [](persist::Archive& a, Entry& e) {
+    a.io(e.tag);
+    a.io(e.target);
+    a.io(e.last_used);
+    a.io(e.valid);
+  });
+  ar.io(tick_);
+  ar.io(stats_.lookups);
+  ar.io(stats_.hits);
+}
+
+MSIM_PERSIST_VIA_STATE_IO(Btb)
 
 }  // namespace msim::bpred

@@ -9,6 +9,10 @@
 
 #include "common/types.hpp"
 
+namespace msim::persist {
+class Archive;
+}
+
 namespace msim::bpred {
 
 struct BtbConfig {
@@ -38,7 +42,12 @@ class Btb {
   [[nodiscard]] const BtbStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 
+  void save_state(persist::Archive& ar) const;
+  void load_state(persist::Archive& ar);
+
  private:
+  void state_io(persist::Archive& ar);
+
   struct Entry {
     Addr tag = 0;
     Addr target = 0;

@@ -1,5 +1,6 @@
 #include "bpred/gshare.hpp"
 
+#include "common/archive.hpp"
 #include "common/check.hpp"
 
 namespace msim::bpred {
@@ -34,5 +35,15 @@ bool Gshare::update(Addr pc, bool taken) noexcept {
   history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
   return predicted == taken;
 }
+
+void Gshare::state_io(persist::Archive& ar) {
+  ar.section("gshare");
+  ar.io(counters_);
+  ar.io(history_);
+  ar.io(stats_.lookups);
+  ar.io(stats_.correct);
+}
+
+MSIM_PERSIST_VIA_STATE_IO(Gshare)
 
 }  // namespace msim::bpred

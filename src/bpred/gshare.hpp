@@ -7,6 +7,10 @@
 
 #include "common/types.hpp"
 
+namespace msim::persist {
+class Archive;
+}
+
 namespace msim::bpred {
 
 struct GshareConfig {
@@ -39,7 +43,12 @@ class Gshare {
   void reset_stats() noexcept { stats_ = {}; }
   [[nodiscard]] std::uint32_t history() const noexcept { return history_; }
 
+  void save_state(persist::Archive& ar) const;
+  void load_state(persist::Archive& ar);
+
  private:
+  void state_io(persist::Archive& ar);
+
   [[nodiscard]] std::size_t index(Addr pc) const noexcept;
 
   GshareConfig config_;

@@ -11,6 +11,10 @@
 #include "common/types.hpp"
 #include "obs/registry.hpp"
 
+namespace msim::persist {
+class Archive;
+}
+
 namespace msim::bpred {
 
 struct PredictorConfig {
@@ -77,7 +81,14 @@ class BranchPredictor {
   /// "bpred.").  The predictor must outlive the registry's snapshots.
   void register_stats(obs::StatRegistry& registry, const std::string& prefix) const;
 
+  /// Checkpoint support: training state (counters, history, BTB entries,
+  /// LRU ticks) and statistics both round-trip.
+  void save_state(persist::Archive& ar) const;
+  void load_state(persist::Archive& ar);
+
  private:
+  void state_io(persist::Archive& ar);
+
   std::vector<Gshare> gshare_;  ///< one per thread (Table 1)
   Btb btb_;                     ///< shared
   std::vector<PredictorStats> stats_;

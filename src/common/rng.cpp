@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/archive.hpp"
 #include "common/check.hpp"
 
 namespace msim {
@@ -122,6 +123,13 @@ std::uint64_t derive_stream_seed(std::uint64_t base, std::string_view tag,
   }
   return state;
 }
+
+void Rng::state_io(persist::Archive& ar) {
+  ar.section("rng");
+  for (auto& word : s_) ar.io(word);
+}
+
+MSIM_PERSIST_VIA_STATE_IO(Rng)
 
 std::array<double, 8> cumulative_from_weights(std::span<const double> weights) {
   MSIM_CHECK(!weights.empty() && weights.size() <= 8);

@@ -15,6 +15,10 @@
 
 namespace msim {
 
+namespace persist {
+class Archive;
+}
+
 /// xoshiro256** 1.0 generator with SplitMix64 seeding.
 class Rng {
  public:
@@ -52,7 +56,14 @@ class Rng {
   /// Derived from the current state, so the split sequence is deterministic.
   Rng split() noexcept;
 
+  /// Checkpoint support: serializes the four state words verbatim, so a
+  /// restored generator continues the exact output sequence.
+  void save_state(persist::Archive& ar) const;
+  void load_state(persist::Archive& ar);
+
  private:
+  void state_io(persist::Archive& ar);
+
   std::array<std::uint64_t, 4> s_{};
 };
 

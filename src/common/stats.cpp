@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/archive.hpp"
 #include "common/check.hpp"
 
 namespace msim {
@@ -111,5 +112,43 @@ double hmean_weighted_ipc(std::span<const double> smt_ipc,
   }
   return static_cast<double>(smt_ipc.size()) / inv_acc;
 }
+
+void StreamingStat::state_io(persist::Archive& ar) {
+  ar.section("streaming-stat");
+  ar.io(n_);
+  ar.io(mean_);
+  ar.io(m2_);
+  ar.io(sum_);
+  ar.io(min_);
+  ar.io(max_);
+}
+
+MSIM_PERSIST_VIA_STATE_IO(StreamingStat)
+
+void Histogram::state_io(persist::Archive& ar) {
+  ar.section("histogram");
+  // Geometry (bucket count, width) is construction-time configuration; it
+  // is serialized anyway so a mismatched load fails loudly instead of
+  // rebinning counts.
+  std::uint64_t buckets = buckets_.size();
+  double width = width_;
+  ar.io(buckets);
+  ar.io(width);
+  if (!ar.saving() && (buckets != buckets_.size() || width != width_)) {
+    throw persist::PersistError("checkpoint: histogram geometry mismatch");
+  }
+  ar.io(buckets_);
+  ar.io(total_);
+}
+
+MSIM_PERSIST_VIA_STATE_IO(Histogram)
+
+void RatioStat::state_io(persist::Archive& ar) {
+  ar.section("ratio-stat");
+  ar.io(events_);
+  ar.io(opportunities_);
+}
+
+MSIM_PERSIST_VIA_STATE_IO(RatioStat)
 
 }  // namespace msim

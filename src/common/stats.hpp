@@ -10,6 +10,10 @@
 
 namespace msim {
 
+namespace persist {
+class Archive;
+}
+
 /// Online mean / variance / min / max accumulator (Welford's algorithm).
 class StreamingStat {
  public:
@@ -41,7 +45,14 @@ class StreamingStat {
   /// Merges another accumulator into this one (parallel reduction).
   void merge(const StreamingStat& other) noexcept;
 
+  /// Checkpoint support: doubles round-trip as raw IEEE-754 bit patterns,
+  /// so a restored accumulator is bit-identical, not merely close.
+  void save_state(persist::Archive& ar) const;
+  void load_state(persist::Archive& ar);
+
  private:
+  void state_io(persist::Archive& ar);
+
   std::uint64_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
@@ -69,7 +80,12 @@ class Histogram {
   /// resolved to a bucket upper edge.
   [[nodiscard]] double approximate_quantile(double q) const noexcept;
 
+  void save_state(persist::Archive& ar) const;
+  void load_state(persist::Archive& ar);
+
  private:
+  void state_io(persist::Archive& ar);
+
   std::vector<std::uint64_t> buckets_;
   double width_;
   std::uint64_t total_ = 0;
@@ -93,7 +109,12 @@ class RatioStat {
                           : 0.0;
   }
 
+  void save_state(persist::Archive& ar) const;
+  void load_state(persist::Archive& ar);
+
  private:
+  void state_io(persist::Archive& ar);
+
   std::uint64_t events_ = 0;
   std::uint64_t opportunities_ = 0;
 };

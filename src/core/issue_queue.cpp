@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/archive.hpp"
 #include "common/check.hpp"
+#include "core/state_io.hpp"
 
 namespace msim::core {
 
@@ -181,5 +183,69 @@ void IssueQueue::tick_stats() noexcept {
   stats_.occupancy_integral += live_;
   ++stats_.occupancy_samples;
 }
+
+void IssueQueue::state_io(persist::Archive& ar) {
+  ar.section("issue-queue");
+  // Shape (capacity, comparator layout) is construction-time configuration;
+  // serialize it for verification so a checkpoint from a differently shaped
+  // queue fails loudly.
+  std::uint32_t capacity = capacity_;
+  ar.io(capacity);
+  std::array<std::uint32_t, isa::kMaxSources + 1> by_cmp =
+      layout_.entries_by_comparators;
+  for (std::uint32_t& n : by_cmp) ar.io(n);
+  if (!ar.saving() &&
+      (capacity != capacity_ || by_cmp != layout_.entries_by_comparators)) {
+    throw persist::PersistError(
+        "checkpoint: issue-queue shape mismatch (different iq_entries or "
+        "scheduler kind)");
+  }
+  ar.io(live_);
+  ar.io(live_cmp_);
+  ar.io(next_stamp_);
+  ar.io_sequence(inst_, io_sched_inst);
+  ar.io(pending_);
+  ar.io(valid_);
+  ar.io(gen_);
+  ar.io(dispatched_at_);
+  ar.io(age_stamp_);
+  ar.io_sequence(waiters_, [](persist::Archive& a, SmallVec<WaitNode, 4>& w) {
+    std::uint64_t n = w.size();
+    a.io(n);
+    if (a.saving()) {
+      for (std::uint64_t i = 0; i < n; ++i) {
+        a.io(w[static_cast<std::size_t>(i)].slot);
+        a.io(w[static_cast<std::size_t>(i)].gen);
+      }
+    } else {
+      w.clear();
+      w.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n; ++i) {
+        WaitNode node{};
+        a.io(node.slot);
+        a.io(node.gen);
+        w.push_back(node);
+      }
+    }
+  });
+  ar.io_sequence(ready_set_, [](persist::Archive& a, ReadyNode& r) {
+    a.io(r.age_stamp);
+    a.io(r.slot);
+    a.io(r.gen);
+  });
+  for (std::vector<std::uint32_t>& fl : free_by_cmp_) ar.io(fl);
+  for (std::uint32_t& n : per_thread_) ar.io(n);
+  ar.io(stats_.dispatched);
+  ar.io(stats_.issued);
+  ar.io(stats_.broadcasts);
+  ar.io(stats_.wakeups);
+  ar.io(stats_.comparator_ops);
+  ar.io(stats_.occupancy_integral);
+  ar.io(stats_.occupancy_samples);
+  if (ar.saving()) stats_.residency.save_state(ar);
+  else stats_.residency.load_state(ar);
+}
+
+MSIM_PERSIST_VIA_STATE_IO(IssueQueue)
 
 }  // namespace msim::core

@@ -40,6 +40,10 @@
 #include "common/types.hpp"
 #include "core/sched_types.hpp"
 
+namespace msim::persist {
+class Archive;
+}
+
 namespace msim::core {
 
 /// How many IQ entries carry 0, 1 and 2 tag comparators.
@@ -155,7 +159,15 @@ class IssueQueue {
   [[nodiscard]] const IqStats& stats() const noexcept { return stats_; }
   void reset_stats() { stats_ = IqStats{}; }
 
+  /// Checkpoint support: the SoA entry arrays, wakeup lists, ready set,
+  /// free lists, generation counters and statistics all round-trip, so a
+  /// restored queue replays the exact same wakeup and select behaviour.
+  void save_state(persist::Archive& ar) const;
+  void load_state(persist::Archive& ar);
+
  private:
+  void state_io(persist::Archive& ar);
+
   /// A consumer parked on a physical register's wakeup list.  `gen` pins
   /// the slot occupancy the node was created for: if the slot has been
   /// issued, squashed or reused since, the generations differ and the node

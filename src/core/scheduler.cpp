@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/archive.hpp"
 #include "common/check.hpp"
+#include "core/state_io.hpp"
 
 namespace msim::core {
 
@@ -421,5 +423,58 @@ void Scheduler::register_stats(obs::StatRegistry& registry,
 std::uint32_t Scheduler::held_instructions(ThreadId tid) const {
   return buffer_size(tid) + (dab_.at(tid) ? 1u : 0u) + iq_.size_for(tid);
 }
+
+void Scheduler::state_io(persist::Archive& ar) {
+  ar.section("scheduler");
+  if (ar.saving()) iq_.save_state(ar); else iq_.load_state(ar);
+  // Rename buffers serialize their logical contents (program order); the
+  // ring's physical head position is unobservable.
+  for (RenameBuffer& buf : buffers_) {
+    std::uint64_t n = buf.size();
+    ar.io(n);
+    if (ar.saving()) {
+      for (std::uint32_t i = 0; i < buf.size(); ++i) {
+        SchedInst si = buf[i];
+        io_sched_inst(ar, si);
+      }
+    } else {
+      buf.clear();
+      for (std::uint64_t i = 0; i < n; ++i) {
+        SchedInst si{};
+        io_sched_inst(ar, si);
+        buf.push_back(si);
+      }
+    }
+  }
+  ar.io_sequence(dab_, [](persist::Archive& a, std::optional<SchedInst>& slot) {
+    a.io_optional(slot, io_sched_inst);
+  });
+  ar.io(dab_live_);
+  ar.io(block_reason_);
+  ar.io(last_inserted_seq_);
+  ar.io(insert_seq_valid_);
+  ar.io(watchdog_remaining_);
+  ar.io(rr_start_);
+  ar.io(dstats_.cycles);
+  ar.io(dstats_.dispatched);
+  for (std::uint64_t& n : dstats_.dispatched_by_nonready) ar.io(n);
+  ar.io(dstats_.no_dispatch_cycles);
+  ar.io(dstats_.all_threads_ndi_stall_cycles);
+  ar.io(dstats_.ndi_blocked_thread_cycles);
+  ar.io(dstats_.iq_full_thread_cycles);
+  ar.io(dstats_.behind_ndi_examined);
+  ar.io(dstats_.behind_ndi_hdis);
+  ar.io(dstats_.ooo_dispatches);
+  ar.io(dstats_.ooo_dispatches_dependent);
+  ar.io(dstats_.filtered_suppressed);
+  ar.io(dstats_.dab_inserts);
+  ar.io(dstats_.dab_issues);
+  ar.io(dstats_.watchdog_flushes);
+  ar.io(dstats_.fault_forced_ndis);
+  ar.io(dstats_.fault_iq_denials);
+  ar.io(dstats_.fault_dropped_dispatches);
+}
+
+MSIM_PERSIST_VIA_STATE_IO(Scheduler)
 
 }  // namespace msim::core

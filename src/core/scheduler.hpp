@@ -31,6 +31,10 @@
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
+namespace msim::persist {
+class Archive;
+}
+
 namespace msim::core {
 
 /// Queries the scheduler needs answered by the surrounding pipeline during
@@ -185,7 +189,16 @@ class Scheduler {
   /// Total instructions held (buffers + IQ + DAB); used by ICOUNT fetch.
   [[nodiscard]] std::uint32_t held_instructions(ThreadId tid) const;
 
+  /// Checkpoint support: rename buffers (logical order), DAB, program-order
+  /// guards, watchdog countdown, round-robin origin, statistics and the
+  /// issue queue.  Per-dispatch-phase scratch (scan state, ready scratch)
+  /// is rebuilt each cycle and not serialized.
+  void save_state(persist::Archive& ar) const;
+  void load_state(persist::Archive& ar);
+
  private:
+  void state_io(persist::Archive& ar);
+
   struct ScanState {
     std::uint32_t pos = 0;        ///< next buffer index to examine
     std::uint32_t examined = 0;

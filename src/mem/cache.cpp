@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/archive.hpp"
 #include "common/check.hpp"
 
 namespace msim::mem {
@@ -103,5 +104,26 @@ bool Cache::probe(Addr addr) const noexcept {
   }
   return false;
 }
+
+void Cache::state_io(persist::Archive& ar) {
+  ar.section("cache");
+  ar.io_sequence(lines_, [](persist::Archive& a, Line& l) {
+    a.io(l.tag);
+    a.io(l.last_used);
+    a.io(l.valid);
+    a.io(l.dirty);
+  });
+  ar.io_sequence(outstanding_, [](persist::Archive& a, std::pair<Addr, Cycle>& m) {
+    a.io(m.first);
+    a.io(m.second);
+  });
+  ar.io(stats_.accesses);
+  ar.io(stats_.misses);
+  ar.io(stats_.coalesced_misses);
+  ar.io(stats_.mshr_stall_cycles);
+  ar.io(stats_.dirty_evictions);
+}
+
+MSIM_PERSIST_VIA_STATE_IO(Cache)
 
 }  // namespace msim::mem

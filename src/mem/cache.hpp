@@ -12,6 +12,10 @@
 
 #include "common/types.hpp"
 
+namespace msim::persist {
+class Archive;
+}
+
 namespace msim::mem {
 
 struct CacheConfig {
@@ -78,7 +82,14 @@ class Cache {
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 
+  /// Checkpoint support: tag/LRU/dirty state, outstanding-miss table, and
+  /// statistics all round-trip bit-identically.
+  void save_state(persist::Archive& ar) const;
+  void load_state(persist::Archive& ar);
+
  private:
+  void state_io(persist::Archive& ar);
+
   struct Line {
     Addr tag = 0;
     Cycle last_used = 0;

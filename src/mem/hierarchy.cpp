@@ -1,5 +1,7 @@
 #include "mem/hierarchy.hpp"
 
+#include "common/archive.hpp"
+
 namespace msim::mem {
 
 MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config)
@@ -60,5 +62,15 @@ void MemoryHierarchy::register_stats(obs::StatRegistry& registry,
   registry.counter(prefix + "memory_accesses",
                    [mem_accesses] { return *mem_accesses; });
 }
+
+void MemoryHierarchy::state_io(persist::Archive& ar) {
+  ar.section("mem-hierarchy");
+  for (Cache* c : {&l1i_, &l1d_, &l2_}) {
+    if (ar.saving()) c->save_state(ar); else c->load_state(ar);
+  }
+  ar.io(memory_accesses_);
+}
+
+MSIM_PERSIST_VIA_STATE_IO(MemoryHierarchy)
 
 }  // namespace msim::mem

@@ -9,6 +9,10 @@
 #include "mem/cache.hpp"
 #include "obs/registry.hpp"
 
+namespace msim::persist {
+class Archive;
+}
+
 namespace msim::mem {
 
 struct HierarchyConfig {
@@ -67,7 +71,12 @@ class MemoryHierarchy {
   [[nodiscard]] Cache& l1i() noexcept { return l1i_; }
   [[nodiscard]] Cache& l2() noexcept { return l2_; }
 
+  void save_state(persist::Archive& ar) const;
+  void load_state(persist::Archive& ar);
+
  private:
+  void state_io(persist::Archive& ar);
+
   std::uint32_t access_through(Cache& l1, Addr addr, bool is_store, Cycle now);
 
   HierarchyConfig config_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/archive.hpp"
 #include "common/check.hpp"
 #include "common/json.hpp"
 
@@ -181,6 +182,43 @@ void write_metrics_fields(JsonWriter& w, std::span<const MetricSnapshot> metrics
     w.end_object();
   }
   w.end_object();
+}
+
+void StatRegistry::sampled_io(persist::Archive& ar) {
+  ar.section("stat-registry");
+  std::uint64_t sampled_count = 0;
+  for (const Metric& m : metrics_) {
+    if (m.kind == MetricKind::kSampled) ++sampled_count;
+  }
+  const std::uint64_t expected = sampled_count;
+  ar.io(sampled_count);
+  if (!ar.saving() && sampled_count != expected) {
+    throw persist::PersistError(
+        "checkpoint: sampled-gauge count mismatch (" +
+        std::to_string(sampled_count) + " in stream, " +
+        std::to_string(expected) + " registered)");
+  }
+  for (Metric& m : metrics_) {
+    if (m.kind != MetricKind::kSampled) continue;
+    std::string name = m.name;
+    ar.io(name);
+    if (!ar.saving() && name != m.name) {
+      throw persist::PersistError("checkpoint: sampled gauge '" + m.name +
+                                  "' does not match stream entry '" + name +
+                                  "' (metric renamed or reordered)");
+    }
+    if (ar.saving()) m.owned->save_state(ar); else m.owned->load_state(ar);
+  }
+}
+
+void StatRegistry::save_sampled(persist::Archive& ar) const {
+  persist::detail::require_saving(ar);
+  const_cast<StatRegistry*>(this)->sampled_io(ar);
+}
+
+void StatRegistry::load_sampled(persist::Archive& ar) {
+  persist::detail::require_loading(ar);
+  sampled_io(ar);
 }
 
 }  // namespace msim::obs

@@ -22,6 +22,10 @@
 #include "common/json.hpp"
 #include "common/stats.hpp"
 
+namespace msim::persist {
+class Archive;
+}
+
 namespace msim::obs {
 
 enum class MetricKind : std::uint8_t {
@@ -85,7 +89,16 @@ class StatRegistry {
   /// the name is not registered.
   [[nodiscard]] MetricSnapshot read(std::string_view name) const;
 
+  /// Checkpoint support for the registry-owned sampled gauges (the
+  /// callback-backed metrics persist with their owning components).  Gauges
+  /// are streamed tagged by name in registration order; a load verifies
+  /// both, so metric renames or reorderings fail loudly.
+  void save_sampled(persist::Archive& ar) const;
+  void load_sampled(persist::Archive& ar);
+
  private:
+  void sampled_io(persist::Archive& ar);
+
   struct Metric {
     std::string name;
     MetricKind kind;

@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include "common/archive.hpp"
+
 #include <algorithm>
 #include <cstdio>
 #include <map>
@@ -230,5 +232,25 @@ void write_gantt(std::ostream& os, std::span<const TraceEvent> events,
     os << meta << row << "\n";
   }
 }
+
+void InstTracer::state_io(persist::Archive& ar) {
+  ar.section("inst-tracer");
+  ar.io_sequence(ring_, [](persist::Archive& a, TraceEvent& e) {
+    a.io(e.cycle);
+    a.io(e.seq);
+    a.io(e.tid);
+    a.io(e.stage);
+    a.io(e.flags);
+  });
+  std::uint64_t head = head_;
+  std::uint64_t live = live_;
+  ar.io(head);
+  ar.io(live);
+  head_ = static_cast<std::size_t>(head);
+  live_ = static_cast<std::size_t>(live);
+  ar.io(dropped_);
+}
+
+MSIM_PERSIST_VIA_STATE_IO(InstTracer)
 
 }  // namespace msim::obs

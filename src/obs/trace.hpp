@@ -23,6 +23,10 @@
 
 #include "common/types.hpp"
 
+namespace msim::persist {
+class Archive;
+}
+
 namespace msim::obs {
 
 enum class TraceStage : std::uint8_t {
@@ -95,7 +99,12 @@ class InstTracer {
   /// The retained window in recording order (oldest first).
   [[nodiscard]] std::vector<TraceEvent> events() const;
 
+  void save_state(persist::Archive& ar) const;
+  void load_state(persist::Archive& ar);
+
  private:
+  void state_io(persist::Archive& ar);
+
   std::vector<TraceEvent> ring_;
   std::size_t head_ = 0;
   std::size_t live_ = 0;

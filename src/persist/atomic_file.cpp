@@ -1,0 +1,80 @@
+#include "persist/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace msim::persist {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " '" + path + "': " + std::strerror(errno));
+}
+
+/// fsync the directory containing `path` so a completed rename is durable.
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd < 0) return;  // best-effort: some filesystems refuse O_RDONLY dirs
+  (void)::fsync(fd);
+  (void)::close(fd);
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path,
+                       std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot create", tmp);
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ::ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      (void)::close(fd);
+      (void)::unlink(tmp.c_str());
+      fail("write failed for", tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    (void)::close(fd);
+    (void)::unlink(tmp.c_str());
+    fail("fsync failed for", tmp);
+  }
+  if (::close(fd) != 0) {
+    (void)::unlink(tmp.c_str());
+    fail("close failed for", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    (void)::unlink(tmp.c_str());
+    fail("rename failed onto", path);
+  }
+  sync_parent_dir(path);
+}
+
+void write_text_atomic(const std::string& path, std::string_view text) {
+  write_file_atomic(path,
+                    {reinterpret_cast<const std::uint8_t*>(text.data()),
+                     text.size()});
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open '" + path + "' for reading");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) throw std::runtime_error("read failed for '" + path + "'");
+  return std::move(buf).str();
+}
+
+}  // namespace msim::persist

@@ -1,0 +1,29 @@
+// Crash-safe file replacement: write-temp + fsync + atomic rename.
+//
+// Every artefact the simulator leaves on disk (stats JSON, sweep JSON,
+// diagnostic bundles, checkpoints) goes through here, so a crash or signal
+// mid-write can never leave a truncated, unparseable file under the final
+// name: readers either see the complete old content or the complete new
+// content.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace msim::persist {
+
+/// Atomically replaces `path` with `bytes`: writes `path` + ".tmp.<pid>",
+/// fsyncs it, renames it over `path`, then fsyncs the directory so the
+/// rename itself survives a power cut.  Throws std::runtime_error with the
+/// errno text on any failure (the temp file is unlinked best-effort).
+void write_file_atomic(const std::string& path, std::span<const std::uint8_t> bytes);
+
+/// write_file_atomic for text content.
+void write_text_atomic(const std::string& path, std::string_view text);
+
+/// Reads the whole file; throws std::runtime_error when unreadable.
+[[nodiscard]] std::string read_file(const std::string& path);
+
+}  // namespace msim::persist

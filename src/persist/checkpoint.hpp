@@ -1,0 +1,48 @@
+// Pipeline checkpoint files: a versioned container around the Archive
+// payload of smt::Pipeline::save_state.
+//
+// Layout (all via persist::Archive, little-endian):
+//   magic "msim-checkpoint"   -- file type
+//   format_version u32        -- kCheckpointFormatVersion
+//   config_fingerprint u64    -- hash of the run configuration + workload
+//   phase u8                  -- 0 = warming up, 1 = measuring
+//   pipeline payload          -- Pipeline::save_state
+//
+// A load verifies magic, version and fingerprint before touching the
+// pipeline, and every mismatch names what differed so triage is mechanical
+// (see docs/CHECKPOINT.md).  Files are written atomically (temp + rename).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace msim::smt {
+class Pipeline;
+}
+
+namespace msim::persist {
+
+inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+/// Run phase recorded in a checkpoint, so resume knows whether the
+/// post-warm-up stats reset already happened.
+enum class RunPhase : std::uint8_t { kWarmup = 0, kMeasure = 1 };
+
+struct CheckpointMeta {
+  std::uint64_t config_fingerprint = 0;
+  RunPhase phase = RunPhase::kWarmup;
+};
+
+/// Serializes `pipe` (plus `meta`) and atomically replaces `path`.
+void save_checkpoint(const std::string& path, const smt::Pipeline& pipe,
+                     const CheckpointMeta& meta);
+
+/// Restores `pipe` from `path`.  `pipe` must be freshly constructed with
+/// the same configuration, workload and seed as the saver's; the caller
+/// passes that configuration's fingerprint in `expected_fingerprint`.
+/// Throws PersistError on malformed content or any mismatch.
+[[nodiscard]] CheckpointMeta load_checkpoint(const std::string& path,
+                                             smt::Pipeline& pipe,
+                                             std::uint64_t expected_fingerprint);
+
+}  // namespace msim::persist

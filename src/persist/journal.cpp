@@ -1,0 +1,173 @@
+#include "persist/journal.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/archive.hpp"  // PersistError
+#include "common/json.hpp"
+#include "persist/atomic_file.hpp"
+
+namespace msim::persist {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+std::string to_hex(const std::vector<std::uint8_t>& bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const std::uint8_t b : bytes) {
+    out += kHexDigits[b >> 4];
+    out += kHexDigits[b & 0xf];
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> from_hex(const std::string& hex) {
+  if (hex.size() % 2 != 0) throw PersistError("journal: odd-length hex payload");
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    throw PersistError("journal: invalid hex digit in payload");
+  };
+  std::vector<std::uint8_t> out(hex.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>((nibble(hex[2 * i]) << 4) |
+                                       nibble(hex[2 * i + 1]));
+  }
+  return out;
+}
+
+std::string hex_u64(std::uint64_t v) {
+  std::string out = "0x";
+  for (int shift = 60; shift >= 0; shift -= 4) out += kHexDigits[(v >> shift) & 0xf];
+  return out;
+}
+
+std::string header_line(std::uint64_t fingerprint) {
+  return "{\"msim_sweep_journal\": " + std::to_string(kJournalFormatVersion) +
+         ", \"fingerprint\": \"" + hex_u64(fingerprint) + "\"}\n";
+}
+
+}  // namespace
+
+SweepJournal::SweepJournal(std::string path, std::uint64_t fingerprint,
+                           bool resume)
+    : path_(std::move(path)) {
+  bool have_file = false;
+  std::string existing;
+  if (resume) {
+    try {
+      existing = read_file(path_);
+      have_file = true;
+    } catch (const std::runtime_error&) {
+      have_file = false;  // no journal yet: run the whole sweep
+    }
+  }
+  if (have_file) {
+    // Validate the header strictly; tolerate only a torn final line.
+    std::size_t pos = 0;
+    bool first = true;
+    while (pos < existing.size()) {
+      std::size_t eol = existing.find('\n', pos);
+      if (eol == std::string::npos) break;  // torn tail: ignore
+      const std::string line = existing.substr(pos, eol - pos);
+      pos = eol + 1;
+      if (line.empty()) continue;
+      if (first) {
+        first = false;
+        JsonValue header;
+        try {
+          header = JsonValue::parse(line);
+        } catch (const std::invalid_argument&) {
+          throw PersistError("'" + path_ + "' is not a msim sweep journal");
+        }
+        if (!header.is_object() || !header.contains("msim_sweep_journal")) {
+          throw PersistError("'" + path_ + "' is not a msim sweep journal");
+        }
+        const auto version =
+            static_cast<std::uint32_t>(header.at("msim_sweep_journal").as_number());
+        if (version != kJournalFormatVersion) {
+          throw PersistError("'" + path_ + "' has journal format version " +
+                             std::to_string(version) +
+                             "; this binary writes version " +
+                             std::to_string(kJournalFormatVersion));
+        }
+        const std::string& fp = header.at("fingerprint").as_string();
+        if (fp != hex_u64(fingerprint)) {
+          throw PersistError(
+              "'" + path_ + "' belongs to sweep fingerprint " + fp +
+              " but this sweep has " + hex_u64(fingerprint) +
+              "; a journal only resumes the exact sweep request it was "
+              "written for (docs/CHECKPOINT.md)");
+        }
+        continue;
+      }
+      JsonValue entry;
+      try {
+        entry = JsonValue::parse(line);
+      } catch (const std::invalid_argument&) {
+        break;  // torn or corrupt entry: everything before it still counts
+      }
+      if (!entry.is_object() || !entry.contains("cell") ||
+          !entry.contains("payload")) {
+        break;
+      }
+      try {
+        entries_[entry.at("cell").as_string()] =
+            from_hex(entry.at("payload").as_string());
+      } catch (const PersistError&) {
+        break;
+      }
+    }
+    if (first) {
+      throw PersistError("'" + path_ + "' is empty or has no journal header");
+    }
+  } else {
+    // Fresh journal: atomic header write so a crash here leaves either no
+    // journal or a valid one.
+    write_text_atomic(path_, header_line(fingerprint));
+  }
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd_ < 0) {
+    throw std::runtime_error("cannot open journal '" + path_ +
+                             "' for appending: " + std::strerror(errno));
+  }
+}
+
+SweepJournal::~SweepJournal() {
+  if (fd_ >= 0) (void)::close(fd_);
+}
+
+const std::vector<std::uint8_t>* SweepJournal::find(
+    const std::string& key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void SweepJournal::append(const std::string& key,
+                          const std::vector<std::uint8_t>& payload) {
+  const std::string line =
+      "{\"cell\": " + json_escape(key) + ", \"payload\": \"" + to_hex(payload) +
+      "\"}\n";
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ::ssize_t n = ::write(fd_, line.data() + written, line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("journal append failed for '" + path_ +
+                               "': " + std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    throw std::runtime_error("journal fsync failed for '" + path_ +
+                             "': " + std::strerror(errno));
+  }
+}
+
+}  // namespace msim::persist

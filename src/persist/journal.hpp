@@ -1,0 +1,52 @@
+// Write-ahead journal for crash-recoverable sweeps.
+//
+// Append-only JSONL: the first line is a header carrying the journal format
+// version and the sweep-request fingerprint; each subsequent line records
+// one completed sweep cell run as {"cell": key, "payload": hex}.  Appends
+// are one whole line plus fsync, so a crash can lose at most the line being
+// written; the loader stops at the first malformed line (a torn tail) and
+// resumes with everything before it.  The payload is an opaque hex-encoded
+// persist::Archive blob -- the journal does not know what a MixResult is.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace msim::persist {
+
+inline constexpr std::uint32_t kJournalFormatVersion = 1;
+
+class SweepJournal {
+ public:
+  /// Opens `path` for appending.  With `resume`, an existing file is
+  /// validated (format version + fingerprint, PersistError on mismatch)
+  /// and its completed entries are loaded; without it, any existing file
+  /// is replaced by a fresh header (atomic).  A missing file starts fresh
+  /// either way, so `resume` against a journal that never got written
+  /// simply runs the whole sweep.
+  SweepJournal(std::string path, std::uint64_t fingerprint, bool resume);
+  ~SweepJournal();
+
+  SweepJournal(const SweepJournal&) = delete;
+  SweepJournal& operator=(const SweepJournal&) = delete;
+
+  /// The payload recorded for `key`, or nullptr.  Loaded entries only;
+  /// lookups do not see keys appended by this process (callers do not
+  /// re-run what they just ran).
+  [[nodiscard]] const std::vector<std::uint8_t>* find(const std::string& key) const;
+
+  [[nodiscard]] std::size_t loaded_entries() const noexcept { return entries_.size(); }
+
+  /// Durably appends one completed-cell record.  NOT thread-safe: callers
+  /// running cells in parallel serialize appends under their own mutex.
+  void append(const std::string& key, const std::vector<std::uint8_t>& payload);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::map<std::string, std::vector<std::uint8_t>> entries_;
+};
+
+}  // namespace msim::persist

@@ -1,0 +1,52 @@
+// Cooperative SIGINT/SIGTERM handling for checkpointable runs.
+//
+// The handlers only set a flag; simulation loops poll it at safe points
+// (cycle-chunk and sweep-cell boundaries), write a final checkpoint /
+// journal flush, and throw Interrupted.  main() catches it and exits with
+// the conventional 128+signum, so shells and CI see the usual "killed by
+// signal N" status while the on-disk state stays resumable.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace msim::persist {
+
+/// A run was interrupted by a signal (or by the deterministic
+/// checkpoint_exit test knob, which reports SIGINT).  State has already
+/// been saved by the thrower where a checkpoint path was configured.
+class Interrupted : public std::runtime_error {
+ public:
+  explicit Interrupted(int signum)
+      : std::runtime_error("interrupted by signal " + std::to_string(signum)),
+        signum_(signum) {}
+
+  [[nodiscard]] int signum() const noexcept { return signum_; }
+  /// Conventional shell exit status for death-by-signal.
+  [[nodiscard]] int exit_code() const noexcept { return 128 + signum_; }
+
+ private:
+  int signum_;
+};
+
+/// RAII installer for the SIGINT/SIGTERM flag handlers; restores the
+/// previous handlers on destruction.  Install one per process (guards do
+/// not nest meaningfully); the flag is process-wide.
+class SignalGuard {
+ public:
+  SignalGuard();
+  ~SignalGuard();
+  SignalGuard(const SignalGuard&) = delete;
+  SignalGuard& operator=(const SignalGuard&) = delete;
+};
+
+/// The signal number observed since the last clear, or 0.
+[[nodiscard]] int signal_pending() noexcept;
+
+/// Resets the pending-signal flag (tests).
+void clear_pending_signal() noexcept;
+
+/// Throws Interrupted when a signal is pending.
+void throw_if_interrupted();
+
+}  // namespace msim::persist

@@ -1,15 +1,19 @@
 #include "sim/experiment.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <future>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 
+#include "common/archive.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "persist/journal.hpp"
+#include "persist/signal.hpp"
 
 namespace msim::sim {
 
@@ -134,6 +138,160 @@ MixResult run_mix(const trace::WorkloadMix& mix, core::SchedulerKind kind,
 
 namespace {
 
+// ---- journal payload codec -------------------------------------------------
+//
+// A journaled cell must replay byte-identically into the sweep JSON and the
+// aggregates, so the codec covers the complete MixResult — every RunResult
+// field, not just the ones today's reports read.
+
+void io_cache_stats(persist::Archive& ar, mem::CacheStats& s) {
+  ar.io(s.accesses);
+  ar.io(s.misses);
+  ar.io(s.coalesced_misses);
+  ar.io(s.mshr_stall_cycles);
+  ar.io(s.dirty_evictions);
+}
+
+void io_run_result(persist::Archive& ar, RunResult& r) {
+  ar.section("run_result");
+  ar.io(r.cycles);
+  ar.io(r.per_thread_ipc);
+  ar.io(r.per_thread_committed);
+  ar.io(r.throughput_ipc);
+  ar.io(r.commit_digest);
+
+  core::DispatchStats& d = r.dispatch;
+  ar.io(d.cycles);
+  ar.io(d.dispatched);
+  for (std::uint64_t& v : d.dispatched_by_nonready) ar.io(v);
+  ar.io(d.no_dispatch_cycles);
+  ar.io(d.all_threads_ndi_stall_cycles);
+  ar.io(d.ndi_blocked_thread_cycles);
+  ar.io(d.iq_full_thread_cycles);
+  ar.io(d.behind_ndi_examined);
+  ar.io(d.behind_ndi_hdis);
+  ar.io(d.ooo_dispatches);
+  ar.io(d.ooo_dispatches_dependent);
+  ar.io(d.filtered_suppressed);
+  ar.io(d.dab_inserts);
+  ar.io(d.dab_issues);
+  ar.io(d.watchdog_flushes);
+  ar.io(d.fault_forced_ndis);
+  ar.io(d.fault_iq_denials);
+  ar.io(d.fault_dropped_dispatches);
+
+  core::IqStats& q = r.iq;
+  ar.io(q.dispatched);
+  ar.io(q.issued);
+  ar.io(q.broadcasts);
+  ar.io(q.wakeups);
+  ar.io(q.comparator_ops);
+  ar.io(q.occupancy_integral);
+  ar.io(q.occupancy_samples);
+  if (ar.saving()) {
+    q.residency.save_state(ar);
+  } else {
+    q.residency.load_state(ar);
+  }
+  ar.io(r.iq_mean_occupancy);
+
+  io_cache_stats(ar, r.memory.l1i);
+  io_cache_stats(ar, r.memory.l1d);
+  io_cache_stats(ar, r.memory.l2);
+  ar.io(r.memory.memory_accesses);
+
+  ar.io(r.bpred.branches);
+  ar.io(r.bpred.mispredicts);
+
+  smt::PipelineStats& p = r.pipeline;
+  ar.io(p.issued);
+  ar.io(p.load_issue_blocked);
+  ar.io(p.fetch_icache_stall_cycles);
+  ar.io(p.watchdog_flushed_instructions);
+  ar.io(p.fetch_l2_gated);
+  ar.io(p.policy_flushes);
+  ar.io(p.policy_flushed_instructions);
+  ar.io(p.wrong_path_fetched);
+  ar.io(p.wrong_path_issued);
+  ar.io(p.wrong_path_squashes);
+  ar.io(p.fault_commit_blocked_cycles);
+  ar.io(p.fault_rob_denials);
+  ar.io(p.fault_lsq_denials);
+  ar.io(p.fault_extra_latency_cycles);
+
+  ar.io(r.truncated);
+  ar.io_sequence(r.metrics, [](persist::Archive& a, obs::MetricSnapshot& m) {
+    a.io(m.name);
+    a.io(m.kind);
+    a.io(m.value);
+    a.io(m.events);
+    a.io(m.opportunities);
+    a.io(m.count);
+    a.io(m.min);
+    a.io(m.max);
+    a.io(m.stddev);
+    a.io(m.p50);
+    a.io(m.p90);
+    a.io(m.p99);
+  });
+  ar.io_sequence(r.trace, [](persist::Archive& a, obs::TraceEvent& e) {
+    a.io(e.cycle);
+    a.io(e.seq);
+    a.io(e.tid);
+    a.io(e.stage);
+    a.io(e.flags);
+  });
+  ar.io(r.trace_dropped);
+}
+
+void io_mix_result(persist::Archive& ar, MixResult& m) {
+  ar.section("mix_result");
+  ar.io(m.mix_name);
+  ar.io(m.throughput_ipc);
+  ar.io(m.fairness);
+  ar.io(m.ok);
+  ar.io(m.error);
+  ar.io(m.attempts);
+  io_run_result(ar, m.raw);
+}
+
+std::vector<std::uint8_t> encode_mix_result(const MixResult& m) {
+  persist::Archive ar = persist::Archive::saver();
+  io_mix_result(ar, const_cast<MixResult&>(m));
+  return ar.bytes();
+}
+
+MixResult decode_mix_result(const std::vector<std::uint8_t>& payload) {
+  persist::Archive ar = persist::Archive::loader(payload);
+  MixResult m;
+  io_mix_result(ar, m);
+  ar.expect_end();
+  return m;
+}
+
+/// Hash of everything that defines the sweep's grid and its cells' inputs.
+/// Deliberately excludes jobs / progress / isolation: those change how the
+/// sweep executes, never what a completed cell contains, and a journal must
+/// resume at any job count.
+std::uint64_t sweep_fingerprint(const SweepRequest& request) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(request.base.fingerprint());
+  mix(request.thread_count);
+  mix(request.kinds.size());
+  for (const core::SchedulerKind kind : request.kinds) {
+    mix(static_cast<std::uint64_t>(kind));
+  }
+  mix(request.iq_sizes.size());
+  for (const std::uint32_t iq : request.iq_sizes) mix(iq);
+  return h;
+}
+
 SweepCell aggregate_cell(core::SchedulerKind kind, std::uint32_t iq,
                          std::vector<MixResult> mixes) {
   SweepCell cell;
@@ -207,6 +365,20 @@ std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& bas
   std::optional<ScopedCheckThrow> check_guard;
   if (request.isolate_failures) check_guard.emplace();
 
+  // Crash recovery: the journal replays completed cells (resume) and
+  // durably records each newly completed cell before the sweep moves on.
+  std::optional<persist::SweepJournal> journal;
+  if (!request.journal_path.empty()) {
+    journal.emplace(request.journal_path, sweep_fingerprint(request),
+                    request.resume);
+    if (journal->loaded_entries() != 0 && request.progress) {
+      request.progress("journal: replaying " +
+                       std::to_string(journal->loaded_entries()) +
+                       " completed cell(s)");
+    }
+  }
+  std::mutex journal_mu;
+
   auto run_cell = [&](const GridPoint& p) -> MixResult {
     if (!request.isolate_failures) {
       return run_mix(*p.mix, p.kind, p.iq, request.base, baselines);
@@ -217,6 +389,10 @@ std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& bas
         MixResult r = run_mix(*p.mix, p.kind, p.iq, request.base, baselines);
         r.attempts = attempt;
         return r;
+      } catch (const persist::Interrupted&) {
+        // An interrupt is a request to stop, not a cell failure: never
+        // retried, never recorded — the cell reruns on resume.
+        throw;
       } catch (const std::exception& e) {
         last_error = e.what();
       }
@@ -229,6 +405,31 @@ std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& bas
     return failed;
   };
 
+  auto run_or_replay_cell = [&](const GridPoint& p) -> MixResult {
+    const std::string key = describe(p.kind, p.iq, p.mix->name);
+    if (journal) {
+      // find() only reads entries loaded at construction; appends never
+      // mutate that map, so no lock is needed here.
+      if (const std::vector<std::uint8_t>* payload = journal->find(key)) {
+        MixResult m = decode_mix_result(*payload);
+        if (m.mix_name != p.mix->name) {
+          throw persist::PersistError(
+              "journal entry '" + key + "' replays mix '" + m.mix_name +
+              "'; the journal does not match this sweep (docs/CHECKPOINT.md)");
+        }
+        return m;
+      }
+    }
+    MixResult r = run_cell(p);
+    // Failed cells are not recorded: a resume retries them from scratch.
+    if (journal && r.ok) {
+      const std::vector<std::uint8_t> payload = encode_mix_result(r);
+      const std::lock_guard<std::mutex> lock(journal_mu);
+      journal->append(key, payload);
+    }
+    return r;
+  };
+
   std::vector<MixResult> results(grid.size());
   if (request.jobs == 1) {
     // Serial path: today's behavior, including progress notes before each run.
@@ -237,7 +438,7 @@ std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& bas
       if (request.progress) {
         request.progress(describe(p.kind, p.iq, p.mix->name));
       }
-      results[i] = run_cell(p);
+      results[i] = run_or_replay_cell(p);
     }
   } else {
     ThreadPool pool(request.jobs);
@@ -247,7 +448,7 @@ std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& bas
     for (std::size_t i = 0; i < grid.size(); ++i) {
       pending.push_back(pool.submit([&, i] {
         const GridPoint& p = grid[i];
-        results[i] = run_cell(p);
+        results[i] = run_or_replay_cell(p);
         if (request.progress) {
           const std::lock_guard<std::mutex> lock(progress_mu);
           request.progress(describe(p.kind, p.iq, p.mix->name) +
@@ -255,7 +456,22 @@ std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& bas
         }
       }));
     }
-    for (std::future<void>& f : pending) f.get();
+    // Drain every worker before rethrowing anything, so completed cells all
+    // reach the journal; an interrupt outranks other failures because it is
+    // the reason the caller is exiting.
+    std::exception_ptr interrupted;
+    std::exception_ptr first_error;
+    for (std::future<void>& f : pending) {
+      try {
+        f.get();
+      } catch (const persist::Interrupted&) {
+        if (!interrupted) interrupted = std::current_exception();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (interrupted) std::rethrow_exception(interrupted);
+    if (first_error) std::rethrow_exception(first_error);
   }
   check_guard.reset();
 

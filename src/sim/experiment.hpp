@@ -141,11 +141,26 @@ struct SweepRequest {
   /// Successful cells are bit-identical with isolation on or off.
   bool isolate_failures = true;
   unsigned retries = 1;
+  /// Crash recovery (src/persist/, docs/CHECKPOINT.md): write-ahead journal
+  /// of completed cells ("" = off).  Every finished (kind, iq, mix) cell is
+  /// appended durably before the sweep moves on, so a killed sweep loses at
+  /// most the cells in flight.
+  std::string journal_path;
+  /// Resume from an existing journal at journal_path: completed cells are
+  /// replayed from the journal instead of re-simulated (bit-identical, since
+  /// the journal stores the full MixResult), the rest run normally and keep
+  /// appending.  The journal's fingerprint must match this request
+  /// (persist::PersistError otherwise); a missing file just runs the whole
+  /// sweep.  Without `resume`, any existing journal is overwritten.
+  bool resume = false;
 };
 
 /// Runs the full cross product.  kTraditional is always run (it anchors the
 /// speedups) even when absent from `request.kinds`; it is returned only if
 /// requested.  Cells are ordered kind-major in request order.
+/// persist::Interrupted (a pending SIGINT/SIGTERM observed by a cell whose
+/// base config watches signals) is never swallowed by crash isolation: it
+/// propagates after the journal has recorded every cell that completed.
 std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& baselines);
 
 /// Finds the cell for (kind, iq); throws std::invalid_argument if missing.

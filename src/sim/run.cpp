@@ -1,8 +1,12 @@
 #include "sim/run.hpp"
 
+#include <algorithm>
+#include <csignal>
 #include <stdexcept>
 
 #include "common/check.hpp"
+#include "persist/checkpoint.hpp"
+#include "persist/signal.hpp"
 #include "robust/diagnostic.hpp"
 #include "robust/fault.hpp"
 #include "robust/invariant.hpp"
@@ -27,6 +31,53 @@ smt::MachineConfig RunConfig::machine() const {
   return mc;
 }
 
+namespace {
+
+/// Incremental FNV-1a over explicitly widened values: endianness- and
+/// platform-independent, so a fingerprint travels with its checkpoint.
+struct Fingerprint {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+
+  void byte(std::uint8_t b) noexcept {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  void u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void str(const std::string& s) noexcept {
+    u64(s.size());
+    for (const char c : s) byte(static_cast<std::uint8_t>(c));
+  }
+};
+
+}  // namespace
+
+std::uint64_t RunConfig::fingerprint() const {
+  Fingerprint f;
+  f.u64(benchmarks.size());
+  for (const std::string& b : benchmarks) f.str(b);
+  f.u64(static_cast<std::uint64_t>(kind));
+  f.u64(iq_entries);
+  f.u64(static_cast<std::uint64_t>(deadlock));
+  f.u64(scan_depth);
+  f.u64(dab_exclusive ? 1 : 0);
+  f.u64(watchdog_timeout);
+  f.u64(oracle_disambiguation ? 1 : 0);
+  f.u64(static_cast<std::uint64_t>(fetch_policy));
+  f.u64(model_wrong_path ? 1 : 0);
+  f.u64(seed);
+  f.u64(warmup);
+  f.u64(horizon);
+  f.u64(max_cycles);
+  f.u64(trace_capacity);
+  f.u64(hang_cycles);
+  // Fault injection changes machine behavior, so a faulted run's checkpoint
+  // must not resume fault-free (or vice versa).
+  f.u64(faults != nullptr ? 1 : 0);
+  return f.h;
+}
+
 void RunConfig::validate() const {
   auto fail = [](const std::string& msg) {
     throw std::invalid_argument("run config: " + msg);
@@ -40,8 +91,104 @@ void RunConfig::validate() const {
          "supports at most " + std::to_string(kMaxThreads) + " threads");
   }
   if (horizon == 0) fail("horizon=0 would measure nothing; set horizon >= 1");
+  if (checkpoint_every != 0 && checkpoint_path.empty()) {
+    fail("checkpoint_every is set but checkpoint_path is empty; periodic "
+         "checkpoints need somewhere to go");
+  }
+  if (checkpoint_exit_cycles != 0 && checkpoint_path.empty()) {
+    fail("checkpoint_exit_cycles is set but checkpoint_path is empty; the "
+         "deterministic interrupt saves a checkpoint before exiting");
+  }
   machine().validate();  // structural knobs (IQ/ROB/LSQ sizes, watchdog...)
 }
+
+namespace {
+
+/// Chunk size for signal polling when no checkpoint period bounds the
+/// chunks.  Any value yields bit-identical results (chunking never changes
+/// the tick sequence); this only bounds interrupt latency.
+constexpr std::uint64_t kSignalPollCycles = 8192;
+constexpr std::uint64_t kNoCap = ~std::uint64_t{0};
+
+/// The warm-up + measure loop, run in checkpoint-sized chunks.  Chunk
+/// boundaries are aligned to absolute multiples of checkpoint_every, so a
+/// checkpoint written at cycle C has the same bytes whether the run got
+/// there straight from cycle 0 or through any number of suspend/resume
+/// rounds.  With every knob off this executes the exact tick sequence of
+/// the unchunked path.
+void run_checkpointed(const RunConfig& config, smt::Pipeline& pipe) {
+  const std::uint64_t fp = config.fingerprint();
+  persist::RunPhase phase = persist::RunPhase::kWarmup;
+  if (!config.resume_path.empty()) {
+    phase = persist::load_checkpoint(config.resume_path, pipe, fp).phase;
+  }
+
+  auto save = [&] {
+    persist::save_checkpoint(config.checkpoint_path, pipe, {fp, phase});
+  };
+  // Raises (after saving, where a path is configured) whatever interrupt is
+  // pending at this chunk boundary.  The deterministic checkpoint_exit test
+  // knob reports SIGINT, so callers exit 130 exactly like a real ^C.
+  auto poll_interrupts = [&] {
+    if (config.checkpoint_exit_cycles != 0 &&
+        pipe.absolute_cycle() >= config.checkpoint_exit_cycles) {
+      save();
+      throw persist::Interrupted(SIGINT);
+    }
+    if (config.watch_signals) {
+      if (const int sig = persist::signal_pending()) {
+        if (!config.checkpoint_path.empty()) save();
+        throw persist::Interrupted(sig);
+      }
+    }
+  };
+
+  auto run_phase = [&](std::uint64_t target) {
+    for (;;) {
+      bool reached = false;
+      for (ThreadId t = 0; t < pipe.thread_count(); ++t) {
+        if (pipe.committed(t) >= target) reached = true;
+      }
+      if (reached) return;
+      // The phase's cycle budget counts from the phase start, exactly as
+      // the single-call pipe.run(target, max_cycles) would count it.
+      if (config.max_cycles != 0 && pipe.cycles() >= config.max_cycles) return;
+      poll_interrupts();
+
+      const std::uint64_t abs = pipe.absolute_cycle();
+      std::uint64_t chunk = kNoCap;
+      if (config.max_cycles != 0) chunk = config.max_cycles - pipe.cycles();
+      if (config.checkpoint_every != 0) {
+        const std::uint64_t next =
+            (abs / config.checkpoint_every + 1) * config.checkpoint_every;
+        chunk = std::min(chunk, next - abs);
+      }
+      if (config.checkpoint_exit_cycles > abs) {
+        chunk = std::min(chunk, config.checkpoint_exit_cycles - abs);
+      }
+      if (config.watch_signals && config.checkpoint_every == 0) {
+        chunk = std::min(chunk, kSignalPollCycles);
+      }
+      pipe.run(target, chunk == kNoCap ? 0 : chunk);
+
+      // Periodic checkpoint — only when the chunk actually reached a period
+      // boundary (the phase target can end a chunk early).
+      if (config.checkpoint_every != 0 && pipe.absolute_cycle() != abs &&
+          pipe.absolute_cycle() % config.checkpoint_every == 0) {
+        save();
+      }
+    }
+  };
+
+  if (phase == persist::RunPhase::kWarmup) {
+    run_phase(config.warmup);
+    pipe.reset_stats();
+    phase = persist::RunPhase::kMeasure;
+  }
+  run_phase(config.horizon);
+}
+
+}  // namespace
 
 RunResult run_simulation(const RunConfig& config) {
   config.validate();
@@ -65,10 +212,18 @@ RunResult run_simulation(const RunConfig& config) {
   robust::InvariantChecker checker;
   if (config.verify) pipe.set_observer(&checker);
 
+  const bool checkpointing = !config.checkpoint_path.empty() ||
+                             !config.resume_path.empty() ||
+                             config.checkpoint_exit_cycles != 0 ||
+                             config.watch_signals;
   try {
-    pipe.run(config.warmup, config.max_cycles);
-    pipe.reset_stats();
-    pipe.run(config.horizon, config.max_cycles);
+    if (checkpointing) {
+      run_checkpointed(config, pipe);
+    } else {
+      pipe.run(config.warmup, config.max_cycles);
+      pipe.reset_stats();
+      pipe.run(config.horizon, config.max_cycles);
+    }
   } catch (const smt::NoForwardProgress& e) {
     throw robust::SimulationAborted(
         std::string("hang watchdog: ") + e.what(),
@@ -93,6 +248,7 @@ RunResult run_simulation(const RunConfig& config) {
     out.per_thread_committed.push_back(pipe.committed(t));
   }
   out.throughput_ipc = pipe.total_ipc();
+  out.commit_digest = pipe.commit_digest();
   out.dispatch = pipe.scheduler().dispatch_stats();
   out.iq = pipe.scheduler().iq().stats();
   out.iq_mean_occupancy = pipe.scheduler().iq().stats().mean_occupancy();

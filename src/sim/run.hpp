@@ -60,8 +60,37 @@ struct RunConfig {
   /// decides per run whether its plan targets this run's RNG stream.
   const robust::FaultInjector* faults = nullptr;
 
+  // Checkpoint / restore (src/persist/, docs/CHECKPOINT.md).
+  /// Checkpoint file to write ("" = checkpointing off).  Written atomically
+  /// (temp + rename) at every `checkpoint_every` boundary and on interrupt.
+  std::string checkpoint_path;
+  /// Absolute-cycle period between periodic checkpoints (0 = only save on
+  /// interrupt).  Boundaries are aligned to absolute multiples of this
+  /// period, so a checkpoint's content never depends on how many times the
+  /// run was already suspended and resumed.
+  std::uint64_t checkpoint_every = 0;
+  /// Checkpoint file to restore before running ("" = fresh run).  The file
+  /// must have been saved by a run with an identical configuration
+  /// (fingerprint-checked; persist::PersistError otherwise).
+  std::string resume_path;
+  /// Deterministic-interrupt test knob: once the absolute cycle reaches
+  /// this value, save a checkpoint and throw persist::Interrupted as if
+  /// SIGINT had arrived at exactly that cycle (0 = off).  Requires
+  /// checkpoint_path.
+  std::uint64_t checkpoint_exit_cycles = 0;
+  /// Poll persist::signal_pending at chunk boundaries; on SIGINT/SIGTERM,
+  /// save a final checkpoint (when checkpoint_path is set) and throw
+  /// persist::Interrupted.  The caller installs persist::SignalGuard.
+  bool watch_signals = false;
+
   /// Builds the Table-1 machine with this run's scheduler settings applied.
   [[nodiscard]] smt::MachineConfig machine() const;
+
+  /// Stable hash of every knob that shapes the simulation (workload, seed,
+  /// machine and horizon knobs — not the checkpoint/observability knobs).
+  /// Stored in checkpoints so a resume against a different configuration
+  /// fails loudly instead of silently diverging.
+  [[nodiscard]] std::uint64_t fingerprint() const;
 
   /// Rejects unrunnable configurations (no benchmarks, zero horizon,
   /// zero-size structures, an unarmable watchdog...) with an actionable
@@ -86,6 +115,11 @@ struct RunResult {
   /// True when the run hit `max_cycles` before committing `horizon`.
   bool truncated = false;
 
+  /// FNV-1a digest over the (tid, seq, cycle) commit stream since pipeline
+  /// construction.  Bit-identity witness: a checkpointed-and-resumed run
+  /// must reproduce the straight run's digest exactly.
+  std::uint64_t commit_digest = 0;
+
   /// Full registry snapshot, sorted by metric name (see obs::StatRegistry).
   std::vector<obs::MetricSnapshot> metrics;
   /// Lifecycle trace, oldest event first (empty unless trace_capacity > 0).
@@ -98,7 +132,9 @@ struct RunResult {
 /// Throws std::invalid_argument for invalid configurations or unknown
 /// benchmark names, and robust::SimulationAborted (carrying a JSON
 /// diagnostic bundle) when the hang watchdog fires or — under verify —
-/// an invariant check fails.
+/// an invariant check fails.  With the checkpoint knobs engaged it may
+/// also throw persist::Interrupted (state already saved) and
+/// persist::PersistError (unloadable or mismatched resume file).
 [[nodiscard]] RunResult run_simulation(const RunConfig& config);
 
 }  // namespace msim::sim

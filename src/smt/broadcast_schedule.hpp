@@ -26,6 +26,10 @@
 #include "common/check.hpp"
 #include "common/types.hpp"
 
+namespace msim::persist {
+class Archive;
+}
+
 namespace msim::smt {
 
 class BroadcastSchedule {
@@ -115,7 +119,17 @@ class BroadcastSchedule {
   [[nodiscard]] bool empty() const noexcept { return pending_ == 0; }
   [[nodiscard]] std::uint64_t pending() const noexcept { return pending_; }
 
+  /// Checkpoint support (defined in smt/state.cpp).  Ring buckets are
+  /// serialized by bucket index, not re-derived from cycles: ring-vs-spill
+  /// placement was decided against base_ at schedule() time, so re-deriving
+  /// it against the restored base_ could move tags between homes and change
+  /// cancel() behaviour.
+  void save_state(persist::Archive& ar) const;
+  void load_state(persist::Archive& ar);
+
  private:
+  void state_io(persist::Archive& ar);
+
   std::vector<std::vector<PhysReg>> ring_;  ///< bucket per cycle mod ring size
   std::map<Cycle, std::vector<PhysReg>> spill_;
   std::uint32_t mask_ = 0;

@@ -9,6 +9,10 @@
 #include "common/types.hpp"
 #include "isa/opclass.hpp"
 
+namespace msim::persist {
+class Archive;
+}
+
 namespace msim::smt {
 
 struct FuStats {
@@ -49,7 +53,12 @@ class FuPools {
   [[nodiscard]] const FuStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = FuStats{}; }
 
+  void save_state(persist::Archive& ar) const;
+  void load_state(persist::Archive& ar);
+
  private:
+  void state_io(persist::Archive& ar);
+
   std::array<std::vector<Cycle>, isa::kFuKindCount> pools_;
   FuStats stats_;
 };

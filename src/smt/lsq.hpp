@@ -14,6 +14,10 @@
 #include "common/types.hpp"
 #include "isa/instruction.hpp"
 
+namespace msim::persist {
+class Archive;
+}
+
 namespace msim::smt {
 
 enum class LoadVerdict : std::uint8_t {
@@ -94,7 +98,12 @@ class LoadStoreQueue {
   [[nodiscard]] const LsqStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 
+  void save_state(persist::Archive& ar) const;
+  void load_state(persist::Archive& ar);
+
  private:
+  void state_io(persist::Archive& ar);
+
   struct Entry {
     SeqNum seq;
     Addr addr;

@@ -4,7 +4,9 @@
 
 #include <array>
 
+#include "common/archive.hpp"
 #include "common/check.hpp"
+#include "core/state_io.hpp"
 #include "common/rng.hpp"
 
 namespace msim::smt {
@@ -201,6 +203,9 @@ void Pipeline::do_commit(Cycle now) {
       }
       rename_.commit(tid, head.inst.dest, head.dest_phys, head.prev_dest_phys);
       tracer_.record(now, tid, head.inst.seq, obs::TraceStage::kCommit);
+      mix_digest(tid);
+      mix_digest(head.inst.seq);
+      mix_digest(now);
       if (observer_) observer_->on_commit(tid, head.inst.seq, now);
       ts.rob.pop_head();
       ++ts.committed;
@@ -621,18 +626,24 @@ Cycle Pipeline::run(std::uint64_t horizon, Cycle max_cycles) {
     for (const auto& ts : threads_) total += ts->committed;
     return total;
   };
-  std::uint64_t last_total = raw_committed();
-  Cycle last_progress = cycle_;
+  // The tracking state lives in members (hang_last_total_ /
+  // hang_last_progress_) so that running in checkpoint-sized chunks, or
+  // resuming from a checkpoint, observes the same commit-free spans as one
+  // uninterrupted run() call.
+  if (raw_committed() != hang_last_total_) {
+    hang_last_total_ = raw_committed();
+    hang_last_progress_ = cycle_;
+  }
   while (!reached()) {
     if (max_cycles != 0 && cycle_ - start >= max_cycles) break;
     tick();
     if (config_.hang_cycles != 0) {
       const std::uint64_t total = raw_committed();
-      if (total != last_total) {
-        last_total = total;
-        last_progress = cycle_;
-      } else if (cycle_ - last_progress >= config_.hang_cycles) {
-        const Cycle stalled = cycle_ - last_progress;
+      if (total != hang_last_total_) {
+        hang_last_total_ = total;
+        hang_last_progress_ = cycle_;
+      } else if (cycle_ - hang_last_progress_ >= config_.hang_cycles) {
+        const Cycle stalled = cycle_ - hang_last_progress_;
         throw NoForwardProgress(
             "no thread committed an instruction for " + std::to_string(stalled) +
                 " cycles (hang declared at cycle " + std::to_string(cycle_) +
@@ -832,5 +843,87 @@ void Pipeline::trace_squash(ThreadId tid, SeqNum min_seq, Cycle now) {
     }
   }
 }
+
+// ---- checkpoint/restore ------------------------------------------------------
+
+void Pipeline::thread_state_io(persist::Archive& ar, ThreadState& ts) {
+  ar.section("thread");
+  if (ar.saving()) ts.gen.save_state(ar); else ts.gen.load_state(ar);
+  ar.io_sequence(ts.replay, core::io_dyn_inst);
+  ar.io_optional(ts.pending, core::io_dyn_inst);
+  ar.io_sequence(ts.fetch_queue, [](persist::Archive& a, FetchedInst& f) {
+    core::io_dyn_inst(a, f.inst);
+    a.io(f.fetched_at);
+    a.io(f.mispredicted);
+    a.io(f.wrong_path);
+  });
+  if (ar.saving()) ts.rob.save_state(ar); else ts.rob.load_state(ar);
+  if (ar.saving()) ts.lsq.save_state(ar); else ts.lsq.load_state(ar);
+  ar.io(ts.fetch_stalled_until);
+  ar.io(ts.l2_stall_until);
+  ar.io(ts.awaiting_branch);
+  ar.io(ts.on_wrong_path);
+  ar.io(ts.wp_fetch_done);
+  ar.io(ts.wp_pc);
+  ar.io(ts.wp_branch_seq);
+  ar.io(ts.wp_next_seq);
+  ar.io(ts.wp_squash_at);
+  if (ar.saving()) ts.wp_rng.save_state(ar); else ts.wp_rng.load_state(ar);
+  ar.io(ts.awaited_branch_seq);
+  ar.io(ts.last_fetch_line);
+  ar.io(ts.committed);
+  ar.io(ts.committed_base);
+  ar.io(ts.fetched);
+  ar.io(ts.fetched_base);
+}
+
+void Pipeline::state_io(persist::Archive& ar) {
+  ar.section("pipeline");
+  std::uint32_t thread_count = config_.thread_count;
+  ar.io(thread_count);
+  if (!ar.saving() && thread_count != config_.thread_count) {
+    throw persist::PersistError("checkpoint: thread-count mismatch");
+  }
+  ar.io(cycle_);
+  ar.io(stats_base_cycle_);
+  ar.io(hang_last_total_);
+  ar.io(hang_last_progress_);
+  ar.io(commit_digest_);
+  ar.io(pstats_.issued);
+  ar.io(pstats_.load_issue_blocked);
+  ar.io(pstats_.fetch_icache_stall_cycles);
+  ar.io(pstats_.watchdog_flushed_instructions);
+  ar.io(pstats_.fetch_l2_gated);
+  ar.io(pstats_.policy_flushes);
+  ar.io(pstats_.policy_flushed_instructions);
+  ar.io(pstats_.wrong_path_fetched);
+  ar.io(pstats_.wrong_path_issued);
+  ar.io(pstats_.wrong_path_squashes);
+  ar.io(pstats_.fault_commit_blocked_cycles);
+  ar.io(pstats_.fault_rob_denials);
+  ar.io(pstats_.fault_lsq_denials);
+  ar.io(pstats_.fault_extra_latency_cycles);
+  for (const auto& ts : threads_) thread_state_io(ar, *ts);
+  if (ar.saving()) rename_.save_state(ar); else rename_.load_state(ar);
+  if (ar.saving()) scheduler_->save_state(ar); else scheduler_->load_state(ar);
+  if (ar.saving()) fu_.save_state(ar); else fu_.load_state(ar);
+  if (ar.saving()) mem_.save_state(ar); else mem_.load_state(ar);
+  if (ar.saving()) bpred_.save_state(ar); else bpred_.load_state(ar);
+  if (ar.saving()) broadcasts_.save_state(ar); else broadcasts_.load_state(ar);
+  for (std::optional<SeqNum>& f : pending_policy_flush_) {
+    ar.io_optional(f, [](persist::Archive& a, SeqNum& seq) { a.io(seq); });
+  }
+  ar.io_sequence(stall_stats_, [](persist::Archive& a, ThreadStallStats& s) {
+    a.io(s.ndi_blocked_cycles);
+    a.io(s.iq_full_cycles);
+    a.io(s.rob_full_cycles);
+    a.io(s.lsq_full_cycles);
+    a.io(s.fetch_starved_cycles);
+  });
+  if (ar.saving()) tracer_.save_state(ar); else tracer_.load_state(ar);
+  if (ar.saving()) registry_.save_sampled(ar); else registry_.load_sampled(ar);
+}
+
+MSIM_PERSIST_VIA_STATE_IO(Pipeline)
 
 }  // namespace msim::smt

@@ -39,6 +39,10 @@ namespace msim::robust {
 class InvariantChecker;  // friend of Pipeline; see src/robust/invariant.hpp
 }
 
+namespace msim::persist {
+class Archive;
+}
+
 namespace msim::smt {
 
 /// Thrown by Pipeline::run when the simulator-level hang watchdog fires:
@@ -137,8 +141,24 @@ class Pipeline {
   /// machine state (caches, predictors, in-flight work) is preserved.
   void reset_stats();
 
+  /// Checkpoint support: serializes every stateful structure (threads,
+  /// rename maps, scheduler, issue queue, function units, caches,
+  /// predictors, broadcast calendar, statistics, sampled gauges) so that a
+  /// load into a pipeline freshly constructed with the same configuration,
+  /// workload and seed continues bit-identically: same commit-stream
+  /// digest, same statistics.  See docs/CHECKPOINT.md.
+  void save_state(persist::Archive& ar) const;
+  void load_state(persist::Archive& ar);
+
   // ---- observation -------------------------------------------------------
   [[nodiscard]] Cycle cycles() const noexcept { return cycle_ - stats_base_cycle_; }
+  /// Machine cycle since construction, unaffected by reset_stats (and
+  /// restored by load_state).
+  [[nodiscard]] Cycle absolute_cycle() const noexcept { return cycle_; }
+  /// Running FNV-1a digest over the committed-instruction stream
+  /// (tid, seq, cycle per commit), never reset: two runs are behaviourally
+  /// identical iff their digests match.  Checkpoint/resume preserves it.
+  [[nodiscard]] std::uint64_t commit_digest() const noexcept { return commit_digest_; }
   [[nodiscard]] unsigned thread_count() const noexcept { return config_.thread_count; }
   [[nodiscard]] std::uint64_t committed(ThreadId tid) const;
   [[nodiscard]] std::uint64_t total_committed() const noexcept;
@@ -262,8 +282,25 @@ class Pipeline {
   /// between the issue and dispatch phases of the same cycle.
   std::array<std::optional<SeqNum>, kMaxThreads> pending_policy_flush_{};
 
+  void state_io(persist::Archive& ar);
+  void thread_state_io(persist::Archive& ar, ThreadState& ts);
+  /// Folds one value into commit_digest_ (FNV-1a over its 8 bytes, LSB
+  /// first -- the byte order is part of the digest contract).
+  void mix_digest(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      commit_digest_ ^= (v >> (8 * i)) & 0xff;
+      commit_digest_ *= 0x100000001b3ULL;
+    }
+  }
+
   Cycle cycle_ = 0;
   Cycle stats_base_cycle_ = 0;
+  /// Simulator-level hang watchdog state.  Members (not run()-locals) so
+  /// that a run executed in checkpointed chunks -- or resumed in a fresh
+  /// process -- observes the same commit-free spans as one long run().
+  std::uint64_t hang_last_total_ = 0;
+  Cycle hang_last_progress_ = 0;
+  std::uint64_t commit_digest_ = 0xcbf29ce484222325ULL;  ///< FNV-1a basis
   PipelineStats pstats_;
   PipelineObserver* observer_ = nullptr;       ///< not owned; nullptr = off
   const core::FaultHooks* faults_ = nullptr;   ///< not owned; nullptr = fault-free

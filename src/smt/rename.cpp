@@ -1,5 +1,6 @@
 #include "smt/rename.hpp"
 
+#include "common/archive.hpp"
 #include "common/check.hpp"
 
 namespace msim::smt {
@@ -105,5 +106,17 @@ PhysReg RenameUnit::committed_mapping(ThreadId tid, ArchReg arch) const {
   MSIM_CHECK(tid < thread_count_ && arch < isa::kArchRegCount);
   return committed_map_[tid][arch];
 }
+
+void RenameUnit::state_io(persist::Archive& ar) {
+  ar.section("rename-unit");
+  for (auto* table : {&map_, &committed_map_}) {
+    for (std::vector<PhysReg>& per_thread : *table) ar.io(per_thread);
+  }
+  ar.io(free_int_);
+  ar.io(free_fp_);
+  ar.io(ready_);
+}
+
+MSIM_PERSIST_VIA_STATE_IO(RenameUnit)
 
 }  // namespace msim::smt

@@ -12,6 +12,10 @@
 #include "common/types.hpp"
 #include "isa/instruction.hpp"
 
+namespace msim::persist {
+class Archive;
+}
+
 namespace msim::smt {
 
 struct RenameResult {
@@ -62,7 +66,14 @@ class RenameUnit {
   }
   [[nodiscard]] PhysReg committed_mapping(ThreadId tid, ArchReg arch) const;
 
+  /// Checkpoint support: map tables, free lists (order matters -- they are
+  /// LIFO) and ready bits all round-trip.
+  void save_state(persist::Archive& ar) const;
+  void load_state(persist::Archive& ar);
+
  private:
+  void state_io(persist::Archive& ar);
+
   [[nodiscard]] std::vector<PhysReg>& free_list_for(ArchReg arch);
 
   unsigned thread_count_;

@@ -13,6 +13,10 @@
 #include "common/types.hpp"
 #include "isa/instruction.hpp"
 
+namespace msim::persist {
+class Archive;
+}
+
 namespace msim::smt {
 
 struct RobEntry {
@@ -102,7 +106,14 @@ class ReorderBuffer {
 
   void clear() noexcept { count_ = 0; }
 
+  /// Checkpoint support (defined in smt/state.cpp): live entries are
+  /// serialized oldest-first and restored into their seq-derived slots.
+  void save_state(persist::Archive& ar) const;
+  void load_state(persist::Archive& ar);
+
  private:
+  void state_io(persist::Archive& ar);
+
   [[nodiscard]] std::size_t slot_of(SeqNum seq) const noexcept {
     return static_cast<std::size_t>(seq % capacity_);
   }

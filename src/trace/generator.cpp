@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/archive.hpp"
 #include "common/check.hpp"
 
 namespace msim::trace {
@@ -377,5 +378,35 @@ isa::DynInst TraceGenerator::next() {
   inst.seq = next_seq_++;
   return inst;
 }
+
+void TraceGenerator::state_io(persist::Archive& ar) {
+  ar.section("trace-generator");
+  if (ar.saving()) rng_.save_state(ar); else rng_.load_state(ar);
+  // Static CFG shape is reconstructed from (profile, seed); only the
+  // per-block walk counters are dynamic.
+  std::uint64_t block_count = blocks_.size();
+  ar.io(block_count);
+  if (!ar.saving() && block_count != blocks_.size()) {
+    throw persist::PersistError(
+        "checkpoint: static CFG shape mismatch (different profile or seed)");
+  }
+  for (Block& b : blocks_) ar.io(b.trip_count);
+  ar.io(cur_block_);
+  ar.io(pos_in_block_);
+  ar.io(next_seq_);
+  for (ArchReg& r : int_ring_) ar.io(r);
+  for (ArchReg& r : fp_ring_) ar.io(r);
+  ar.io(int_ring_head_);
+  ar.io(fp_ring_head_);
+  ar.io(int_rr_);
+  ar.io(fp_rr_);
+  ar.io(stream_pos_);
+  std::uint64_t next_stream = next_stream_;
+  ar.io(next_stream);
+  next_stream_ = static_cast<std::size_t>(next_stream);
+  ar.io(warm_base_);
+}
+
+MSIM_PERSIST_VIA_STATE_IO(TraceGenerator)
 
 }  // namespace msim::trace

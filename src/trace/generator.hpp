@@ -23,6 +23,10 @@
 #include "isa/instruction.hpp"
 #include "trace/profile.hpp"
 
+namespace msim::persist {
+class Archive;
+}
+
 namespace msim::trace {
 
 /// Per-thread address-space layout.  Threads get disjoint virtual regions;
@@ -67,7 +71,17 @@ class TraceGenerator {
   [[nodiscard]] SeqNum generated() const noexcept { return next_seq_; }
   [[nodiscard]] std::size_t static_block_count() const noexcept { return blocks_.size(); }
 
+  /// Checkpoint support.  The static CFG is rebuilt deterministically from
+  /// (profile, seed) at construction; only the walk state (RNG, block
+  /// cursor, per-block trip counters, dependence rings, stream cursors) is
+  /// serialized, and it is loaded over a freshly constructed generator with
+  /// the same profile and seed.
+  void save_state(persist::Archive& ar) const;
+  void load_state(persist::Archive& ar);
+
  private:
+  void state_io(persist::Archive& ar);
+
   struct Block {
     Addr start_pc = 0;          ///< address of the first instruction
     std::uint32_t length = 1;   ///< instructions, including the final branch

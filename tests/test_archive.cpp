@@ -1,0 +1,191 @@
+// persist::Archive: the versioned, endian-stable serializer every
+// checkpointable structure rides on (docs/CHECKPOINT.md).
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/archive.hpp"
+
+namespace msim::persist {
+namespace {
+
+TEST(Archive, RoundTripsScalarsStringsAndContainers) {
+  Archive save = Archive::saver();
+  std::uint8_t u8 = 0xab;
+  std::uint32_t u32 = 0xdeadbeef;
+  std::uint64_t u64 = 0x0123456789abcdefULL;
+  std::int64_t i64 = -42;
+  bool flag = true;
+  double d = 3.14159;
+  std::string s = "hello checkpoint";
+  std::vector<std::uint64_t> vec{1, 2, 3};
+  std::deque<std::uint32_t> deq{9, 8};
+  save.io(u8);
+  save.io(u32);
+  save.io(u64);
+  save.io(i64);
+  save.io(flag);
+  save.io(d);
+  save.io(s);
+  save.io(vec);
+  save.io(deq);
+
+  Archive load = Archive::loader(save.bytes());
+  std::uint8_t r8 = 0;
+  std::uint32_t r32 = 0;
+  std::uint64_t r64 = 0;
+  std::int64_t ri64 = 0;
+  bool rflag = false;
+  double rd = 0.0;
+  std::string rs;
+  std::vector<std::uint64_t> rvec;
+  std::deque<std::uint32_t> rdeq;
+  load.io(r8);
+  load.io(r32);
+  load.io(r64);
+  load.io(ri64);
+  load.io(rflag);
+  load.io(rd);
+  load.io(rs);
+  load.io(rvec);
+  load.io(rdeq);
+  load.expect_end();
+
+  EXPECT_EQ(r8, u8);
+  EXPECT_EQ(r32, u32);
+  EXPECT_EQ(r64, u64);
+  EXPECT_EQ(ri64, i64);
+  EXPECT_EQ(rflag, flag);
+  EXPECT_DOUBLE_EQ(rd, d);
+  EXPECT_EQ(rs, s);
+  EXPECT_EQ(rvec, vec);
+  EXPECT_EQ(rdeq, deq);
+}
+
+TEST(Archive, FixedLittleEndianEncoding) {
+  // The on-disk format is the contract: little-endian fixed-width integers,
+  // so a checkpoint written on any host loads on any other.
+  Archive save = Archive::saver();
+  std::uint32_t v = 0x01020304;
+  save.io(v);
+  const std::vector<std::uint8_t> bytes = save.bytes();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0x04);
+  EXPECT_EQ(bytes[1], 0x03);
+  EXPECT_EQ(bytes[2], 0x02);
+  EXPECT_EQ(bytes[3], 0x01);
+}
+
+TEST(Archive, RoundTripsOptionalAndMap) {
+  Archive save = Archive::saver();
+  std::optional<std::uint64_t> some = 7;
+  std::optional<std::uint64_t> none;
+  std::map<std::uint32_t, std::string> m{{1, "one"}, {2, "two"}};
+  auto per_u64 = [](Archive& a, std::uint64_t& x) { a.io(x); };
+  save.io_optional(some, per_u64);
+  save.io_optional(none, per_u64);
+  save.io_map(m, [](Archive& a, std::string& x) { a.io(x); });
+
+  Archive load = Archive::loader(save.bytes());
+  std::optional<std::uint64_t> rsome;
+  std::optional<std::uint64_t> rnone = 99;  // must be cleared by load
+  std::map<std::uint32_t, std::string> rm;
+  load.io_optional(rsome, per_u64);
+  load.io_optional(rnone, per_u64);
+  load.io_map(rm, [](Archive& a, std::string& x) { a.io(x); });
+  load.expect_end();
+
+  ASSERT_TRUE(rsome.has_value());
+  EXPECT_EQ(*rsome, 7u);
+  EXPECT_FALSE(rnone.has_value());
+  EXPECT_EQ(rm, m);
+}
+
+TEST(Archive, SectionTagMismatchThrows) {
+  Archive save = Archive::saver();
+  save.section("pipeline");
+  std::uint64_t v = 1;
+  save.io(v);
+
+  Archive load = Archive::loader(save.bytes());
+  EXPECT_THROW(load.section("scheduler"), PersistError);
+}
+
+TEST(Archive, TruncatedPayloadThrows) {
+  Archive save = Archive::saver();
+  std::uint64_t v = 0x1122334455667788ULL;
+  save.io(v);
+  std::vector<std::uint8_t> bytes = save.bytes();
+  bytes.resize(bytes.size() - 3);
+
+  Archive load = Archive::loader(std::move(bytes));
+  std::uint64_t r = 0;
+  EXPECT_THROW(load.io(r), PersistError);
+}
+
+TEST(Archive, CorruptBoolByteThrows) {
+  // bool is stored as u8 in {0,1}; anything else is corruption, not "true".
+  Archive load = Archive::loader({0x02});
+  bool b = false;
+  EXPECT_THROW(load.io(b), PersistError);
+}
+
+TEST(Archive, CorruptCountPrefixThrows) {
+  // A length prefix larger than the remaining payload must be rejected up
+  // front, not allocate terabytes and then hit end-of-stream.
+  Archive save = Archive::saver();
+  std::uint64_t huge = ~std::uint64_t{0} / 2;
+  save.io(huge);  // masquerades as a vector<u64> count
+
+  Archive load = Archive::loader(save.bytes());
+  std::vector<std::uint64_t> v;
+  EXPECT_THROW(load.io(v), PersistError);
+}
+
+TEST(Archive, TrailingBytesFailExpectEnd) {
+  Archive save = Archive::saver();
+  std::uint64_t v = 5;
+  save.io(v);
+  std::uint8_t extra = 1;
+  save.io(extra);
+
+  Archive load = Archive::loader(save.bytes());
+  std::uint64_t r = 0;
+  load.io(r);
+  EXPECT_THROW(load.expect_end(), PersistError);
+}
+
+TEST(Archive, IoSequenceReplacesLoadTargetContents) {
+  Archive save = Archive::saver();
+  std::vector<std::string> src{"a", "bb", "ccc"};
+  auto per = [](Archive& a, std::string& s) { a.io(s); };
+  save.io_sequence(src, per);
+
+  Archive load = Archive::loader(save.bytes());
+  std::vector<std::string> dst{"stale", "contents", "must", "vanish"};
+  load.io_sequence(dst, per);
+  load.expect_end();
+  EXPECT_EQ(dst, src);
+}
+
+TEST(Archive, EnumsTravelAsUnderlyingType) {
+  enum class Phase : std::uint8_t { kWarm = 0, kMeasure = 1 };
+  Archive save = Archive::saver();
+  Phase p = Phase::kMeasure;
+  save.io(p);
+  EXPECT_EQ(save.bytes().size(), 1u);
+
+  Archive load = Archive::loader(save.bytes());
+  Phase r = Phase::kWarm;
+  load.io(r);
+  load.expect_end();
+  EXPECT_EQ(r, Phase::kMeasure);
+}
+
+}  // namespace
+}  // namespace msim::persist

@@ -1,0 +1,484 @@
+// Checkpoint/restore bit-identity (docs/CHECKPOINT.md).
+//
+// The contract under test: a pipeline suspended mid-run, serialized,
+// restored into a freshly constructed pipeline in what might as well be a
+// different process, and run to completion is indistinguishable from one
+// that never stopped — same commit-stream digest, same cycle count, same
+// statistics, same JSON reports.  Four layers:
+//
+//   1. Pipeline save_state/load_state against the pinned golden digests of
+//      tests/test_perf_paths.cpp: a mid-run round-trip must land on the
+//      exact constants the uninterrupted run pins.
+//   2. The checkpoint file container: magic/version/fingerprint checking,
+//      corruption rejection.
+//   3. run_simulation with checkpoint_exit_cycles / resume_path: the
+//      interrupt-resume-interrupt-resume chain must reproduce the straight
+//      run's RunResult and stats JSON byte for byte, including with
+//      verify=1 across the boundary.
+//   4. run_sweep with a cell journal: a sweep killed mid-grid resumes from
+//      its write-ahead journal to byte-identical aggregate JSON at any
+//      jobs count.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "common/archive.hpp"
+#include "common/rng.hpp"
+#include "persist/checkpoint.hpp"
+#include "persist/signal.hpp"
+#include "robust/diagnostic.hpp"
+#include "robust/fault.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "sim/run.hpp"
+#include "smt/pipeline.hpp"
+#include "trace/mixes.hpp"
+#include "trace/profile.hpp"
+
+namespace msim {
+namespace {
+
+std::string temp_path(const std::string& stem) {
+  return (std::filesystem::temp_directory_path() /
+          (stem + "-" + std::to_string(::getpid())))
+      .string();
+}
+
+/// Removes a temp file even when an assertion bails out of the test early.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& stem) : path_(temp_path(stem)) {}
+  ~TempFile() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ---- 1. pipeline round-trip vs the pinned golden constants -----------------
+
+std::vector<trace::BenchmarkProfile> workload(
+    std::initializer_list<const char*> names) {
+  std::vector<trace::BenchmarkProfile> out;
+  for (const char* n : names) out.push_back(trace::profile_or_throw(n));
+  return out;
+}
+
+smt::MachineConfig golden_machine(core::SchedulerKind kind, unsigned threads) {
+  smt::MachineConfig mc;
+  mc.thread_count = threads;
+  mc.scheduler.kind = kind;
+  mc.scheduler.iq_entries = 64;
+  return mc;
+}
+
+/// The uninterrupted-run constants pinned by test_perf_paths.cpp
+/// (GoldenBitIdentity).  A checkpointed run must land on the same ones.
+struct Golden {
+  std::uint64_t digest;
+  Cycle cycles;
+  std::uint64_t committed;
+};
+
+/// Runs to `pause_at` committed instructions, serializes, restores into a
+/// fresh pipeline, finishes the standard 30k-commit golden run there, and
+/// expects the uninterrupted run's constants bit for bit.
+void expect_resume_hits_golden(core::SchedulerKind kind,
+                               std::initializer_list<const char*> names,
+                               const Golden& want, std::uint64_t pause_at) {
+  const auto w = workload(names);
+  const auto mc = golden_machine(kind, static_cast<unsigned>(w.size()));
+
+  smt::Pipeline first(mc, w, /*seed=*/1);
+  first.run(pause_at);
+  ASSERT_LT(first.cycles(), want.cycles) << "pause point is not mid-run";
+
+  persist::Archive save = persist::Archive::saver();
+  first.save_state(save);
+
+  smt::Pipeline resumed(mc, w, /*seed=*/1);
+  persist::Archive load = persist::Archive::loader(save.bytes());
+  resumed.load_state(load);
+  load.expect_end();
+
+  resumed.run(30'000);
+  EXPECT_EQ(resumed.commit_digest(), want.digest)
+      << "committed-instruction stream diverged after restore";
+  EXPECT_EQ(resumed.cycles(), want.cycles);
+  EXPECT_EQ(resumed.total_committed(), want.committed);
+
+  // The digest is intrinsic to the pipeline now; the uninterrupted run must
+  // agree with both the constant and the resumed run.
+  smt::Pipeline straight(mc, w, /*seed=*/1);
+  straight.run(30'000);
+  EXPECT_EQ(straight.commit_digest(), want.digest)
+      << "straight run no longer matches the pinned golden digest";
+}
+
+TEST(CheckpointBitIdentity, TwoThreadTraditional) {
+  expect_resume_hits_golden(core::SchedulerKind::kTraditional,
+                            {"gzip", "equake"},
+                            {10830539571080912323ULL, 37241, 46411}, 11'000);
+}
+
+TEST(CheckpointBitIdentity, TwoThreadTwoOpBlockOoo) {
+  expect_resume_hits_golden(core::SchedulerKind::kTwoOpBlockOoo,
+                            {"gzip", "equake"},
+                            {12392273267717430596ULL, 37112, 46411}, 11'000);
+}
+
+TEST(CheckpointBitIdentity, FourThreadTraditional) {
+  expect_resume_hits_golden(core::SchedulerKind::kTraditional,
+                            {"gzip", "equake", "gcc", "mesa"},
+                            {15374823743679590000ULL, 33632, 74292}, 13'000);
+}
+
+TEST(CheckpointBitIdentity, FourThreadTwoOpBlock) {
+  expect_resume_hits_golden(core::SchedulerKind::kTwoOpBlock,
+                            {"gzip", "equake", "gcc", "mesa"},
+                            {6333350359642444287ULL, 33461, 70535}, 13'000);
+}
+
+TEST(CheckpointBitIdentity, FourThreadTwoOpBlockOoo) {
+  expect_resume_hits_golden(core::SchedulerKind::kTwoOpBlockOoo,
+                            {"gzip", "equake", "gcc", "mesa"},
+                            {17558748911921286022ULL, 33087, 73790}, 13'000);
+}
+
+TEST(CheckpointBitIdentity, FourThreadTagElimination) {
+  expect_resume_hits_golden(core::SchedulerKind::kTagElimination,
+                            {"gzip", "equake", "gcc", "mesa"},
+                            {15796738916688664714ULL, 33844, 74460}, 13'000);
+}
+
+TEST(CheckpointBitIdentity, DoubleRoundTripIsStillExact) {
+  // Two suspend/restore hops, at different pause points, through two
+  // different archives: restore must be a fixed point, not "close enough".
+  const auto w = workload({"gzip", "equake"});
+  const auto mc = golden_machine(core::SchedulerKind::kTwoOpBlockOoo, 2);
+
+  smt::Pipeline pipe(mc, w, /*seed=*/1);
+  pipe.run(7'000);
+  persist::Archive s1 = persist::Archive::saver();
+  pipe.save_state(s1);
+
+  smt::Pipeline hop1(mc, w, /*seed=*/1);
+  persist::Archive l1 = persist::Archive::loader(s1.bytes());
+  hop1.load_state(l1);
+  l1.expect_end();
+  hop1.run(19'000);
+  persist::Archive s2 = persist::Archive::saver();
+  hop1.save_state(s2);
+
+  smt::Pipeline hop2(mc, w, /*seed=*/1);
+  persist::Archive l2 = persist::Archive::loader(s2.bytes());
+  hop2.load_state(l2);
+  l2.expect_end();
+  hop2.run(30'000);
+
+  EXPECT_EQ(hop2.commit_digest(), 12392273267717430596ULL);
+  EXPECT_EQ(hop2.cycles(), 37112u);
+  EXPECT_EQ(hop2.total_committed(), 46411u);
+}
+
+// ---- 2. the checkpoint file container --------------------------------------
+
+TEST(CheckpointFile, RoundTripsMetaAndRejectsMismatchedFingerprint) {
+  const auto w = workload({"gzip", "equake"});
+  const auto mc = golden_machine(core::SchedulerKind::kTraditional, 2);
+  smt::Pipeline pipe(mc, w, /*seed=*/1);
+  pipe.run(2'000);
+
+  const TempFile file("msim-test-ckpt");
+  persist::save_checkpoint(file.path(), pipe,
+                           {/*config_fingerprint=*/0x1234, persist::RunPhase::kMeasure});
+
+  smt::Pipeline fresh(mc, w, /*seed=*/1);
+  const persist::CheckpointMeta meta =
+      persist::load_checkpoint(file.path(), fresh, 0x1234);
+  EXPECT_EQ(meta.config_fingerprint, 0x1234u);
+  EXPECT_EQ(meta.phase, persist::RunPhase::kMeasure);
+  EXPECT_EQ(fresh.absolute_cycle(), pipe.absolute_cycle());
+  EXPECT_EQ(fresh.commit_digest(), pipe.commit_digest());
+
+  smt::Pipeline other(mc, w, /*seed=*/1);
+  EXPECT_THROW((void)persist::load_checkpoint(file.path(), other, 0x9999),
+               persist::PersistError);
+}
+
+TEST(CheckpointFile, RejectsTruncationAndGarbage) {
+  const auto w = workload({"gzip", "equake"});
+  const auto mc = golden_machine(core::SchedulerKind::kTraditional, 2);
+  smt::Pipeline pipe(mc, w, /*seed=*/1);
+  pipe.run(2'000);
+
+  const TempFile file("msim-test-ckpt-corrupt");
+  persist::save_checkpoint(file.path(), pipe, {0x1234, persist::RunPhase::kWarmup});
+
+  // Chop the tail off: load must fail loudly, not "succeed" with state from
+  // half a pipeline.
+  const auto size = std::filesystem::file_size(file.path());
+  std::filesystem::resize_file(file.path(), size / 2);
+  smt::Pipeline victim(mc, w, /*seed=*/1);
+  EXPECT_THROW((void)persist::load_checkpoint(file.path(), victim, 0x1234),
+               persist::PersistError);
+
+  // Not a checkpoint at all.
+  {
+    std::ofstream os(file.path(), std::ios::trunc | std::ios::binary);
+    os << "definitely not a checkpoint";
+  }
+  EXPECT_THROW((void)persist::load_checkpoint(file.path(), victim, 0x1234),
+               persist::PersistError);
+
+  EXPECT_THROW((void)persist::load_checkpoint(temp_path("msim-test-missing"),
+                                              victim, 0x1234),
+               persist::PersistError);
+}
+
+// ---- 3. run_simulation: interrupt / resume ---------------------------------
+
+sim::RunConfig small_run_config() {
+  sim::RunConfig cfg;
+  cfg.benchmarks = {"gzip", "equake"};
+  cfg.kind = core::SchedulerKind::kTwoOpBlockOoo;
+  cfg.iq_entries = 64;
+  cfg.seed = 1;
+  cfg.warmup = 5'000;
+  cfg.horizon = 20'000;
+  return cfg;
+}
+
+std::string run_json(const sim::RunConfig& cfg, const sim::RunResult& result) {
+  std::ostringstream os;
+  sim::write_run_json(os, cfg, result);
+  return os.str();
+}
+
+TEST(RunSimulationResume, InterruptedChainMatchesStraightRunByteForByte) {
+  const sim::RunConfig base = small_run_config();
+  const sim::RunResult straight = sim::run_simulation(base);
+  ASSERT_NE(straight.commit_digest, 0u);
+  const std::string want = run_json(base, straight);
+
+  const TempFile ckpt("msim-test-resume");
+
+  // Leg 1: deterministic interrupt mid-warm-up.
+  sim::RunConfig leg1 = base;
+  leg1.checkpoint_path = ckpt.path();
+  leg1.checkpoint_exit_cycles = 3'000;
+  try {
+    (void)sim::run_simulation(leg1);
+    FAIL() << "expected persist::Interrupted";
+  } catch (const persist::Interrupted& e) {
+    EXPECT_EQ(e.exit_code(), 130);  // 128 + SIGINT
+  }
+
+  // Leg 2: resume, interrupt again mid-measurement.  The second leg both
+  // restores and re-saves through the same file.
+  sim::RunConfig leg2 = base;
+  leg2.resume_path = ckpt.path();
+  leg2.checkpoint_path = ckpt.path();
+  leg2.checkpoint_exit_cycles = 11'000;
+  EXPECT_THROW((void)sim::run_simulation(leg2), persist::Interrupted);
+
+  // Leg 3: resume to completion.
+  sim::RunConfig leg3 = base;
+  leg3.resume_path = ckpt.path();
+  const sim::RunResult resumed = sim::run_simulation(leg3);
+
+  EXPECT_EQ(resumed.commit_digest, straight.commit_digest);
+  EXPECT_EQ(resumed.cycles, straight.cycles);
+  EXPECT_EQ(resumed.per_thread_committed, straight.per_thread_committed);
+  EXPECT_EQ(run_json(base, resumed), want)
+      << "resumed stats JSON differs from the uninterrupted run";
+}
+
+TEST(RunSimulationResume, PeriodicCheckpointsDoNotPerturbTheRun) {
+  const sim::RunConfig base = small_run_config();
+  const sim::RunResult straight = sim::run_simulation(base);
+
+  const TempFile ckpt("msim-test-periodic");
+  sim::RunConfig periodic = base;
+  periodic.checkpoint_path = ckpt.path();
+  periodic.checkpoint_every = 2'048;
+  const sim::RunResult chunked = sim::run_simulation(periodic);
+
+  // Chunked execution (the run is carved at every checkpoint boundary) must
+  // still be the same simulation.
+  EXPECT_EQ(chunked.commit_digest, straight.commit_digest);
+  EXPECT_EQ(run_json(base, chunked), run_json(base, straight));
+
+  // The file left behind is itself a valid resume point: resuming it runs
+  // only the remaining span and still lands on the straight run's results.
+  ASSERT_TRUE(std::filesystem::exists(ckpt.path()));
+  sim::RunConfig tail = base;
+  tail.resume_path = ckpt.path();
+  const sim::RunResult resumed = sim::run_simulation(tail);
+  EXPECT_EQ(resumed.commit_digest, straight.commit_digest);
+  EXPECT_EQ(run_json(base, resumed), run_json(base, straight));
+}
+
+TEST(RunSimulationResume, VerifyHoldsAcrossTheResumeBoundary) {
+  sim::RunConfig base = small_run_config();
+  base.verify = true;  // cycle-level invariant checking in both legs
+  base.warmup = 3'000;
+  base.horizon = 9'000;
+  const sim::RunResult straight = sim::run_simulation(base);
+
+  const TempFile ckpt("msim-test-verify");
+  sim::RunConfig leg1 = base;
+  leg1.checkpoint_path = ckpt.path();
+  leg1.checkpoint_exit_cycles = 4'000;
+  EXPECT_THROW((void)sim::run_simulation(leg1), persist::Interrupted);
+
+  sim::RunConfig leg2 = base;
+  leg2.resume_path = ckpt.path();
+  const sim::RunResult resumed = sim::run_simulation(leg2);
+  EXPECT_EQ(resumed.commit_digest, straight.commit_digest);
+  EXPECT_EQ(run_json(base, resumed), run_json(base, straight));
+}
+
+TEST(RunSimulationResume, MismatchedConfigIsRefused) {
+  const sim::RunConfig base = small_run_config();
+  const TempFile ckpt("msim-test-fpr");
+  sim::RunConfig leg1 = base;
+  leg1.checkpoint_path = ckpt.path();
+  leg1.checkpoint_exit_cycles = 3'000;
+  EXPECT_THROW((void)sim::run_simulation(leg1), persist::Interrupted);
+
+  // Same workload, different seed: the fingerprint must catch it before the
+  // pipeline touches a single byte of mismatched state.
+  sim::RunConfig other = base;
+  other.seed = 2;
+  other.resume_path = ckpt.path();
+  EXPECT_THROW((void)sim::run_simulation(other), persist::PersistError);
+
+  // Different scheduler: also refused.
+  sim::RunConfig sched = base;
+  sched.kind = core::SchedulerKind::kTraditional;
+  sched.resume_path = ckpt.path();
+  EXPECT_THROW((void)sim::run_simulation(sched), persist::PersistError);
+}
+
+TEST(RunConfigValidate, CheckpointKnobsNeedAPath) {
+  sim::RunConfig cfg = small_run_config();
+  cfg.checkpoint_every = 1'000;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.checkpoint_every = 0;
+  cfg.checkpoint_exit_cycles = 1'000;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.checkpoint_path = "somewhere.ckpt";
+  cfg.checkpoint_every = 1'000;
+  cfg.checkpoint_exit_cycles = 2'000;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+// ---- 4. run_sweep: kill / resume via the cell journal ----------------------
+
+sim::SweepRequest small_sweep_request() {
+  sim::SweepRequest req;
+  req.thread_count = 2;
+  req.kinds = {core::SchedulerKind::kTraditional,
+               core::SchedulerKind::kTwoOpBlockOoo};
+  req.iq_sizes = {32, 48};
+  req.base.warmup = 4'000;
+  req.base.horizon = 10'000;
+  req.base.seed = 1;
+  req.base.hang_cycles = 3'000;
+  return req;
+}
+
+std::string sweep_json(const std::vector<sim::SweepCell>& cells) {
+  std::ostringstream os;
+  sim::write_sweep_json(os, cells);
+  return os.str();
+}
+
+TEST(SweepJournalResume, KilledSweepResumesByteIdenticallyAtAnyJobCount) {
+  sim::SweepRequest req = small_sweep_request();
+
+  // Poison one cell's RNG stream with a commit blockade so the grid dies at
+  // a deterministic cell once crash isolation is off.  The injector stays
+  // installed for every run below: the fault plan is part of the sweep's
+  // fingerprint, and identical inputs are what make the JSONs comparable.
+  const std::string victim(trace::mixes_for(2).front().name);
+  robust::FaultPlan plan;
+  plan.commit_block_from = 0;
+  plan.target_stream = derive_stream_seed(req.base.seed, "mix:" + victim, 48);
+  const robust::FaultInjector injector(plan);
+  req.base.faults = &injector;
+
+  // Reference: one uninterrupted crash-isolated sweep.
+  std::string want;
+  {
+    sim::SweepRequest ref = req;
+    sim::BaselineCache baselines(ref.base);
+    want = sweep_json(run_sweep(ref, baselines));
+  }
+
+  const TempFile journal("msim-test-journal");
+
+  // Kill: serial, isolation off, journaling on — the victim's hang-watchdog
+  // abort terminates the sweep mid-grid with completed cells journaled.
+  {
+    sim::SweepRequest killed = req;
+    killed.jobs = 1;
+    killed.isolate_failures = false;
+    killed.journal_path = journal.path();
+    sim::BaselineCache baselines(killed.base);
+    EXPECT_THROW((void)run_sweep(killed, baselines), robust::SimulationAborted);
+  }
+
+  // Resume serially: journaled cells replay, the rest (victim included,
+  // now isolated) run fresh.
+  std::size_t replayed = 0;
+  {
+    sim::SweepRequest resumed = req;
+    resumed.jobs = 1;
+    resumed.journal_path = journal.path();
+    resumed.resume = true;
+    resumed.progress = [&replayed](std::string_view msg) {
+      if (msg.find("journal: replaying") != std::string_view::npos) ++replayed;
+    };
+    sim::BaselineCache baselines(resumed.base);
+    EXPECT_EQ(sweep_json(run_sweep(resumed, baselines)), want);
+  }
+  EXPECT_GT(replayed, 0u) << "the killed sweep journaled nothing to replay";
+
+  // Resume again at jobs=3: by now the journal holds every successful cell,
+  // and replay order must not depend on the worker count.
+  {
+    sim::SweepRequest wide = req;
+    wide.jobs = 3;
+    wide.journal_path = journal.path();
+    wide.resume = true;
+    sim::BaselineCache baselines(wide.base);
+    EXPECT_EQ(sweep_json(run_sweep(wide, baselines)), want);
+  }
+
+  // A journal is bound to its sweep: a request with a different seed must
+  // be refused, not silently fed another configuration's cells.
+  {
+    sim::SweepRequest mismatched = req;
+    mismatched.base.seed = 2;
+    mismatched.journal_path = journal.path();
+    mismatched.resume = true;
+    sim::BaselineCache baselines(mismatched.base);
+    EXPECT_THROW((void)run_sweep(mismatched, baselines), persist::PersistError);
+  }
+}
+
+}  // namespace
+}  // namespace msim
