@@ -29,7 +29,8 @@ using msim::core::SchedulerKind;
 
 void run_pipeline(benchmark::State& state, SchedulerKind kind,
                   std::initializer_list<const char*> benchmarks,
-                  std::size_t trace_capacity = 0) {
+                  std::size_t trace_capacity = 0,
+                  std::uint64_t interval_cycles = 0) {
   std::vector<msim::trace::BenchmarkProfile> workload;
   for (const char* name : benchmarks) {
     workload.push_back(msim::trace::profile_or_throw(name));
@@ -39,6 +40,7 @@ void run_pipeline(benchmark::State& state, SchedulerKind kind,
   mc.scheduler.kind = kind;
   mc.scheduler.iq_entries = 64;
   mc.trace_capacity = trace_capacity;
+  mc.interval_cycles = interval_cycles;
 
   msim::obs::TimerRegistry timers;
   std::uint64_t committed = 0;
@@ -86,12 +88,21 @@ void BM_TwoOpBlockOoo4T_Traced(benchmark::State& state) {
                {"gzip", "equake", "gcc", "mesa"},
                /*trace_capacity=*/std::size_t{1} << 20);
 }
+// Overhead check: interval telemetry sampling every 5k cycles (ring only,
+// no JSONL sink).  Compare against BM_TwoOpBlockOoo4T to bound the cost of
+// the interval engine's boundary captures.
+void BM_TwoOpBlockOoo4T_Intervals(benchmark::State& state) {
+  run_pipeline(state, SchedulerKind::kTwoOpBlockOoo,
+               {"gzip", "equake", "gcc", "mesa"},
+               /*trace_capacity=*/0, /*interval_cycles=*/5'000);
+}
 
 BENCHMARK(BM_Traditional1T)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Traditional4T)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TwoOpBlock4T)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TwoOpBlockOoo4T)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TwoOpBlockOoo4T_Traced)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TwoOpBlockOoo4T_Intervals)->Unit(benchmark::kMillisecond);
 
 /// Console reporting as usual, plus capture of each run's counters so main
 /// can export the machine-readable speed baseline.

@@ -5,55 +5,19 @@
 //   ./msim_cli benchmarks=equake,gzip sched=2op_block_ooo iq=64
 //              fetch=icount deadlock=dab horizon=200000
 //
-// Keys:
-//   benchmarks  comma-separated profile names (1-8 threads)  [gcc]
-//   sched       traditional | 2op_block | 2op_block_ooo |
-//               2op_block_ooo_filtered | tag_elimination     [traditional]
-//   fetch       icount | round_robin | stall | flush          [icount]
-//   deadlock    dab | dab_shared | watchdog                   [dab]
-//   iq, scan_depth, watchdog_timeout, oracle_disambiguation, wrong_path,
-//   warmup, horizon, seed, max_cycles
+// The accepted knobs, the --help text and the set of GNU-style value flags
+// all come from sim/cli_spec.hpp -- a single source of truth that the test
+// suite cross-checks against EXPERIMENTS.md's knob table.  Highlights:
 //
-// Sweep mode (replays a paper figure's grid instead of one run):
-//   sweep=2|3|4           run the 12-mix sweep for that thread count; iq
-//                         becomes a comma list (default 32,48,64,96,128)
-//                         and sched a comma list of kinds to compare
-//                         [traditional,2op_block,2op_block_ooo]
-//   --jobs N              worker threads for the sweep grid (default:
-//                         hardware concurrency; 1 = serial).  Results are
-//                         bit-identical at any job count — every cell owns
-//                         a deterministically derived RNG stream.
-//   --sweep-json <path>   write the sweep grid as JSON (write_sweep_json)
-//
-// Observability (GNU-style `--flag value` is also accepted):
-//   --stats-json <path>   write the full metric registry as JSON
-//   --trace-out <path>    write a per-instruction pipeline trace
-//   trace_format=konata|gantt                                 [konata]
-//   trace_capacity=N      trace ring size in events   [2^20 if tracing]
-//   --dump-config         print the resolved MachineConfig as JSON and exit
-//
-// Robustness (src/robust/, docs/ROBUSTNESS.md):
-//   verify=1              cycle-level invariant checking (InvariantChecker)
-//   hang_cycles=N         hang watchdog: abort after N commit-free cycles
-//                         (0 = off)                            [500000]
-//   fault_intensity=P     inject a randomized fault plan scaled by P in
-//                         [0,1] (FaultPlan::random)            [0 = off]
-//   fault_seed=S, fault_index=I    which plan to derive        [1, 0]
-//   isolate=0|1           sweep mode: crash-isolate cells      [1]
-//   retries=N             sweep mode: retries per failed cell  [1]
-//   --diag <path>         where an abort's JSON diagnostic bundle is
-//                         written                  [msim-diagnostic.json]
-//
-// Checkpoint / restore (src/persist/, docs/CHECKPOINT.md):
-//   --checkpoint <path>   single run: checkpoint file, saved periodically
-//                         and on SIGINT/SIGTERM; sweep mode: write-ahead
-//                         journal of completed cells
-//   --checkpoint-every N  absolute-cycle period between periodic
-//                         checkpoints (single run; 0 = only on interrupt)
-//   --resume <path>       single run: restore this checkpoint before
-//                         running; sweep mode: replay this journal's
-//                         completed cells and append the rest
-//   checkpoint_exit=N     test knob: save + exit 130 at absolute cycle N
+//   benchmarks=, sched=, fetch=, deadlock=, iq=, warmup=, horizon=, seed=
+//   sweep=2|3|4 with --jobs N and --sweep-json PATH
+//   --stats-json, --trace-out, trace_format=, trace_capacity=
+//   interval=N, --interval-json PATH      interval telemetry (JSONL stream,
+//                                         schema msim.intervals.v1)
+//   --progress, --progress-json PATH      live progress event stream
+//   --chrome-trace PATH                   host-time spans for chrome://tracing
+//   verify=, hang_cycles=, fault_* knobs, isolate=, retries=, --diag
+//   --checkpoint, --checkpoint-every, --resume, checkpoint_exit=
 //
 // Exit codes: 0 success; 2 bad usage / configuration error (one-line
 // message); 3 simulation aborted (hang watchdog or invariant violation;
@@ -72,12 +36,15 @@
 #include "common/json.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/progress.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
 #include "persist/atomic_file.hpp"
 #include "persist/signal.hpp"
 #include "robust/diagnostic.hpp"
 #include "robust/fault.hpp"
+#include "sim/cli_spec.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 #include "sim/run.hpp"
@@ -122,8 +89,10 @@ std::vector<std::string> split_names(const std::string& csv) {
 
 /// Folds GNU-style flags into the key=value convention: `--stats-json x`
 /// and `--stats-json=x` become `stats_json=x`; a bare `--dump-config`
-/// becomes `dump_config=1`.
+/// becomes `dump_config=1`.  Which flags consume a value comes from
+/// sim::cli_value_flags().
 std::vector<std::string> normalize_args(int argc, char** argv) {
+  const auto value_flags = sim::cli_value_flags();
   std::vector<std::string> out;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -131,11 +100,9 @@ std::vector<std::string> normalize_args(int argc, char** argv) {
       a.erase(0, 2);
       std::replace(a.begin(), a.end(), '-', '_');
       if (a.find('=') == std::string::npos) {
-        const bool takes_value = a == "stats_json" || a == "trace_out" ||
-                                 a == "trace_format" || a == "trace_capacity" ||
-                                 a == "jobs" || a == "sweep_json" ||
-                                 a == "diag" || a == "checkpoint" ||
-                                 a == "checkpoint_every" || a == "resume";
+        const bool takes_value =
+            std::find(value_flags.begin(), value_flags.end(), a) !=
+            value_flags.end();
         if (takes_value) {
           if (i + 1 >= argc) {
             throw std::invalid_argument("--" + a + " requires a value");
@@ -185,6 +152,9 @@ void dump_machine_config_json(std::ostream& os, const smt::MachineConfig& mc) {
   w.kv("fetch_policy", smt::fetch_policy_name(mc.fetch_policy));
   w.kv("model_wrong_path", mc.model_wrong_path);
   w.kv("trace_capacity", static_cast<std::uint64_t>(mc.trace_capacity));
+  w.kv("interval_cycles", mc.interval_cycles);
+  w.kv("interval_ring_capacity",
+       static_cast<std::uint64_t>(mc.interval_ring_capacity));
 
   w.key("scheduler");
   w.begin_object();
@@ -227,11 +197,23 @@ void dump_machine_config_json(std::ostream& os, const smt::MachineConfig& mc) {
   os << '\n';
 }
 
+/// Serializes the registry's recorded spans as Chrome trace-event JSON
+/// (chrome://tracing, Perfetto) if --chrome-trace was given.
+void maybe_write_chrome_trace(const std::string& path,
+                              const obs::TimerRegistry& timers) {
+  if (path.empty()) return;
+  persist::write_text_atomic(path, obs::format_chrome_trace(timers));
+  std::cout << "wrote " << timers.spans().size() << " span(s) to " << path
+            << " [chrome trace]\n";
+}
+
 /// Replays a paper figure's (kind, iq, mix) grid through the parallel sweep
 /// engine and prints the figure tables; `base` supplies everything except
-/// benchmarks, kind and IQ size.
+/// benchmarks, kind and IQ size.  `bus` (optional) receives sweep/cell
+/// progress events; cells are timed as "cell:<key>" scopes in `timers`.
 int run_sweep_mode(const KvConfig& cli, sim::RunConfig base, unsigned threads,
-                   unsigned jobs) {
+                   unsigned jobs, obs::ProgressBus* bus,
+                   obs::TimerRegistry& timers) {
   sim::SweepRequest req;
   req.thread_count = threads;
   for (const std::string& name : split_names(
@@ -255,13 +237,14 @@ int run_sweep_mode(const KvConfig& cli, sim::RunConfig base, unsigned threads,
     req.resume = true;
   }
   req.progress = [](std::string_view msg) { std::cerr << "  " << msg << "\n"; };
+  req.progress_bus = bus;
+  req.timers = &timers;
 
   std::cout << "msim-ooo sweep: " << threads << " threads, " << req.kinds.size()
             << " scheduler kind(s), " << req.iq_sizes.size()
             << " IQ size(s), jobs=" << jobs << "\n\n";
 
   sim::BaselineCache baselines(req.base);
-  obs::TimerRegistry timers;
   std::vector<sim::SweepCell> cells;
   {
     const obs::ScopeTimer timer(timers, "sweep");
@@ -355,9 +338,52 @@ int run_cli(const KvConfig& cli) {
     std::cerr << "fault injection: " << plan.describe() << "\n";
   }
 
-  if (sweep != 0) {
-    return run_sweep_mode(cli, cfg, sweep, static_cast<unsigned>(jobs));
+  // Observability surfaces shared by single-run and sweep mode: the
+  // progress bus fans events out to the terminal and/or a JSONL log, the
+  // timer registry feeds --chrome-trace (docs/OBSERVABILITY.md).
+  obs::TimerRegistry timers;
+  const std::string chrome_trace = cli.get_string("chrome_trace", "");
+  if (!chrome_trace.empty()) timers.enable_spans();
+  obs::ProgressBus bus;
+  std::optional<obs::TerminalProgressSink> term_sink;
+  std::ofstream progress_os;
+  std::optional<obs::JsonlProgressSink> jsonl_sink;
+  if (cli.get_bool("progress", false)) {
+    term_sink.emplace(std::cerr);
+    bus.subscribe(&*term_sink);
   }
+  const std::string progress_json = cli.get_string("progress_json", "");
+  if (!progress_json.empty()) {
+    progress_os.open(progress_json, std::ios::trunc);
+    if (!progress_os) {
+      throw std::runtime_error("cannot open '" + progress_json + "'");
+    }
+    jsonl_sink.emplace(progress_os);
+    bus.subscribe(&*jsonl_sink);
+  }
+  const bool want_bus = term_sink.has_value() || jsonl_sink.has_value();
+
+  // Interval telemetry (schema msim.intervals.v1): --interval-json without
+  // an explicit interval= turns sampling on at the default period.
+  std::uint64_t interval = cli.get_uint("interval", 0);
+  const std::string interval_json = cli.get_string("interval_json", "");
+  if (!interval_json.empty() && interval == 0) interval = 10'000;
+  cfg.interval_cycles = interval;
+  if (want_bus) cfg.progress_bus = &bus;
+
+  if (sweep != 0) {
+    if (!interval_json.empty()) {
+      throw std::invalid_argument(
+          "--interval-json is single-run only (sweep cells keep their "
+          "interval rings in the journal; use interval=N with --sweep-json "
+          "or --checkpoint instead)");
+    }
+    const int rc = run_sweep_mode(cli, cfg, sweep, static_cast<unsigned>(jobs),
+                                  want_bus ? &bus : nullptr, timers);
+    maybe_write_chrome_trace(chrome_trace, timers);
+    return rc;
+  }
+  cfg.interval_json = interval_json;
 
   // Single-run checkpointing (sweep mode interprets these knobs as the
   // cell journal instead, above).
@@ -393,7 +419,12 @@ int run_cli(const KvConfig& cli) {
   }
   std::cout << "\n";
 
-  const sim::RunResult r = sim::run_simulation(cfg);
+  std::optional<sim::RunResult> result;
+  {
+    const obs::ScopeTimer run_timer(timers, "run");
+    result = sim::run_simulation(cfg);
+  }
+  const sim::RunResult& r = *result;
 
   TextTable perf({"thread", "benchmark", "committed", "ipc"});
   for (std::size_t t = 0; t < cfg.benchmarks.size(); ++t) {
@@ -471,6 +502,16 @@ int run_cli(const KvConfig& cli) {
   front.add_cell(r.pipeline.wrong_path_squashes);
   front.print(std::cout, "front end");
 
+  if (cfg.interval_cycles != 0) {
+    std::cout << "interval telemetry: " << r.intervals.size()
+              << " record(s) every " << cfg.interval_cycles << " cycles ("
+              << r.intervals_dropped << " dropped from ring)";
+    if (!cfg.interval_json.empty()) {
+      std::cout << ", streamed to " << cfg.interval_json;
+    }
+    std::cout << "\n";
+  }
+
   if (!stats_json.empty()) {
     std::ostringstream out;
     sim::write_run_json(out, cfg, r);
@@ -490,76 +531,11 @@ int run_cli(const KvConfig& cli) {
               << r.trace_dropped << " dropped) to " << trace_out << " ["
               << trace_format << "]\n";
   }
+  maybe_write_chrome_trace(chrome_trace, timers);
   return 0;
 }
 
 }  // namespace
-
-// Printed by --help; one line per knob, mirroring the canonical knob table
-// in EXPERIMENTS.md ("Harness knobs and exit codes") -- keep the two in
-// sync.
-constexpr const char* kUsage = R"(usage: msim_cli [key=value | --flag value]...
-
-Runs one simulator configuration (or a figure sweep) and prints a full
-statistics report.  All knobs are key=value; GNU-style --flag value is
-accepted for the flags marked below.  See the knob table in EXPERIMENTS.md
-for the authoritative reference.
-
-Machine:
-  benchmarks=A,B,...    profile names, one per thread (1-8)    [gcc]
-  sched=K               traditional | 2op_block | 2op_block_ooo |
-                        2op_block_ooo_filtered | tag_elimination
-  fetch=P               icount | round_robin | stall | flush   [icount]
-  deadlock=D            dab | dab_shared | watchdog            [dab]
-  iq=N  scan_depth=N  watchdog_timeout=N  oracle_disambiguation=0|1
-  wrong_path=0|1
-
-Run horizon:
-  warmup=N  horizon=N  seed=N  max_cycles=N
-
-Sweep mode:
-  sweep=2|3|4           12-mix figure sweep for that thread count
-                        (iq and sched become comma lists)
-  jobs=N (--jobs N)     sweep worker threads; results bit-identical
-                        at any job count                       [hw conc.]
-  --sweep-json PATH     write the sweep grid as JSON
-
-Observability:
-  --stats-json PATH     full metric registry as JSON
-  --trace-out PATH      per-instruction pipeline trace
-  trace_format=konata|gantt  trace_capacity=N
-  --dump-config         print resolved MachineConfig JSON and exit
-
-Robustness:
-  verify=1              cycle-level invariant checking         [off]
-  hang_cycles=N         abort after N commit-free cycles (0=off) [500000]
-  fault_intensity=P  fault_seed=S  fault_index=I   fault injection
-  isolate=0|1  retries=N                    sweep crash isolation
-  --diag PATH           abort diagnostic bundle    [msim-diagnostic.json]
-
-Checkpoint / restore (docs/CHECKPOINT.md):
-  --checkpoint PATH     single run: checkpoint file (periodic + on signal);
-                        sweep: write-ahead journal of completed cells
-  --checkpoint-every N  cycles between periodic checkpoints  [0 = on
-                        interrupt only]
-  --resume PATH         single run: restore checkpoint; sweep: replay the
-                        journal's completed cells, append the rest
-  checkpoint_exit=N     test knob: save + exit 130 at absolute cycle N
-
-Exit codes: 0 success; 2 bad usage or configuration error; 3 simulation
-aborted (hang watchdog / invariant violation; diagnostic bundle written);
-128+N killed by signal N after saving resumable state (SIGINT=130,
-SIGTERM=143).
-)";
-
-constexpr std::string_view kKnownKeys[] = {
-    "benchmarks", "sched", "fetch", "deadlock", "iq", "scan_depth",
-    "watchdog_timeout", "oracle_disambiguation", "wrong_path", "warmup",
-    "horizon", "seed", "max_cycles", "sweep", "jobs", "sweep_json",
-    "stats_json", "trace_out", "trace_format", "trace_capacity",
-    "dump_config", "verify", "hang_cycles", "fault_intensity", "fault_seed",
-    "fault_index", "isolate", "retries", "diag", "checkpoint",
-    "checkpoint_every", "checkpoint_exit", "resume", "help"};
 
 int main(int argc, char** argv) {
   // Convert SIGINT/SIGTERM into a polled flag: runs save a final checkpoint
@@ -570,10 +546,11 @@ int main(int argc, char** argv) {
     const std::vector<std::string> args = normalize_args(argc, argv);
     const KvConfig cli = KvConfig::parse_strings(args);
     if (cli.get_bool("help", false)) {
-      std::cout << kUsage;
+      std::cout << sim::cli_usage();
       return 0;
     }
-    if (const auto unknown = cli.unknown_keys(kKnownKeys); !unknown.empty()) {
+    if (const auto unknown = cli.unknown_keys(sim::cli_known_keys());
+        !unknown.empty()) {
       std::string msg = "unknown option(s):";
       for (const std::string& k : unknown) msg += " " + k;
       msg += " (run msim_cli --help, or see the knob table in EXPERIMENTS.md)";

@@ -1,0 +1,49 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/json.hpp"
+
+namespace msim::obs {
+
+namespace {
+
+std::uint64_t to_micros(double seconds) {
+  return seconds > 0.0 ? static_cast<std::uint64_t>(std::llround(seconds * 1e6))
+                       : 0;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const TimerRegistry& timers) {
+  JsonWriter w(os, 0);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const TimerRegistry::Span& s : timers.spans()) {
+    w.begin_object();
+    w.kv("name", s.name);
+    w.kv("cat", "msim");
+    w.kv("ph", "X");
+    w.kv("ts", to_micros(s.start_s));
+    // Complete events need dur >= 1 us or some viewers drop them.
+    w.kv("dur", std::max<std::uint64_t>(to_micros(s.dur_s), 1));
+    w.kv("pid", std::uint64_t{1});
+    w.kv("tid", s.tid);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  os << '\n';
+}
+
+std::string format_chrome_trace(const TimerRegistry& timers) {
+  std::ostringstream os;
+  write_chrome_trace(os, timers);
+  return os.str();
+}
+
+}  // namespace msim::obs

@@ -1,0 +1,23 @@
+// Chrome trace-event export of TimerRegistry spans.
+//
+// Emits the "traceEvents" JSON array format consumed by chrome://tracing
+// and https://ui.perfetto.dev: one complete ("ph":"X") event per recorded
+// span, timestamps and durations in integer microseconds relative to the
+// registry's enable_spans() epoch.  Spans from different host threads land
+// on different trace rows via the registry's dense tid mapping.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/timer.hpp"
+
+namespace msim::obs {
+
+/// Writes the full trace-event JSON document for `timers`' recorded spans.
+void write_chrome_trace(std::ostream& os, const TimerRegistry& timers);
+
+/// Convenience: the same document as a string.
+[[nodiscard]] std::string format_chrome_trace(const TimerRegistry& timers);
+
+}  // namespace msim::obs

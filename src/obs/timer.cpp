@@ -5,7 +5,7 @@
 namespace msim::obs {
 
 void TimerRegistry::print(std::ostream& os) const {
-  for (const Stage& s : stages_) {
+  for (const Stage& s : stages()) {
     char line[160];
     std::snprintf(line, sizeof line, "%-24s %10.3f s  %8llu call(s)  %10.3f ms/call",
                   s.name.c_str(), s.seconds,

@@ -22,7 +22,9 @@ class Pipeline;
 
 namespace msim::persist {
 
-inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+/// v2: the pipeline payload gained the interval-telemetry engine section
+/// (ring, phase tables, stream cursor) after the sampled-gauge block.
+inline constexpr std::uint32_t kCheckpointFormatVersion = 2;
 
 /// Run phase recorded in a checkpoint, so resume knows whether the
 /// post-warm-up stats reset already happened.

@@ -16,7 +16,8 @@
 
 namespace msim::persist {
 
-inline constexpr std::uint32_t kJournalFormatVersion = 1;
+/// v2: the RunResult payload gained interval records + drop count.
+inline constexpr std::uint32_t kJournalFormatVersion = 2;
 
 class SweepJournal {
  public:

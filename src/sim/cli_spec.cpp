@@ -1,0 +1,101 @@
+#include "sim/cli_spec.hpp"
+
+namespace msim::sim {
+
+namespace {
+
+// Printed by --help; one line per knob, mirroring the canonical knob table
+// in EXPERIMENTS.md ("Harness knobs and exit codes") -- keep the two in
+// sync.  tests/test_cli_help cross-checks every known key against this
+// text, so a knob added to one list but not the other fails fast.
+constexpr const char* kUsage = R"(usage: msim_cli [key=value | --flag value]...
+
+Runs one simulator configuration (or a figure sweep) and prints a full
+statistics report.  All knobs are key=value; GNU-style --flag value is
+accepted for the flags marked below.  See the knob table in EXPERIMENTS.md
+for the authoritative reference.  --help prints this text.
+
+Machine:
+  benchmarks=A,B,...    profile names, one per thread (1-8)    [gcc]
+  sched=K               traditional | 2op_block | 2op_block_ooo |
+                        2op_block_ooo_filtered | tag_elimination
+  fetch=P               icount | round_robin | stall | flush   [icount]
+  deadlock=D            dab | dab_shared | watchdog            [dab]
+  iq=N  scan_depth=N  watchdog_timeout=N  oracle_disambiguation=0|1
+  wrong_path=0|1
+
+Run horizon:
+  warmup=N  horizon=N  seed=N  max_cycles=N
+
+Sweep mode:
+  sweep=2|3|4           12-mix figure sweep for that thread count
+                        (iq and sched become comma lists)
+  jobs=N (--jobs N)     sweep worker threads; results bit-identical
+                        at any job count                       [hw conc.]
+  --sweep-json PATH     write the sweep grid as JSON
+
+Observability (docs/OBSERVABILITY.md):
+  --stats-json PATH     full metric registry as JSON
+  --trace-out PATH      per-instruction pipeline trace
+  trace_format=konata|gantt  trace_capacity=N
+  interval=N            interval telemetry: capture a delta snapshot
+                        (IPC, occupancy, stalls, phase fingerprints)
+                        every N cycles                         [0 = off]
+  --interval-json PATH  stream interval records as JSONL (schema
+                        msim.intervals.v1; implies interval=10000 when
+                        interval= is unset; single-run mode only)
+  --progress            live progress events (run/interval/checkpoint,
+                        sweep cells) on stderr
+  --progress-json PATH  the same progress events as JSONL
+  --chrome-trace PATH   host-time trace of run/sweep-cell spans in Chrome
+                        trace-event JSON (chrome://tracing, Perfetto)
+  --dump-config         print resolved MachineConfig JSON and exit
+
+Robustness:
+  verify=1              cycle-level invariant checking         [off]
+  hang_cycles=N         abort after N commit-free cycles (0=off) [500000]
+  fault_intensity=P  fault_seed=S  fault_index=I   fault injection
+  isolate=0|1  retries=N                    sweep crash isolation
+  --diag PATH           abort diagnostic bundle    [msim-diagnostic.json]
+
+Checkpoint / restore (docs/CHECKPOINT.md):
+  --checkpoint PATH     single run: checkpoint file (periodic + on signal);
+                        sweep: write-ahead journal of completed cells
+  --checkpoint-every N  cycles between periodic checkpoints  [0 = on
+                        interrupt only]
+  --resume PATH         single run: restore checkpoint (an interval JSONL
+                        stream resumes byte-identically); sweep: replay the
+                        journal's completed cells, append the rest
+  checkpoint_exit=N     test knob: save + exit 130 at absolute cycle N
+
+Exit codes: 0 success; 2 bad usage or configuration error; 3 simulation
+aborted (hang watchdog / invariant violation; diagnostic bundle written);
+128+N killed by signal N after saving resumable state (SIGINT=130,
+SIGTERM=143).
+)";
+
+constexpr std::string_view kKnownKeys[] = {
+    "benchmarks", "sched", "fetch", "deadlock", "iq", "scan_depth",
+    "watchdog_timeout", "oracle_disambiguation", "wrong_path", "warmup",
+    "horizon", "seed", "max_cycles", "sweep", "jobs", "sweep_json",
+    "stats_json", "trace_out", "trace_format", "trace_capacity",
+    "interval", "interval_json", "progress", "progress_json", "chrome_trace",
+    "dump_config", "verify", "hang_cycles", "fault_intensity", "fault_seed",
+    "fault_index", "isolate", "retries", "diag", "checkpoint",
+    "checkpoint_every", "checkpoint_exit", "resume", "help"};
+
+constexpr std::string_view kValueFlags[] = {
+    "stats_json",   "trace_out",     "trace_format", "trace_capacity",
+    "jobs",         "sweep_json",    "diag",         "checkpoint",
+    "checkpoint_every", "resume",    "interval",     "interval_json",
+    "progress_json", "chrome_trace"};
+
+}  // namespace
+
+std::string_view cli_usage() { return kUsage; }
+
+std::span<const std::string_view> cli_known_keys() { return kKnownKeys; }
+
+std::span<const std::string_view> cli_value_flags() { return kValueFlags; }
+
+}  // namespace msim::sim

@@ -1,0 +1,27 @@
+// Single source of truth for the msim_cli command-line surface: the --help
+// text, the set of accepted keys, and which GNU-style --flags take a value.
+//
+// msim_cli consumes these for parsing and help; tests cross-check them
+// against each other (every accepted key must be documented in the usage
+// text and vice versa), so adding a knob in one place but not the other
+// fails CI instead of silently shipping an undocumented flag.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace msim::sim {
+
+/// The full --help text (also mirrored by the knob table in EXPERIMENTS.md).
+[[nodiscard]] std::string_view cli_usage();
+
+/// Every key=value key msim_cli accepts, normalized (dashes folded to
+/// underscores), including bare-flag keys like "help" and "dump_config".
+[[nodiscard]] std::span<const std::string_view> cli_known_keys();
+
+/// The --flag spellings that consume a following value ("--stats-json x"
+/// becomes stats_json=x); all other --flags are booleans ("--progress"
+/// becomes progress=1).  Normalized names, underscores.
+[[nodiscard]] std::span<const std::string_view> cli_value_flags();
+
+}  // namespace msim::sim

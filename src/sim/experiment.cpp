@@ -1,6 +1,7 @@
 #include "sim/experiment.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 #include <future>
 #include <optional>
@@ -242,6 +243,8 @@ void io_run_result(persist::Archive& ar, RunResult& r) {
     a.io(e.flags);
   });
   ar.io(r.trace_dropped);
+  ar.io_sequence(r.intervals, obs::io_interval_record);
+  ar.io(r.intervals_dropped);
 }
 
 void io_mix_result(persist::Archive& ar, MixResult& m) {
@@ -379,6 +382,19 @@ std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& bas
   }
   std::mutex journal_mu;
 
+  // Structured progress: sweep/cell milestones with a completion counter.
+  // Sinks see the true completion order (nondeterministic under jobs > 1);
+  // the simulated results stay bit-identical regardless.
+  obs::ProgressBus* bus = request.progress_bus;
+  const std::string sweep_label = std::to_string(request.thread_count) + "T sweep";
+  std::atomic<std::uint64_t> done{0};
+  if (bus) {
+    obs::ProgressEvent ev(obs::ProgressKind::kSweepStart);
+    ev.label = sweep_label;
+    ev.total = grid.size();
+    bus->publish(ev);
+  }
+
   auto run_cell = [&](const GridPoint& p) -> MixResult {
     if (!request.isolate_failures) {
       return run_mix(*p.mix, p.kind, p.iq, request.base, baselines);
@@ -395,6 +411,13 @@ std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& bas
         throw;
       } catch (const std::exception& e) {
         last_error = e.what();
+        if (bus && attempt <= request.retries) {
+          obs::ProgressEvent ev(obs::ProgressKind::kCellRetry);
+          ev.label = describe(p.kind, p.iq, p.mix->name);
+          ev.ok = false;
+          ev.detail = last_error;
+          bus->publish(ev);
+        }
       }
     }
     MixResult failed;
@@ -407,6 +430,18 @@ std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& bas
 
   auto run_or_replay_cell = [&](const GridPoint& p) -> MixResult {
     const std::string key = describe(p.kind, p.iq, p.mix->name);
+    auto finish = [&](const MixResult& r, std::string_view how) {
+      const std::uint64_t completed = done.fetch_add(1) + 1;
+      if (bus) {
+        obs::ProgressEvent ev(obs::ProgressKind::kCellFinish);
+        ev.label = key;
+        ev.done = completed;
+        ev.total = grid.size();
+        ev.ok = r.ok;
+        ev.detail = std::string(how);
+        bus->publish(ev);
+      }
+    };
     if (journal) {
       // find() only reads entries loaded at construction; appends never
       // mutate that map, so no lock is needed here.
@@ -417,16 +452,26 @@ std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& bas
               "journal entry '" + key + "' replays mix '" + m.mix_name +
               "'; the journal does not match this sweep (docs/CHECKPOINT.md)");
         }
+        finish(m, "journal replay");
         return m;
       }
     }
+    if (bus) {
+      obs::ProgressEvent ev(obs::ProgressKind::kCellStart);
+      ev.label = key;
+      bus->publish(ev);
+    }
+    std::optional<obs::ScopeTimer> cell_timer;
+    if (request.timers) cell_timer.emplace(*request.timers, "cell:" + key);
     MixResult r = run_cell(p);
+    cell_timer.reset();
     // Failed cells are not recorded: a resume retries them from scratch.
     if (journal && r.ok) {
       const std::vector<std::uint8_t> payload = encode_mix_result(r);
       const std::lock_guard<std::mutex> lock(journal_mu);
       journal->append(key, payload);
     }
+    finish(r, "");
     return r;
   };
 
@@ -474,6 +519,13 @@ std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& bas
     if (first_error) std::rethrow_exception(first_error);
   }
   check_guard.reset();
+  if (bus) {
+    obs::ProgressEvent ev(obs::ProgressKind::kSweepFinish);
+    ev.label = sweep_label;
+    ev.done = done.load();
+    ev.total = grid.size();
+    bus->publish(ev);
+  }
 
   std::vector<SweepCell> cells;
   cells.reserve(kinds.size() * request.iq_sizes.size());

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/sched_types.hpp"
+#include "obs/timer.hpp"
 #include "sim/run.hpp"
 #include "trace/mixes.hpp"
 
@@ -153,6 +154,14 @@ struct SweepRequest {
   /// (persist::PersistError otherwise); a missing file just runs the whole
   /// sweep.  Without `resume`, any existing journal is overwritten.
   bool resume = false;
+  /// Progress event bus (obs/progress.hpp): sweep start/finish, per-cell
+  /// start/retry/finish with done/total counts.  Not owned, may be nullptr.
+  /// Structured sibling of the free-text `progress` callback above.
+  obs::ProgressBus* progress_bus = nullptr;
+  /// Host-time registry: each simulated cell is timed as a "cell:<key>"
+  /// scope, so enabling span recording yields a Chrome trace of the sweep's
+  /// parallel execution.  Not owned, may be nullptr.
+  obs::TimerRegistry* timers = nullptr;
 };
 
 /// Runs the full cross product.  kTraditional is always run (it anchors the

@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "persist/checkpoint.hpp"
+#include "persist/interval_stream.hpp"
 #include "persist/signal.hpp"
 #include "robust/diagnostic.hpp"
 #include "robust/fault.hpp"
@@ -27,6 +28,7 @@ smt::MachineConfig RunConfig::machine() const {
   mc.fetch_policy = fetch_policy;
   mc.model_wrong_path = model_wrong_path;
   mc.trace_capacity = trace_capacity;
+  mc.interval_cycles = interval_cycles;
   mc.hang_cycles = hang_cycles;
   return mc;
 }
@@ -71,6 +73,10 @@ std::uint64_t RunConfig::fingerprint() const {
   f.u64(horizon);
   f.u64(max_cycles);
   f.u64(trace_capacity);
+  // Interval telemetry is engine state inside the checkpoint payload, so a
+  // resume at a different interval= must fail the fingerprint check up
+  // front rather than deep in the archive.
+  f.u64(interval_cycles);
   f.u64(hang_cycles);
   // Fault injection changes machine behavior, so a faulted run's checkpoint
   // must not resume fault-free (or vice versa).
@@ -99,6 +105,10 @@ void RunConfig::validate() const {
     fail("checkpoint_exit_cycles is set but checkpoint_path is empty; the "
          "deterministic interrupt saves a checkpoint before exiting");
   }
+  if (!interval_json.empty() && interval_cycles == 0) {
+    fail("interval_json is set but interval_cycles=0; there would be no "
+         "records to stream (set interval=N, e.g. interval=10000)");
+  }
   machine().validate();  // structural knobs (IQ/ROB/LSQ sizes, watchdog...)
 }
 
@@ -116,15 +126,19 @@ constexpr std::uint64_t kNoCap = ~std::uint64_t{0};
 /// there straight from cycle 0 or through any number of suspend/resume
 /// rounds.  With every knob off this executes the exact tick sequence of
 /// the unchunked path.
-void run_checkpointed(const RunConfig& config, smt::Pipeline& pipe) {
+void run_checkpointed(const RunConfig& config, smt::Pipeline& pipe,
+                      persist::RunPhase phase) {
   const std::uint64_t fp = config.fingerprint();
-  persist::RunPhase phase = persist::RunPhase::kWarmup;
-  if (!config.resume_path.empty()) {
-    phase = persist::load_checkpoint(config.resume_path, pipe, fp).phase;
-  }
 
   auto save = [&] {
     persist::save_checkpoint(config.checkpoint_path, pipe, {fp, phase});
+    if (config.progress_bus) {
+      obs::ProgressEvent ev(obs::ProgressKind::kCheckpointSaved);
+      ev.label = config.checkpoint_path;
+      ev.cycle = pipe.absolute_cycle();
+      ev.committed = pipe.total_committed();
+      config.progress_bus->publish(ev);
+    }
   };
   // Raises (after saving, where a path is configured) whatever interrupt is
   // pending at this chunk boundary.  The deterministic checkpoint_exit test
@@ -212,27 +226,93 @@ RunResult run_simulation(const RunConfig& config) {
   robust::InvariantChecker checker;
   if (config.verify) pipe.set_observer(&checker);
 
+  // Restore before attaching the interval stream: the writer's resume
+  // truncation needs the checkpoint's stream cursor (captured_total).
+  persist::RunPhase phase = persist::RunPhase::kWarmup;
+  if (!config.resume_path.empty()) {
+    phase =
+        persist::load_checkpoint(config.resume_path, pipe, config.fingerprint())
+            .phase;
+  }
+
+  std::string run_label;
+  for (const std::string& b : config.benchmarks) {
+    if (!run_label.empty()) run_label += ',';
+    run_label += b;
+  }
+  obs::ProgressBus* bus = config.progress_bus;
+
+  std::unique_ptr<persist::IntervalStreamWriter> interval_writer;
+  if (!config.interval_json.empty()) {
+    interval_writer = std::make_unique<persist::IntervalStreamWriter>(
+        config.interval_json, pipe.interval_engine().config(),
+        pipe.thread_count(), pipe.interval_engine().captured_total());
+  }
+  if (interval_writer || (bus && pipe.interval_engine().enabled())) {
+    pipe.interval_engine().set_sink([&](const obs::IntervalRecord& r) {
+      if (interval_writer) interval_writer->append(r);
+      if (bus) {
+        obs::ProgressEvent ev(obs::ProgressKind::kIntervalTick);
+        ev.label = run_label;
+        ev.cycle = r.end_cycle;
+        ev.committed = pipe.total_committed();
+        ev.ipc = r.ipc;
+        bus->publish(ev);
+      }
+    });
+  }
+  if (bus) {
+    obs::ProgressEvent ev(obs::ProgressKind::kRunStart);
+    ev.label = run_label;
+    ev.cycle = pipe.absolute_cycle();
+    bus->publish(ev);
+  }
+
   const bool checkpointing = !config.checkpoint_path.empty() ||
                              !config.resume_path.empty() ||
                              config.checkpoint_exit_cycles != 0 ||
                              config.watch_signals;
+  auto publish_abort = [&](const std::string& what) {
+    if (bus) {
+      obs::ProgressEvent ev(obs::ProgressKind::kRunFinish);
+      ev.label = run_label;
+      ev.cycle = pipe.absolute_cycle();
+      ev.committed = pipe.total_committed();
+      ev.ok = false;
+      ev.detail = what;
+      bus->publish(ev);
+    }
+  };
   try {
     if (checkpointing) {
-      run_checkpointed(config, pipe);
+      run_checkpointed(config, pipe, phase);
     } else {
       pipe.run(config.warmup, config.max_cycles);
       pipe.reset_stats();
       pipe.run(config.horizon, config.max_cycles);
     }
   } catch (const smt::NoForwardProgress& e) {
+    publish_abort(e.what());
     throw robust::SimulationAborted(
         std::string("hang watchdog: ") + e.what(),
         robust::diagnostic_bundle(pipe, e.what()));
   } catch (const CheckError& e) {
     // An invariant (cycle-level or structural MSIM_CHECK under a throwing
     // handler) failed; the machine state is suspect but still readable.
+    publish_abort(e.what());
     throw robust::SimulationAborted(
         e.what(), robust::diagnostic_bundle(pipe, e.what()));
+  }
+  // A clean completion seals the stream (atomic .part -> final rename); an
+  // interrupt or abort above leaves the .part behind for a resume.
+  if (interval_writer) interval_writer->finalize();
+  if (bus) {
+    obs::ProgressEvent ev(obs::ProgressKind::kRunFinish);
+    ev.label = run_label;
+    ev.cycle = pipe.absolute_cycle();
+    ev.committed = pipe.total_committed();
+    ev.ipc = pipe.total_ipc();
+    bus->publish(ev);
   }
 
   RunResult out;
@@ -259,6 +339,11 @@ RunResult run_simulation(const RunConfig& config) {
   if (pipe.tracer().enabled()) {
     out.trace = pipe.tracer().events();
     out.trace_dropped = pipe.tracer().dropped();
+  }
+  if (pipe.interval_engine().enabled()) {
+    const auto& ring = pipe.interval_engine().records();
+    out.intervals.assign(ring.begin(), ring.end());
+    out.intervals_dropped = pipe.interval_engine().dropped();
   }
   return out;
 }

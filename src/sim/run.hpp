@@ -10,6 +10,8 @@
 #include "bpred/predictor.hpp"
 #include "core/scheduler.hpp"
 #include "mem/hierarchy.hpp"
+#include "obs/interval.hpp"
+#include "obs/progress.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "smt/machine_config.hpp"
@@ -48,6 +50,18 @@ struct RunConfig {
   std::uint64_t max_cycles = 0;
   /// Per-instruction lifecycle trace ring capacity in events (0 = off).
   std::size_t trace_capacity = 0;
+
+  // Interval telemetry (src/obs/interval.hpp, docs/OBSERVABILITY.md).
+  /// Cycles per interval snapshot (0 = off).
+  std::uint64_t interval_cycles = 0;
+  /// Stream interval records as JSONL to this path ("" = in-memory only).
+  /// Written as `<path>.part` during the run and atomically renamed on
+  /// clean completion; an interrupted run's .part is resumed byte-exactly.
+  /// Requires interval_cycles != 0.
+  std::string interval_json;
+  /// Progress event bus to publish run milestones on (run start/finish,
+  /// interval ticks, checkpoint saves); not owned, may be nullptr.
+  obs::ProgressBus* progress_bus = nullptr;
 
   // Robustness (src/robust/).
   /// Cycle-level invariant checking (robust::InvariantChecker); a violation
@@ -126,6 +140,11 @@ struct RunResult {
   std::vector<obs::TraceEvent> trace;
   /// Events lost to the trace ring wrapping around.
   std::uint64_t trace_dropped = 0;
+
+  /// Interval telemetry ring at run end, oldest first (empty unless
+  /// interval_cycles > 0); `intervals_dropped` counts ring evictions.
+  std::vector<obs::IntervalRecord> intervals;
+  std::uint64_t intervals_dropped = 0;
 };
 
 /// Runs one simulation to completion and returns the measured statistics.

@@ -63,6 +63,15 @@ struct MachineConfig {
   /// branch each).  See obs::InstTracer.
   std::size_t trace_capacity = 0;
 
+  /// Interval telemetry: capture one obs::IntervalRecord (rates, occupancy,
+  /// stall attribution, per-thread phase fingerprints) every this many
+  /// cycles (0 = off, the default; the tick path then reduces to one
+  /// predictable branch).  See obs::IntervalEngine.
+  std::uint64_t interval_cycles = 0;
+  /// Bounded in-memory interval ring: oldest records are evicted (and
+  /// counted as dropped) past this many.  JSONL streaming is unaffected.
+  std::size_t interval_ring_capacity = 4096;
+
   // Robustness (src/robust/): fault injection and forward-progress checks.
   /// Consulted at hazard-origin points each cycle; nullptr (the default) is
   /// the fault-free machine.  Not owned; must outlive the pipeline.
@@ -132,6 +141,10 @@ struct MachineConfig {
       fail("watchdog_timeout=0 under deadlock=watchdog can never fire and the "
            "machine may deadlock; set a positive timeout (the paper uses a few "
            "hundred cycles)");
+    }
+    if (interval_cycles != 0 && interval_ring_capacity == 0) {
+      fail("interval_ring_capacity=0: interval telemetry needs at least one "
+           "ring slot (or set interval_cycles=0 to disable intervals)");
     }
     if (hang_cycles != 0 && hang_cycles <= scheduler.watchdog_timeout) {
       fail("hang_cycles=" + std::to_string(hang_cycles) +

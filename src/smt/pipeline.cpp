@@ -168,6 +168,8 @@ Pipeline::Pipeline(const MachineConfig& config,
     scheduler_->set_tracer(&tracer_);
   }
   register_metrics();
+  interval_.configure({config_.interval_cycles, config_.interval_ring_capacity},
+                      config_.thread_count);
 }
 
 Pipeline::~Pipeline() = default;
@@ -608,6 +610,13 @@ void Pipeline::tick() {
   sample_observability();
   if (observer_) observer_->on_cycle_end(*this, now);
   ++cycle_;
+  // Interval boundaries key on the absolute cycle count, so runs executed
+  // in checkpointed chunks capture at exactly the same points as one
+  // uninterrupted run.
+  if (interval_.enabled() &&
+      cycle_ % interval_.config().interval_cycles == 0) {
+    interval_.capture(make_cumulative_sample());
+  }
 }
 
 Cycle Pipeline::run(std::uint64_t horizon, Cycle max_cycles) {
@@ -669,6 +678,10 @@ void Pipeline::reset_stats() {
   mem_.reset_stats();
   bpred_.reset_stats();
   fu_.reset_stats();
+  // Rebase the interval engine's delta baseline to the post-reset totals
+  // (mostly zeros, raw per-thread commit/fetch counters excepted), so the
+  // first post-warm-up interval's deltas do not underflow.
+  interval_.reset_stats(make_cumulative_sample());
 }
 
 std::uint64_t Pipeline::committed(ThreadId tid) const {
@@ -791,6 +804,18 @@ void Pipeline::register_metrics() {
   }
   occ_iq_ = &registry_.sampled("occupancy.iq");
   occ_dab_ = &registry_.sampled("occupancy.dab");
+
+  // Interval telemetry (all zero while intervals are disabled).
+  const obs::IntervalEngine* iv = &interval_;
+  registry_.counter("interval.captured", [iv] { return iv->captured(); });
+  registry_.counter("interval.dropped", [iv] { return iv->dropped(); });
+  for (ThreadId t = 0; t < config_.thread_count; ++t) {
+    const std::string tp = "thread." + std::to_string(t) + ".phase.";
+    registry_.gauge(tp + "id",
+                    [iv, t] { return static_cast<double>(iv->phase_id(t)); });
+    registry_.counter(tp + "changes", [iv, t] { return iv->phase_changes(t); });
+    registry_.counter(tp + "unique", [iv, t] { return iv->unique_phases(t); });
+  }
 }
 
 void Pipeline::sample_observability() {
@@ -825,6 +850,46 @@ void Pipeline::sample_observability() {
         break;
     }
   }
+}
+
+obs::CumulativeSample Pipeline::make_cumulative_sample() const {
+  obs::CumulativeSample cum;
+  cum.cycle = cycle_;
+  cum.dispatched = scheduler_->dispatch_stats().dispatched;
+  cum.issued = pstats_.issued;
+  cum.iq_occ_sum = occ_iq_->sum();
+  cum.iq_occ_count = occ_iq_->count();
+  cum.dab_occ_sum = occ_dab_->sum();
+  cum.dab_occ_count = occ_dab_->count();
+  const mem::HierarchyStats mem = mem_.stats();
+  cum.l1d_misses = mem.l1d.misses;
+  cum.l2_misses = mem.l2.misses;
+  const bpred::PredictorStats bp = bpred_.total_stats();
+  cum.branches = bp.branches;
+  cum.mispredicts = bp.mispredicts;
+  cum.threads.resize(config_.thread_count);
+  for (ThreadId t = 0; t < config_.thread_count; ++t) {
+    const ThreadState& ts = *threads_[t];
+    obs::CumulativeSample::Thread& out = cum.threads[t];
+    // Raw (reset-independent) commit/fetch counters: reset_stats rebases
+    // the engine's baseline, so deltas stay consistent either way.
+    out.committed = ts.committed;
+    out.fetched = ts.fetched;
+    cum.committed += ts.committed;
+    cum.fetched += ts.fetched;
+    const ThreadStallStats& ss = stall_stats_[t];
+    out.ndi_blocked_cycles = ss.ndi_blocked_cycles;
+    out.iq_full_cycles = ss.iq_full_cycles;
+    out.rob_full_cycles = ss.rob_full_cycles;
+    out.lsq_full_cycles = ss.lsq_full_cycles;
+    out.fetch_starved_cycles = ss.fetch_starved_cycles;
+    out.rob_occ_sum = occ_rob_[t]->sum();
+    out.rob_occ_count = occ_rob_[t]->count();
+    out.lsq_occ_sum = occ_lsq_[t]->sum();
+    out.lsq_occ_count = occ_lsq_[t]->count();
+    out.loads = ts.lsq.stats().loads_checked;
+  }
+  return cum;
 }
 
 void Pipeline::trace_squash(ThreadId tid, SeqNum min_seq, Cycle now) {
@@ -922,6 +987,7 @@ void Pipeline::state_io(persist::Archive& ar) {
   });
   if (ar.saving()) tracer_.save_state(ar); else tracer_.load_state(ar);
   if (ar.saving()) registry_.save_sampled(ar); else registry_.load_sampled(ar);
+  if (ar.saving()) interval_.save_state(ar); else interval_.load_state(ar);
 }
 
 MSIM_PERSIST_VIA_STATE_IO(Pipeline)

@@ -25,6 +25,7 @@
 #include "bpred/predictor.hpp"
 #include "core/scheduler.hpp"
 #include "mem/hierarchy.hpp"
+#include "obs/interval.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "smt/broadcast_schedule.hpp"
@@ -192,6 +193,14 @@ class Pipeline {
   /// MachineConfig::trace_capacity (off by default).
   [[nodiscard]] const obs::InstTracer& tracer() const noexcept { return tracer_; }
 
+  /// Interval telemetry engine; enabled via MachineConfig::interval_cycles
+  /// (off by default).  Mutable access exists so a driver can attach a
+  /// streaming sink (see persist::IntervalStreamWriter).
+  [[nodiscard]] const obs::IntervalEngine& interval_engine() const noexcept {
+    return interval_;
+  }
+  [[nodiscard]] obs::IntervalEngine& interval_engine() noexcept { return interval_; }
+
  private:
   /// The invariant checker audits internal structures (rename free lists,
   /// per-thread ROB contents, scheduler accounting) read-only each cycle.
@@ -264,6 +273,9 @@ class Pipeline {
   void register_metrics();
   /// Per-cycle observability: occupancy gauges + stall attribution.
   void sample_observability();
+  /// Snapshot of every cumulative counter the interval engine diffs
+  /// (tick-hook boundaries, reset_stats rebase).
+  [[nodiscard]] obs::CumulativeSample make_cumulative_sample() const;
   /// Records kSquash for every in-flight instruction of `tid` with
   /// seq >= `min_seq` (no-op when tracing is off).
   void trace_squash(ThreadId tid, SeqNum min_seq, Cycle now);
@@ -313,6 +325,7 @@ class Pipeline {
   // so both stay valid for its lifetime.
   obs::InstTracer tracer_;
   obs::StatRegistry registry_;
+  obs::IntervalEngine interval_;
   // Registry-owned per-cycle sampled gauges (reset via reset_sampled()).
   StreamingStat* occ_iq_ = nullptr;
   StreamingStat* occ_dab_ = nullptr;

@@ -192,6 +192,46 @@ TEST(CheckpointBitIdentity, DoubleRoundTripIsStillExact) {
   EXPECT_EQ(hop2.total_committed(), 46411u);
 }
 
+TEST(CheckpointBitIdentity, IntervalEngineRoundTripsInsidePipelineState) {
+  // With interval telemetry on, the engine's ring, phase tables and stream
+  // cursor are pipeline state like any other: a mid-run round-trip must
+  // reproduce the uninterrupted run's interval records exactly.
+  const auto w = workload({"gzip", "equake"});
+  auto mc = golden_machine(core::SchedulerKind::kTwoOpBlockOoo, 2);
+  mc.interval_cycles = 1'000;
+
+  smt::Pipeline straight(mc, w, /*seed=*/1);
+  straight.run(30'000);
+  ASSERT_FALSE(straight.interval_engine().records().empty());
+
+  smt::Pipeline first(mc, w, /*seed=*/1);
+  first.run(11'000);
+  persist::Archive save = persist::Archive::saver();
+  first.save_state(save);
+
+  smt::Pipeline resumed(mc, w, /*seed=*/1);
+  persist::Archive load = persist::Archive::loader(save.bytes());
+  resumed.load_state(load);
+  load.expect_end();
+  EXPECT_EQ(resumed.interval_engine().captured_total(),
+            first.interval_engine().captured_total());
+
+  resumed.run(30'000);
+  EXPECT_EQ(resumed.commit_digest(), straight.commit_digest());
+  const auto& a = resumed.interval_engine().records();
+  const auto& b = straight.interval_engine().records();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(obs::format_interval_record(a[i]),
+              obs::format_interval_record(b[i]))
+        << "interval " << i << " diverged after restore";
+  }
+  EXPECT_EQ(resumed.interval_engine().captured_total(),
+            straight.interval_engine().captured_total());
+  EXPECT_EQ(resumed.interval_engine().unique_phases(0),
+            straight.interval_engine().unique_phases(0));
+}
+
 // ---- 2. the checkpoint file container --------------------------------------
 
 TEST(CheckpointFile, RoundTripsMetaAndRejectsMismatchedFingerprint) {

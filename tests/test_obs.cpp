@@ -380,14 +380,27 @@ TEST(PipelineObservability, WarmupNeverLeaksIntoPostResetMetrics) {
   mc.thread_count = 2;
   mc.scheduler.kind = core::SchedulerKind::kTwoOpBlockOoo;
   mc.scheduler.iq_entries = 16;
+  mc.interval_cycles = 500;  // interval telemetry is part of the contract
   smt::Pipeline pipe(mc, workload, 1);
 
   pipe.run(3'000);  // warm-up
   const obs::StatRegistry& reg = pipe.registry();
   ASSERT_GT(reg.read("pipeline.cycles").value, 0.0);
   ASSERT_GT(reg.read("occupancy.iq").count, 0u);
+  ASSERT_FALSE(pipe.interval_engine().records().empty());
+  const std::uint64_t streamed_before_reset =
+      pipe.interval_engine().captured_total();
+  ASSERT_GT(streamed_before_reset, 0u);
 
   pipe.reset_stats();
+
+  // The interval ring and phase tables are statistics too: a post-warm-up
+  // reset empties them (only the stream cursor, an I/O position, survives).
+  EXPECT_TRUE(pipe.interval_engine().records().empty());
+  EXPECT_EQ(pipe.interval_engine().captured(), 0u);
+  EXPECT_EQ(pipe.interval_engine().unique_phases(0), 0u);
+  EXPECT_EQ(pipe.interval_engine().phase_changes(1), 0u);
+  EXPECT_EQ(pipe.interval_engine().captured_total(), streamed_before_reset);
 
   // Every counter-like metric in every group reads zero after the reset.
   for (const MetricSnapshot& m : reg.snapshot()) {

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Validate an interval-telemetry JSONL stream (schema msim.intervals.v1).
+
+Usage:
+    check_intervals.py INTERVALS.jsonl [--threads N] [--interval N]
+                       [--min-records N]
+
+The file is produced by `msim_cli --interval-json PATH` (see
+docs/OBSERVABILITY.md).  Line 1 is a header object; every following line
+is one interval record.  The check fails (exit 1) on:
+
+  * missing/any other schema, or header/record field mismatches
+  * non-monotone interval windows (`start` before the previous `end`), or
+    an index that is neither previous+1 nor a reset back to 0 (a stats
+    reset -- e.g. the end of warmup -- legitimately rebases the stream:
+    the index restarts and the first rebased window may be short)
+  * per-record invariants: window no wider than interval_cycles and ending
+    on an interval boundary, thread count matching the header, negative
+    rates, IPC inconsistent with committed / window width, phase
+    fingerprints not 0x-prefixed 16-hex-digit strings, `changed` true on
+    a record whose fingerprint equals the previous record's for that
+    thread
+
+CI runs this against a short 4-thread run to keep the stream format and
+its invariants pinned.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+SCHEMA = "msim.intervals.v1"
+FP_RE = re.compile(r"^0x[0-9a-f]{16}$")
+
+RECORD_KEYS = {
+    "i", "start", "end", "committed", "fetched", "dispatched", "issued",
+    "ipc", "iq_occ", "dab_occ", "l1d_mpki", "l2_mpki", "mispredict_rate",
+    "threads",
+}
+THREAD_KEYS = {
+    "committed", "fetched", "ipc", "fetch_rate", "ndi_blocked", "iq_full",
+    "rob_full", "lsq_full", "fetch_starved", "rob_occ", "lsq_occ", "loads",
+    "fp", "phase", "changed",
+}
+
+
+def fail(lineno, msg):
+    sys.exit(f"error: line {lineno}: {msg}")
+
+
+def check_thread(lineno, t, idx):
+    missing = THREAD_KEYS - t.keys()
+    extra = t.keys() - THREAD_KEYS
+    if missing or extra:
+        fail(lineno, f"thread {idx}: missing keys {sorted(missing)}, "
+             f"unexpected keys {sorted(extra)}")
+    for k in ("ipc", "fetch_rate", "rob_occ", "lsq_occ"):
+        if t[k] < 0:
+            fail(lineno, f"thread {idx}: negative {k}: {t[k]}")
+    if not FP_RE.match(t["fp"]):
+        fail(lineno, f"thread {idx}: malformed fingerprint {t['fp']!r}")
+    if not 0 <= t["phase"] <= 255:
+        fail(lineno, f"thread {idx}: phase id {t['phase']} out of range")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="validate msim.intervals.v1 JSONL")
+    ap.add_argument("path")
+    ap.add_argument("--threads", type=int, default=0,
+                    help="require exactly N threads (0 = header's value)")
+    ap.add_argument("--interval", type=int, default=0,
+                    help="require this interval_cycles (0 = header's value)")
+    ap.add_argument("--min-records", type=int, default=1,
+                    help="require at least N interval records")
+    args = ap.parse_args()
+
+    with open(args.path, "r", encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    if not lines:
+        sys.exit(f"error: {args.path}: empty file")
+
+    header = json.loads(lines[0])
+    if header.get("schema") != SCHEMA:
+        fail(1, f"expected schema {SCHEMA}, got {header.get('schema')!r}")
+    interval = args.interval or header.get("interval_cycles", 0)
+    if interval <= 0:
+        fail(1, f"bad interval_cycles {header.get('interval_cycles')!r}")
+    if header.get("interval_cycles") != interval:
+        fail(1, f"header interval_cycles {header.get('interval_cycles')} "
+             f"!= required {interval}")
+    threads = args.threads or header.get("threads", 0)
+    if threads <= 0:
+        fail(1, f"bad thread count {header.get('threads')!r}")
+    if header.get("threads") != threads:
+        fail(1, f"header threads {header.get('threads')} != required {threads}")
+
+    prev = None
+    records = 0
+    prev_fp = {}
+    for lineno, line in enumerate(lines[1:], start=2):
+        try:
+            r = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(lineno, f"not valid JSON: {e}")
+        missing = RECORD_KEYS - r.keys()
+        extra = r.keys() - RECORD_KEYS
+        if missing or extra:
+            fail(lineno, f"missing keys {sorted(missing)}, "
+                 f"unexpected keys {sorted(extra)}")
+        width = r["end"] - r["start"]
+        if not 0 < width <= interval:
+            fail(lineno, f"window [{r['start']},{r['end']}) is wider than "
+                 f"{interval} cycles (or empty)")
+        if r["end"] % interval != 0:
+            fail(lineno, f"end {r['end']} is not an interval boundary")
+        if width != interval and not (prev is None or r["i"] == 0):
+            fail(lineno, f"short window [{r['start']},{r['end']}) without a "
+                 f"stats reset (index did not restart)")
+        if prev is not None:
+            if r["i"] != prev["i"] + 1 and r["i"] != 0:
+                fail(lineno, f"index {r['i']} is neither {prev['i'] + 1} nor "
+                     f"a reset to 0")
+            if r["start"] < prev["end"]:
+                fail(lineno, f"window start {r['start']} overlaps previous "
+                     f"end {prev['end']}")
+        if len(r["threads"]) != threads:
+            fail(lineno, f"{len(r['threads'])} thread entries, "
+                 f"expected {threads}")
+        total_committed = 0
+        for idx, t in enumerate(r["threads"]):
+            check_thread(lineno, t, idx)
+            total_committed += t["committed"]
+            # A stats reset between records legitimately rebases the
+            # fingerprint chain, so only flag a *false positive* change.
+            if t["changed"] and prev_fp.get(idx) == t["fp"]:
+                fail(lineno, f"thread {idx}: changed=true but fingerprint "
+                     f"{t['fp']} equals the previous record's")
+            prev_fp[idx] = t["fp"]
+        if total_committed != r["committed"]:
+            fail(lineno, f"per-thread committed sums to {total_committed}, "
+                 f"record says {r['committed']}")
+        if abs(r["ipc"] - r["committed"] / width) > 1e-9:
+            fail(lineno, f"ipc {r['ipc']} != committed/width "
+                 f"{r['committed'] / width}")
+        prev = r
+        records += 1
+
+    if records < args.min_records:
+        sys.exit(f"error: {args.path}: only {records} record(s), "
+                 f"need at least {args.min_records}")
+    print(f"OK: {args.path}: {records} record(s), {threads} thread(s), "
+          f"interval {interval} cycles")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

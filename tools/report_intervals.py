@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Render an interval-telemetry JSONL stream as a standalone HTML report.
+
+Usage:
+    report_intervals.py INTERVALS.jsonl [-o report.html] [--title TEXT]
+
+Input is the msim.intervals.v1 stream written by `msim_cli --interval-json`
+(validate it first with check_intervals.py).  The output is one
+self-contained HTML file -- inline SVG charts, no JavaScript, no external
+assets -- so it can be archived as a CI artifact and opened anywhere:
+
+  * throughput IPC and per-thread IPC over time
+  * shared-structure occupancy (IQ, DAB) and cache MPKI / mispredict rate
+  * a phase track per thread: one colored band per detected phase, with
+    fingerprint and dwell time in the hover title
+  * a per-thread summary table (committed, mean IPC, phases seen)
+"""
+
+import argparse
+import html
+import json
+import sys
+
+PALETTE = ["#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2",
+           "#b279a2", "#eeca3b", "#9d755d"]
+PHASE_PALETTE = ["#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2",
+                 "#b279a2", "#eeca3b", "#9d755d", "#bab0ac", "#ff9da6"]
+
+W, H, PAD = 720, 160, 36
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    if not lines:
+        sys.exit(f"error: {path}: empty file")
+    header = json.loads(lines[0])
+    if header.get("schema") != "msim.intervals.v1":
+        sys.exit(f"error: {path}: expected schema msim.intervals.v1, "
+                 f"got {header.get('schema')!r}")
+    records = [json.loads(l) for l in lines[1:]]
+    if not records:
+        sys.exit(f"error: {path}: no interval records")
+    return header, records
+
+
+def svg_chart(title, series, y_label, y_max=None):
+    """One line chart: series is a list of (name, color, [(x, y)])."""
+    xs = [x for _, _, pts in series for x, _ in pts]
+    ys = [y for _, _, pts in series for _, y in pts]
+    if not xs:
+        return ""
+    x_lo, x_hi = min(xs), max(xs)
+    y_hi = y_max if y_max is not None else max(ys + [1e-12])
+    x_span = max(x_hi - x_lo, 1)
+
+    def sx(x):
+        return PAD + (x - x_lo) / x_span * (W - 2 * PAD)
+
+    def sy(y):
+        return H - PAD / 2 - min(y / y_hi, 1.0) * (H - PAD)
+
+    parts = [f'<svg viewBox="0 0 {W} {H}" class="chart" '
+             f'role="img" aria-label="{html.escape(title)}">']
+    parts.append(f'<text x="{PAD}" y="14" class="ctitle">'
+                 f'{html.escape(title)}</text>')
+    # Axes and y gridlines at 0, half, max.
+    for frac in (0.0, 0.5, 1.0):
+        y = sy(frac * y_hi)
+        parts.append(f'<line x1="{PAD}" y1="{y:.1f}" x2="{W - PAD}" '
+                     f'y2="{y:.1f}" class="grid"/>')
+        parts.append(f'<text x="{PAD - 4}" y="{y + 3:.1f}" class="ylab">'
+                     f'{frac * y_hi:.3g}</text>')
+    parts.append(f'<text x="{W - PAD}" y="{H - 4}" class="xlab">cycle '
+                 f'{x_hi:,}</text>')
+    parts.append(f'<text x="{PAD}" y="{H - 4}" class="xlab2">'
+                 f'{html.escape(y_label)}; cycle {x_lo:,}</text>')
+    for name, color, pts in series:
+        path = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in pts)
+        parts.append(f'<polyline points="{path}" fill="none" '
+                     f'stroke="{color}" stroke-width="1.5">'
+                     f'<title>{html.escape(name)}</title></polyline>')
+    # Legend.
+    lx = PAD
+    for name, color, _ in series:
+        parts.append(f'<rect x="{lx}" y="20" width="10" height="3" '
+                     f'fill="{color}"/>')
+        parts.append(f'<text x="{lx + 13}" y="25" class="leg">'
+                     f'{html.escape(name)}</text>')
+        lx += 13 + 7 * len(name) + 14
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def svg_phase_track(records, threads):
+    """One row per thread; each interval is a band colored by phase id."""
+    xs = [r["start"] for r in records] + [records[-1]["end"]]
+    x_lo, x_hi = min(xs), max(xs)
+    x_span = max(x_hi - x_lo, 1)
+    row_h, gap = 22, 8
+    height = 30 + threads * (row_h + gap)
+
+    def sx(x):
+        return PAD + (x - x_lo) / x_span * (W - 2 * PAD)
+
+    parts = [f'<svg viewBox="0 0 {W} {height}" class="chart" role="img" '
+             f'aria-label="phase track">']
+    parts.append(f'<text x="{PAD}" y="14" class="ctitle">phase track '
+                 f'(one band per interval, colored by phase id)</text>')
+    for t in range(threads):
+        y = 24 + t * (row_h + gap)
+        parts.append(f'<text x="{PAD - 6}" y="{y + row_h / 2 + 3}" '
+                     f'class="ylab">T{t}</text>')
+        for r in records:
+            th = r["threads"][t]
+            color = PHASE_PALETTE[th["phase"] % len(PHASE_PALETTE)]
+            x0, x1 = sx(r["start"]), sx(r["end"])
+            tip = (f"T{t} [{r['start']:,},{r['end']:,}) phase "
+                   f"{th['phase']} fp {th['fp']} ipc {th['ipc']:.3f}")
+            stroke = ' stroke="#222" stroke-width="1"' if th["changed"] else ""
+            parts.append(
+                f'<rect x="{x0:.1f}" y="{y}" width="{max(x1 - x0, 1):.1f}" '
+                f'height="{row_h}" fill="{color}"{stroke}>'
+                f'<title>{html.escape(tip)}</title></rect>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="render msim.intervals.v1 JSONL as standalone HTML")
+    ap.add_argument("path")
+    ap.add_argument("-o", "--output", default="intervals.html")
+    ap.add_argument("--title", default="msim interval telemetry")
+    args = ap.parse_args()
+
+    header, records = load(args.path)
+    threads = header["threads"]
+    interval = header["interval_cycles"]
+    mid = [(r["start"] + r["end"]) / 2 for r in records]
+
+    charts = []
+    charts.append(svg_chart(
+        "throughput IPC",
+        [("all threads", "#333", list(zip(mid, (r["ipc"] for r in records))))],
+        "IPC"))
+    charts.append(svg_chart(
+        "per-thread IPC",
+        [(f"T{t}", PALETTE[t % len(PALETTE)],
+          [(m, r["threads"][t]["ipc"]) for m, r in zip(mid, records)])
+         for t in range(threads)],
+        "IPC"))
+    charts.append(svg_phase_track(records, threads))
+    charts.append(svg_chart(
+        "shared-structure occupancy",
+        [("IQ", "#4c78a8",
+          list(zip(mid, (r["iq_occ"] for r in records)))),
+         ("DAB", "#e45756",
+          list(zip(mid, (r["dab_occ"] for r in records))))],
+        "mean entries"))
+    charts.append(svg_chart(
+        "cache MPKI",
+        [("L1D", "#4c78a8",
+          list(zip(mid, (r["l1d_mpki"] for r in records)))),
+         ("L2", "#f58518",
+          list(zip(mid, (r["l2_mpki"] for r in records))))],
+        "misses / 1k committed"))
+    charts.append(svg_chart(
+        "branch mispredict rate",
+        [("mispredict", "#b279a2",
+          list(zip(mid, (r["mispredict_rate"] for r in records))))],
+        "fraction", y_max=max(
+            (r["mispredict_rate"] for r in records), default=0.0) or 1.0))
+
+    rows = []
+    for t in range(threads):
+        committed = sum(r["threads"][t]["committed"] for r in records)
+        cycles = sum(r["end"] - r["start"] for r in records)
+        phases = {r["threads"][t]["phase"] for r in records}
+        changes = sum(1 for r in records if r["threads"][t]["changed"])
+        rows.append(
+            f"<tr><td>T{t}</td><td>{committed:,}</td>"
+            f"<td>{committed / max(cycles, 1):.3f}</td>"
+            f"<td>{len(phases)}</td><td>{changes}</td></tr>")
+
+    doc = f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>{html.escape(args.title)}</title>
+<style>
+body {{ font: 14px/1.5 system-ui, sans-serif; margin: 24px auto;
+       max-width: {W + 40}px; color: #222; }}
+h1 {{ font-size: 20px; }} .meta {{ color: #666; }}
+svg.chart {{ width: 100%; height: auto; display: block; margin: 18px 0;
+             background: #fafafa; border: 1px solid #e5e5e5; }}
+.ctitle {{ font: 600 12px sans-serif; }} .leg, .ylab, .xlab, .xlab2
+{{ font: 10px sans-serif; fill: #555; }}
+.ylab {{ text-anchor: end; }} .xlab {{ text-anchor: end; }}
+.grid {{ stroke: #ddd; stroke-width: 0.5; }}
+table {{ border-collapse: collapse; }} td, th {{ border: 1px solid #ccc;
+padding: 3px 10px; text-align: right; }}
+</style></head><body>
+<h1>{html.escape(args.title)}</h1>
+<p class="meta">schema {html.escape(header["schema"])} &middot;
+{len(records)} records &middot; {threads} thread(s) &middot;
+interval {interval:,} cycles &middot; source
+{html.escape(args.path)}</p>
+{"".join(charts)}
+<table><tr><th>thread</th><th>committed</th><th>mean IPC</th>
+<th>phases</th><th>changes</th></tr>{"".join(rows)}</table>
+</body></html>
+"""
+    with open(args.output, "w", encoding="utf-8") as f:
+        f.write(doc)
+    print(f"wrote {args.output}: {len(records)} record(s), "
+          f"{threads} thread(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
