@@ -10,6 +10,7 @@
 // suite cross-checks against EXPERIMENTS.md's knob table.  Highlights:
 //
 //   benchmarks=, sched=, fetch=, deadlock=, iq=, warmup=, horizon=, seed=
+//   mode=sampled with region=, detail_warmup=, pilot=, --sampled-json PATH
 //   sweep=2|3|4 with --jobs N and --sweep-json PATH
 //   --stats-json, --trace-out, trace_format=, trace_capacity=
 //   interval=N, --interval-json PATH      interval telemetry (JSONL stream,
@@ -41,6 +42,7 @@
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
 #include "persist/atomic_file.hpp"
+#include "persist/interval_stream.hpp"
 #include "persist/signal.hpp"
 #include "robust/diagnostic.hpp"
 #include "robust/fault.hpp"
@@ -48,6 +50,7 @@
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 #include "sim/run.hpp"
+#include "sim/sampled.hpp"
 #include "trace/profile.hpp"
 
 namespace {
@@ -282,6 +285,89 @@ int run_sweep_mode(const KvConfig& cli, sim::RunConfig base, unsigned threads,
   return failures.empty() ? 0 : 1;
 }
 
+/// mode=sampled (docs/SAMPLING.md): runs the phase-guided sampled engine
+/// and prints the reconstituted whole-run estimates instead of the full
+/// per-component report (only the detailed regions were ever simulated at
+/// cycle level, so exact-mode counters do not exist).
+int run_sampled_mode(const KvConfig& cli, const sim::RunConfig& cfg,
+                     unsigned jobs, obs::TimerRegistry& timers) {
+  if (!cli.get_string("stats_json", "").empty()) {
+    throw std::invalid_argument(
+        "--stats-json reports the full metric registry of an exact run; "
+        "mode=sampled produces estimates -- use --sampled-json instead");
+  }
+  sim::SampledConfig scfg;
+  scfg.region_length = cli.get_uint("region", scfg.region_length);
+  scfg.detail_warmup = cli.get_uint("detail_warmup", scfg.detail_warmup);
+  scfg.pilot = cli.get_uint("pilot", scfg.pilot);
+  scfg.jobs = jobs;
+
+  std::cout << "msim-ooo sampled: " << core::scheduler_kind_name(cfg.kind)
+            << ", " << cfg.iq_entries << "-entry IQ, "
+            << cfg.benchmarks.size() << " thread(s), region="
+            << scfg.region_length << " detail_warmup=" << scfg.detail_warmup
+            << " pilot=" << scfg.pilot << "\n\n";
+
+  std::optional<sim::SampledResult> result;
+  {
+    const obs::ScopeTimer run_timer(timers, "run");
+    result = sim::run_sampled(cfg, scfg);
+  }
+  const sim::SampledResult& r = *result;
+
+  TextTable est({"estimate", "value"});
+  auto row = [&est](std::string_view k, double v, int prec = 3) {
+    est.begin_row();
+    est.add_cell(k);
+    est.add_cell(v, prec);
+  };
+  row("throughput IPC", r.est_ipc);
+  row("  +/- 95% band", r.ipc_ci95);
+  for (std::size_t t = 0; t < r.per_thread_ipc.size(); ++t) {
+    row("thread " + std::to_string(t) + " (" + cfg.benchmarks[t] + ") IPC",
+        r.per_thread_ipc[t]);
+  }
+  row("L1D MPKI", r.est_l1d_mpki, 2);
+  row("L2 MPKI", r.est_l2_mpki, 2);
+  row("branch mispredict rate", r.est_mispredict_rate, 4);
+  est.print(std::cout, "whole-run estimates (sampled)");
+
+  std::cout << "coverage: " << r.regions_detailed << " of " << r.regions_total
+            << " region(s) simulated in detail (" << r.clusters
+            << " phase cluster(s)); " << r.detailed_committed
+            << " detailed instructions stand in for "
+            << r.exact_equivalent_instructions << "\n";
+
+  if (cfg.interval_cycles != 0) {
+    if (!cfg.interval_json.empty()) {
+      persist::IntervalStreamWriter writer(
+          cfg.interval_json,
+          obs::IntervalConfig{.interval_cycles = cfg.interval_cycles},
+          static_cast<unsigned>(cfg.benchmarks.size()),
+          /*already_streamed=*/0);
+      for (const obs::IntervalRecord& rec : r.intervals) writer.append(rec);
+      writer.finalize();
+    }
+    std::cout << "interval telemetry: " << r.intervals.size()
+              << " record(s) from the detailed regions ("
+              << r.intervals_dropped << " dropped from rings)";
+    if (!cfg.interval_json.empty()) {
+      std::cout << ", streamed to " << cfg.interval_json;
+    }
+    std::cout << "\n";
+  }
+
+  const std::string sampled_json = cli.get_string("sampled_json", "");
+  if (!sampled_json.empty()) {
+    std::ostringstream out;
+    sim::write_sampled_json(out, cfg, scfg, r);
+    persist::write_text_atomic(sampled_json, out.str());
+    std::cout << "wrote sampled report (" << r.regions_total << " regions) to "
+              << sampled_json << "\n";
+  }
+  return 0;
+}
+
 int run_cli(const KvConfig& cli) {
   const unsigned sweep = static_cast<unsigned>(cli.get_uint("sweep", 0));
   const std::uint64_t jobs =
@@ -371,7 +457,18 @@ int run_cli(const KvConfig& cli) {
   cfg.interval_cycles = interval;
   if (want_bus) cfg.progress_bus = &bus;
 
+  const std::string mode = cli.get_string("mode", "exact");
+  if (mode != "exact" && mode != "sampled") {
+    throw std::invalid_argument("unknown mode: '" + mode +
+                                "' (exact | sampled)");
+  }
+
   if (sweep != 0) {
+    if (mode == "sampled") {
+      throw std::invalid_argument(
+          "mode=sampled is single-run only; sweep cells are exact "
+          "simulations (sample one configuration at a time)");
+    }
     if (!interval_json.empty()) {
       throw std::invalid_argument(
           "--interval-json is single-run only (sweep cells keep their "
@@ -406,6 +503,13 @@ int run_cli(const KvConfig& cli) {
   if (cli.get_bool("dump_config", false)) {
     dump_machine_config_json(std::cout, cfg.machine());
     return 0;
+  }
+
+  if (mode == "sampled") {
+    const int rc =
+        run_sampled_mode(cli, cfg, static_cast<unsigned>(jobs), timers);
+    maybe_write_chrome_trace(chrome_trace, timers);
+    return rc;
   }
 
   std::cout << "msim-ooo: " << core::scheduler_kind_name(cfg.kind) << ", "

@@ -8,10 +8,6 @@
 namespace msim {
 namespace {
 
-constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-  return (x << k) | (x >> (64 - k));
-}
-
 // SplitMix64: expands one 64-bit seed into a well-mixed stream used only
 // for state initialization.
 std::uint64_t splitmix64(std::uint64_t& state) noexcept {
@@ -36,34 +32,7 @@ void Rng::reseed(std::uint64_t seed) noexcept {
   }
 }
 
-std::uint64_t Rng::next_u64() noexcept {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
 
-std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
-  MSIM_CHECK(bound > 0);
-  // Lemire's nearly-divisionless unbiased bounded generation.
-  std::uint64_t x = next_u64();
-  __uint128_t m = static_cast<__uint128_t>(x) * bound;
-  auto lo = static_cast<std::uint64_t>(m);
-  if (lo < bound) {
-    const std::uint64_t threshold = (0 - bound) % bound;
-    while (lo < threshold) {
-      x = next_u64();
-      m = static_cast<__uint128_t>(x) * bound;
-      lo = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
-}
 
 std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) noexcept {
   MSIM_CHECK(lo <= hi);
@@ -71,34 +40,9 @@ std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) noexcept {
   return lo + static_cast<std::int64_t>(next_below(span));
 }
 
-double Rng::next_double() noexcept {
-  // 53 high bits -> double in [0, 1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
 
-bool Rng::chance(double p) noexcept {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return next_double() < p;
-}
 
-std::uint64_t Rng::next_geometric(double p) noexcept {
-  MSIM_CHECK(p > 0.0 && p <= 1.0);
-  if (p >= 1.0) return 0;
-  const double u = 1.0 - next_double();  // in (0, 1]
-  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
-}
 
-std::size_t Rng::next_index(std::span<const double> cumulative) noexcept {
-  MSIM_CHECK(!cumulative.empty());
-  const double total = cumulative.back();
-  MSIM_CHECK(total > 0.0);
-  const double u = next_double() * total;
-  for (std::size_t i = 0; i < cumulative.size(); ++i) {
-    if (u < cumulative[i]) return i;
-  }
-  return cumulative.size() - 1;
-}
 
 Rng Rng::split() noexcept {
   Rng child;

@@ -9,9 +9,12 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <string_view>
+
+#include "common/check.hpp"
 
 namespace msim {
 
@@ -28,29 +31,85 @@ class Rng {
   /// Re-initializes the state from `seed`; equivalent to constructing anew.
   void reseed(std::uint64_t seed) noexcept;
 
+  // The draw primitives below are defined inline: trace generation makes
+  // several draws per synthesized instruction, and the out-of-line call
+  // overhead dominated generator-bound profiles.  The arithmetic is
+  // unchanged -- every sequence is bit-identical to the out-of-line
+  // versions (golden digests pin this).
+
   /// Next raw 64-bit output.
-  std::uint64_t next_u64() noexcept;
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform integer in [0, bound). `bound` must be > 0.
   /// Uses Lemire's multiply-shift rejection method (unbiased).
-  std::uint64_t next_below(std::uint64_t bound) noexcept;
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    MSIM_CHECK(bound > 0);
+    // Lemire's nearly-divisionless unbiased bounded generation.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
   std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept;
 
   /// Uniform double in [0, 1).
-  double next_double() noexcept;
+  double next_double() noexcept {
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Bernoulli trial: true with probability `p` (clamped to [0,1]).
-  bool chance(double p) noexcept;
+  bool chance(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
 
   /// Geometric sample: number of failures before the first success with
   /// per-trial success probability `p` in (0, 1].  Mean = (1-p)/p.
-  std::uint64_t next_geometric(double p) noexcept;
+  std::uint64_t next_geometric(double p) noexcept {
+    MSIM_CHECK(p > 0.0 && p <= 1.0);
+    if (p >= 1.0) return 0;
+    if (p != geom_p_) {
+      geom_p_ = p;
+      geom_log1p_ = std::log1p(-p);
+    }
+    const double u = 1.0 - next_double();  // in (0, 1]
+    return static_cast<std::uint64_t>(std::floor(std::log(u) / geom_log1p_));
+  }
 
   /// Samples an index from a discrete distribution given cumulative weights.
   /// `cumulative` must be non-empty and non-decreasing with a positive back().
-  std::size_t next_index(std::span<const double> cumulative) noexcept;
+  std::size_t next_index(std::span<const double> cumulative) noexcept {
+    MSIM_CHECK(!cumulative.empty());
+    const double total = cumulative.back();
+    MSIM_CHECK(total > 0.0);
+    const double u = next_double() * total;
+    for (std::size_t i = 0; i < cumulative.size(); ++i) {
+      if (u < cumulative[i]) return i;
+    }
+    return cumulative.size() - 1;
+  }
 
   /// Splits off an independent generator, e.g. one per thread context.
   /// Derived from the current state, so the split sequence is deterministic.
@@ -62,9 +121,18 @@ class Rng {
   void load_state(persist::Archive& ar);
 
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
   void state_io(persist::Archive& ar);
 
   std::array<std::uint64_t, 4> s_{};
+  // One-entry memo for next_geometric's log1p(-p): callers draw with a
+  // handful of fixed p values, and the libm call shows up in generator-bound
+  // profiles.  Pure cache (same p -> bit-identical result), never serialized.
+  double geom_p_ = -1.0;
+  double geom_log1p_ = 0.0;
 };
 
 /// Builds the cumulative weight vector used by Rng::next_index from raw

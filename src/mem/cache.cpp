@@ -1,6 +1,7 @@
 #include "mem/cache.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/archive.hpp"
 #include "common/check.hpp"
@@ -12,11 +13,18 @@ Cache::Cache(const CacheConfig& config) : config_(config), set_count_(config.set
   MSIM_CHECK(config_.size_bytes % (static_cast<std::uint64_t>(config_.assoc) * config_.line_bytes) == 0);
   MSIM_CHECK(set_count_ > 0);
   MSIM_CHECK(config_.mshr_count > 0);
+  MSIM_CHECK((config_.line_bytes & (config_.line_bytes - 1)) == 0);
+  MSIM_CHECK((set_count_ & (set_count_ - 1)) == 0);
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(config_.line_bytes));
+  set_mask_ = set_count_ - 1;
   lines_.resize(static_cast<std::size_t>(set_count_) * config_.assoc);
 }
 
 void Cache::prune_outstanding(Cycle now) {
+  if (min_fill_ > now) return;  // nothing has completed yet
   std::erase_if(outstanding_, [now](const auto& miss) { return miss.second <= now; });
+  min_fill_ = kCycleNever;
+  for (const auto& miss : outstanding_) min_fill_ = std::min(min_fill_, miss.second);
 }
 
 Cache::AccessResult Cache::access(Addr addr, bool is_store, Cycle now) {
@@ -56,9 +64,8 @@ Cache::AccessResult Cache::access(Addr addr, bool is_store, Cycle now) {
   // earliest outstanding miss completes.
   Cycle miss_start = now;
   if (outstanding_.size() >= config_.mshr_count) {
-    Cycle earliest = kCycleNever;
-    for (const auto& miss : outstanding_) earliest = std::min(earliest, miss.second);
-    miss_start = earliest;
+    // All entries survived the prune above, so min_fill_ is exact.
+    miss_start = min_fill_;
     stats_.mshr_stall_cycles += miss_start - now;
   }
   return {.hit = false, .extra_latency = config_.hit_extra, .miss_start = miss_start};
@@ -92,6 +99,7 @@ void Cache::fill(Addr addr, bool is_store, Cycle now, Cycle fill_time) {
   // at access() and is not re-filled -- but stay defensive).
   if (fill_time > now && find_outstanding(laddr) == nullptr) {
     outstanding_.emplace_back(laddr, fill_time);
+    min_fill_ = std::min(min_fill_, fill_time);
   }
 }
 
@@ -103,6 +111,16 @@ bool Cache::probe(Addr addr) const noexcept {
     if (base[w].valid && base[w].tag == laddr) return true;
   }
   return false;
+}
+
+std::vector<Addr> Cache::resident_lines() const {
+  std::vector<Addr> out;
+  out.reserve(lines_.size());
+  for (const Line& line : lines_) {
+    if (line.valid) out.push_back(line.tag);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 void Cache::state_io(persist::Archive& ar) {
@@ -117,6 +135,9 @@ void Cache::state_io(persist::Archive& ar) {
     a.io(m.first);
     a.io(m.second);
   });
+  // min_fill_ is derived from outstanding_, not part of the format.
+  min_fill_ = kCycleNever;
+  for (const auto& miss : outstanding_) min_fill_ = std::min(min_fill_, miss.second);
   ar.io(stats_.accesses);
   ar.io(stats_.misses);
   ar.io(stats_.coalesced_misses);

@@ -70,6 +70,30 @@ class Cache {
   /// refreshed; on a miss the caller must later call `fill`.
   AccessResult access(Addr addr, bool is_store, Cycle now);
 
+  /// Inline fast path for the overwhelmingly common case: a hit while no
+  /// miss is in flight at this level.  Returns the extra latency, or -1
+  /// when the caller must take the out-of-line access() path (a miss, or
+  /// possible coalescing with an outstanding fill).  Equivalent to
+  /// access() whenever it returns >= 0; accesses that fall through are
+  /// *not* counted here (access() counts them).
+  [[nodiscard]] std::int32_t try_hit(Addr addr, bool is_store,
+                                     Cycle now) noexcept {
+    if (!outstanding_.empty()) return -1;
+    const Addr laddr = line_addr(addr);
+    const std::uint32_t set = set_index(laddr);
+    Line* base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+      Line& line = base[w];
+      if (line.valid && line.tag == laddr) {
+        ++stats_.accesses;
+        line.last_used = now;
+        line.dirty = line.dirty || is_store;
+        return static_cast<std::int32_t>(config_.hit_extra);
+      }
+    }
+    return -1;
+  }
+
   /// Installs the line for a miss that completes at `fill_time` and
   /// registers it in the outstanding-miss table (so later accesses to the
   /// same line coalesce instead of re-missing).
@@ -77,6 +101,12 @@ class Cache {
 
   /// True when the line is present (test/introspection helper).
   [[nodiscard]] bool probe(Addr addr) const noexcept;
+
+  /// Line addresses (addr / line_bytes) of every valid line, sorted
+  /// ascending.  Content comparison helper for the functional-warm-up
+  /// equivalence tests: two caches that saw the same miss/eviction sequence
+  /// have equal resident sets even when their LRU timestamps differ.
+  [[nodiscard]] std::vector<Addr> resident_lines() const;
 
   [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
@@ -97,20 +127,32 @@ class Cache {
     bool dirty = false;
   };
 
-  [[nodiscard]] Addr line_addr(Addr addr) const noexcept { return addr / config_.line_bytes; }
+  // line_bytes and set_count are power-of-two in every supported config
+  // (checked in the constructor), so the per-access address math is a
+  // shift + mask -- a hardware divide here costs ~10% of whole-run time.
+  [[nodiscard]] Addr line_addr(Addr addr) const noexcept {
+    return addr >> line_shift_;
+  }
   [[nodiscard]] std::uint32_t set_index(Addr laddr) const noexcept {
-    return static_cast<std::uint32_t>(laddr % set_count_);
+    return static_cast<std::uint32_t>(laddr & set_mask_);
   }
 
   void prune_outstanding(Cycle now);
 
   CacheConfig config_;
   std::uint32_t set_count_;
+  std::uint32_t line_shift_ = 0;
+  Addr set_mask_ = 0;
   std::vector<Line> lines_;  ///< set-major: lines_[set * assoc + way]
   /// (line address, fill completion time) pairs, for coalescing & MSHR
   /// occupancy.  At most ~mshr_count entries live at once, so a flat array
   /// with linear search beats a tree.
   std::vector<std::pair<Addr, Cycle>> outstanding_;
+  /// Earliest fill completion among outstanding_ (kCycleNever when empty).
+  /// Lets prune_outstanding skip its scan while nothing has completed --
+  /// the common case when tens of misses are in flight -- and resolves
+  /// MSHR saturation without a scan.  Derived state: recomputed on load.
+  Cycle min_fill_ = kCycleNever;
   [[nodiscard]] const std::pair<Addr, Cycle>* find_outstanding(Addr laddr) const noexcept {
     for (const auto& miss : outstanding_) {
       if (miss.first == laddr) return &miss;

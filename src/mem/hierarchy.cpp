@@ -27,14 +27,6 @@ std::uint32_t MemoryHierarchy::access_through(Cache& l1, Addr addr, bool is_stor
   return static_cast<std::uint32_t>(fill_time - now);
 }
 
-std::uint32_t MemoryHierarchy::access_data(Addr addr, bool is_store, Cycle now) {
-  return access_through(l1d_, addr, is_store, now);
-}
-
-std::uint32_t MemoryHierarchy::access_inst(Addr pc, Cycle now) {
-  return access_through(l1i_, pc, /*is_store=*/false, now);
-}
-
 HierarchyStats MemoryHierarchy::stats() const {
   return {.l1i = l1i_.stats(),
           .l1d = l1d_.stats(),

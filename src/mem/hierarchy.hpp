@@ -45,12 +45,21 @@ class MemoryHierarchy {
   explicit MemoryHierarchy(const HierarchyConfig& config = {});
 
   /// Data access (load or store) at `now`; returns extra cycles until the
-  /// value is available (0 on an L1D hit).
-  std::uint32_t access_data(Addr addr, bool is_store, Cycle now);
+  /// value is available (0 on an L1D hit).  The L1 hit case stays inline;
+  /// misses and in-flight-fill bookkeeping take the out-of-line path.
+  std::uint32_t access_data(Addr addr, bool is_store, Cycle now) {
+    const std::int32_t fast = l1d_.try_hit(addr, is_store, now);
+    if (fast >= 0) return static_cast<std::uint32_t>(fast);
+    return access_through(l1d_, addr, is_store, now);
+  }
 
   /// Instruction fetch of the line containing `pc` at `now`; returns extra
   /// cycles until fetch can proceed (0 on an L1I hit).
-  std::uint32_t access_inst(Addr pc, Cycle now);
+  std::uint32_t access_inst(Addr pc, Cycle now) {
+    const std::int32_t fast = l1i_.try_hit(pc, /*is_store=*/false, now);
+    if (fast >= 0) return static_cast<std::uint32_t>(fast);
+    return access_through(l1i_, pc, /*is_store=*/false, now);
+  }
 
   [[nodiscard]] HierarchyStats stats() const;
   [[nodiscard]] const HierarchyConfig& config() const noexcept { return config_; }
@@ -70,6 +79,9 @@ class MemoryHierarchy {
   [[nodiscard]] Cache& l1d() noexcept { return l1d_; }
   [[nodiscard]] Cache& l1i() noexcept { return l1i_; }
   [[nodiscard]] Cache& l2() noexcept { return l2_; }
+  [[nodiscard]] const Cache& l1d() const noexcept { return l1d_; }
+  [[nodiscard]] const Cache& l1i() const noexcept { return l1i_; }
+  [[nodiscard]] const Cache& l2() const noexcept { return l2_; }
 
   void save_state(persist::Archive& ar) const;
   void load_state(persist::Archive& ar);

@@ -115,6 +115,7 @@ void io_interval_record(persist::Archive& ar, IntervalRecord& r) {
   ar.io(r.l1d_mpki);
   ar.io(r.l2_mpki);
   ar.io(r.mispredict_rate);
+  ar.io(r.region_id);
   ar.io_sequence(r.threads, [](persist::Archive& a, ThreadIntervalSample& t) {
     a.io(t.committed);
     a.io(t.fetched);
@@ -310,6 +311,7 @@ std::string format_interval_record(const IntervalRecord& r) {
   w.kv("l1d_mpki", r.l1d_mpki);
   w.kv("l2_mpki", r.l2_mpki);
   w.kv("mispredict_rate", r.mispredict_rate);
+  if (r.region_id >= 0) w.kv("region", static_cast<std::uint64_t>(r.region_id));
   w.key("threads");
   w.begin_array();
   for (const ThreadIntervalSample& t : r.threads) {

@@ -122,6 +122,10 @@ struct IntervalRecord {
   double l1d_mpki = 0.0;       ///< misses per 1000 committed instructions
   double l2_mpki = 0.0;
   double mispredict_rate = 0.0;
+  /// Sampled mode (docs/SAMPLING.md): index of the detailed region this
+  /// record was measured in.  -1 (the default) means a normal exact run;
+  /// the JSON formatter only emits the field when it is set.
+  std::int64_t region_id = -1;
   std::vector<ThreadIntervalSample> threads;
 };
 

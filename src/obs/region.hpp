@@ -1,0 +1,138 @@
+// Region profiles and phase-fingerprint clustering for sampled simulation
+// (mode=sampled, docs/SAMPLING.md).
+//
+// The functional fast path (smt::Pipeline::run_functional) carves the run
+// into fixed-length per-thread instruction regions and summarizes each one
+// with the rate features below.  Regions are clustered by a quantized
+// FNV-1a fingerprint -- the same first-seen scheme the interval engine uses
+// for per-thread phase ids -- and one representative per cluster is then
+// simulated in detail, weighted by how many measured instructions its
+// cluster covers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace msim::obs {
+
+/// Per-thread event counts for one region of the functional profile pass.
+struct RegionThreadProfile {
+  std::uint64_t instructions = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t mispredicts = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+};
+
+/// One fixed-length region of the functional profile pass: per-thread
+/// instruction-mix rates plus the shared-cache miss deltas over the region.
+struct RegionProfile {
+  std::uint64_t index = 0;
+  /// Per-thread instructions of this region that fall inside the measured
+  /// window [warmup, warmup + horizon); 0 for warm-up-only regions.
+  std::uint64_t weight = 0;
+  std::uint64_t l1i_misses = 0;
+  std::uint64_t l1d_misses = 0;
+  std::uint64_t l2_misses = 0;
+  std::vector<RegionThreadProfile> threads;
+
+  [[nodiscard]] std::uint64_t total_instructions() const noexcept {
+    std::uint64_t total = 0;
+    for (const RegionThreadProfile& t : threads) total += t.instructions;
+    return total;
+  }
+};
+
+/// FNV-1a hash over the region's quantized feature vector: per thread the
+/// branch / mispredict / load / store rates in 1/16 steps, plus the global
+/// L1I/L1D/L2 misses per kilo-instruction in 16-MPKI steps.  Used as a
+/// compact region identity in reports and digests; clustering uses the
+/// continuous features below instead, because hashing quantized bins
+/// fragments stationary regions whose features sit on a bin boundary.
+[[nodiscard]] std::uint64_t region_fingerprint(const RegionProfile& profile);
+
+/// The region's feature vector in exact fixed-point units, so clustering
+/// involves no floating point at all and is bit-identical across builds
+/// and optimization levels: per thread the branch / load / store rates in
+/// per-mille, then the global mispredicts and L1I/L1D/L2 misses in
+/// milli-MPKI (misses * 10^6 / instructions).
+[[nodiscard]] std::vector<std::uint64_t> region_features(
+    const RegionProfile& profile);
+
+/// First-seen leader clustering: the first region whose features match no
+/// existing cluster leader founds a new cluster; later regions join the
+/// first (lowest-id) cluster whose *leader* is within tolerance on every
+/// feature.  Comparing against the fixed leader (not a drifting centroid)
+/// keeps assignment deterministic and order-stable, and bounds every
+/// member's distance from its representative.  Cluster ids are dense and
+/// assigned in region order.
+class RegionClusters {
+ public:
+  /// Per-feature match tolerance in feature units: rate features (per-mille)
+  /// use `rate_atol` only; MPKI features (milli-MPKI) use
+  /// `mpki_atol + leader / mpki_rtol_div`.  The defaults are several times
+  /// the Poisson noise of a few-thousand-instruction region at the traces'
+  /// miss rates, so statistically stationary regions collapse into one
+  /// cluster instead of one cluster per noise realization, while genuine
+  /// phase changes (several MPKI or whole percentage points of rate) still
+  /// separate.
+  struct Tolerance {
+    std::uint64_t rate_atol = 50;       ///< 0.05 in per-mille units
+    std::uint64_t mpki_atol = 4000;     ///< 4 MPKI in milli-MPKI units
+    std::uint64_t mpki_rtol_div = 4;    ///< +25% of the leader's value
+
+    /// Tolerance for a run carved into `region_count` regions.  Merging
+    /// exists only to bound detailed-simulation work: on a short run
+    /// (at most kSmallRun regions) replaying every distinct region is
+    /// affordable, so the band drops to near the measurement noise and no
+    /// merge error is paid -- in particular a cold-start region is never
+    /// folded into a warm one it superficially resembles.  Long runs keep
+    /// the default band, which is what makes sampling pay for itself.
+    static constexpr std::uint64_t kSmallRun = 32;
+    [[nodiscard]] static Tolerance for_region_count(std::uint64_t region_count) {
+      Tolerance tol;
+      if (region_count <= kSmallRun) {
+        tol.rate_atol = 10;     // 0.01 per-mille
+        tol.mpki_atol = 500;    // 0.5 MPKI
+        tol.mpki_rtol_div = 16; // +6.25%
+      }
+      return tol;
+    }
+  };
+
+  RegionClusters() = default;
+  explicit RegionClusters(const Tolerance& tol) : tol_(tol) {}
+
+  /// Cluster id for `profile`, allocating a new id (with `profile` as the
+  /// cluster leader) when no leader is within tolerance.  Call once per
+  /// region, in region order.
+  std::size_t assign(const RegionProfile& profile);
+
+  [[nodiscard]] std::size_t size() const noexcept { return leaders_.size(); }
+
+  /// The member of `cluster` (chosen among `candidates`, region indices in
+  /// assignment order) whose features are closest to the cluster centroid
+  /// over those candidates, in tolerance-normalized L1 distance; ties break
+  /// to the lowest region index.  A first-seen cluster *leader* sits at the
+  /// edge of its tolerance band by construction -- under a slowly drifting
+  /// feature (e.g. the L2 miss rate while the cache fills) it is a biased
+  /// stand-in for the band, whereas the medoid is central.
+  [[nodiscard]] std::size_t medoid(std::size_t cluster,
+                                   const std::vector<std::uint64_t>& candidates)
+      const;
+
+ private:
+  [[nodiscard]] bool matches(const std::vector<std::uint64_t>& leader,
+                             const std::vector<std::uint64_t>& features) const;
+  [[nodiscard]] std::uint64_t tolerance_of(std::size_t index,
+                                           std::uint64_t reference) const;
+
+  Tolerance tol_;
+  std::size_t rate_count_ = 0;  ///< leading per-mille features per vector
+  std::vector<std::vector<std::uint64_t>> leaders_;  ///< features by cluster id
+  std::vector<std::vector<std::uint64_t>> features_;  ///< features by region
+  std::vector<std::size_t> clusters_;                 ///< cluster id by region
+};
+
+}  // namespace msim::obs

@@ -24,7 +24,8 @@ namespace msim::persist {
 
 /// v2: the pipeline payload gained the interval-telemetry engine section
 /// (ring, phase tables, stream cursor) after the sampled-gauge block.
-inline constexpr std::uint32_t kCheckpointFormatVersion = 2;
+/// v3: interval records carry a region_id (sampled mode, docs/SAMPLING.md).
+inline constexpr std::uint32_t kCheckpointFormatVersion = 3;
 
 /// Run phase recorded in a checkpoint, so resume knows whether the
 /// post-warm-up stats reset already happened.

@@ -17,7 +17,8 @@
 namespace msim::persist {
 
 /// v2: the RunResult payload gained interval records + drop count.
-inline constexpr std::uint32_t kJournalFormatVersion = 2;
+/// v3: interval records carry a region_id (sampled mode, docs/SAMPLING.md).
+inline constexpr std::uint32_t kJournalFormatVersion = 3;
 
 class SweepJournal {
  public:

@@ -27,6 +27,18 @@ Machine:
 Run horizon:
   warmup=N  horizon=N  seed=N  max_cycles=N
 
+Sampled simulation (docs/SAMPLING.md):
+  mode=exact|sampled    sampled: one functional warm-up pass clusters the
+                        run into phase regions; only one representative
+                        region per cluster is simulated in detail and the
+                        whole-run IPC / MPKI are reconstituted   [exact]
+  region=N              region length, per-thread instructions   [2000]
+  detail_warmup=N       detailed warm-up instructions before each
+                        measured region                          [1000]
+  pilot=N               detailed pilot length for per-thread commit-rate
+                        pacing (0 = lockstep)                    [5000]
+  --sampled-json PATH   write the msim.sampled.v1 estimate report
+
 Sweep mode:
   sweep=2|3|4           12-mix figure sweep for that thread count
                         (iq and sched become comma lists)
@@ -77,7 +89,8 @@ SIGTERM=143).
 constexpr std::string_view kKnownKeys[] = {
     "benchmarks", "sched", "fetch", "deadlock", "iq", "scan_depth",
     "watchdog_timeout", "oracle_disambiguation", "wrong_path", "warmup",
-    "horizon", "seed", "max_cycles", "sweep", "jobs", "sweep_json",
+    "horizon", "seed", "max_cycles", "mode", "region", "detail_warmup",
+    "pilot", "sampled_json", "sweep", "jobs", "sweep_json",
     "stats_json", "trace_out", "trace_format", "trace_capacity",
     "interval", "interval_json", "progress", "progress_json", "chrome_trace",
     "dump_config", "verify", "hang_cycles", "fault_intensity", "fault_seed",
@@ -88,7 +101,7 @@ constexpr std::string_view kValueFlags[] = {
     "stats_json",   "trace_out",     "trace_format", "trace_capacity",
     "jobs",         "sweep_json",    "diag",         "checkpoint",
     "checkpoint_every", "resume",    "interval",     "interval_json",
-    "progress_json", "chrome_trace"};
+    "progress_json", "chrome_trace", "sampled_json"};
 
 }  // namespace
 

@@ -1,0 +1,127 @@
+// Sampled simulation (mode=sampled, docs/SAMPLING.md): SimPoint-style
+// phase-guided region sampling over the synthetic traces.
+//
+// A functional fast pass (smt::Pipeline::run_functional) streams the whole
+// run once, warming caches and predictors while carving it into
+// fixed-length per-thread instruction regions.  Each region is summarized
+// by a quantized phase fingerprint (obs/region.hpp); regions with equal
+// fingerprints form a cluster and only one representative per cluster is
+// simulated in detail, launched from an in-memory Archive checkpoint taken
+// at the region boundary minus a short detailed warm-up.  Region sims run
+// in parallel on the shared ThreadPool and are aggregated in fixed region
+// order, so the estimate is bit-identical at any jobs count.  A
+// statistics reconstitutor scales each representative by its cluster
+// weight into whole-run IPC / MPKI / mispredict estimates with a
+// dispersion-based confidence band, exported as a `msim.sampled.v1` JSON
+// report that tools/check_sampled.py gates against an exact run.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/interval.hpp"
+#include "sim/run.hpp"
+
+namespace msim::sim {
+
+/// Knobs of the sampled engine (CLI: region=, detail_warmup=, jobs=).
+struct SampledConfig {
+  /// Region granularity in per-thread instructions.  Smaller regions give
+  /// finer phase resolution but more detailed-sim work per cluster.
+  std::uint64_t region_length = 2'000;
+  /// Detailed instructions (per thread) simulated before each region's
+  /// measured window, so the pipeline refills and the threads develop
+  /// natural relative skew before measurement.  May exceed region_length
+  /// (the checkpoint is simply taken further back).
+  std::uint64_t detail_warmup = 1'000;
+  /// Detailed pilot run (in per-thread instructions of its fastest thread)
+  /// used to estimate relative per-thread commit rates before the
+  /// functional pass.  The paper's ICOUNT stop rule is any-thread, so
+  /// threads drift apart over a long run; pacing the functional pass by
+  /// the pilot's rates keeps sampled regions in the thread-progress mix an
+  /// exact run actually visits.  0 = lockstep (all threads equal), which
+  /// is only accurate for short or rate-balanced workloads.
+  std::uint64_t pilot = 5'000;
+  /// Concurrent region simulations; 0 = ThreadPool::default_parallelism().
+  /// The estimate is bit-identical at any value.
+  unsigned jobs = 1;
+
+  /// Rejects knob combinations the sampled engine does not support
+  /// (checkpoint/resume, max_cycles truncation, lifecycle tracing).
+  void validate(const RunConfig& base) const;
+};
+
+/// One region of the functional profile pass, plus -- for cluster
+/// representatives -- the detailed measurements taken from its replay.
+struct SampledRegion {
+  std::uint64_t index = 0;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t cluster = 0;
+  /// This region's per-thread-instruction overlap with the measured window.
+  std::uint64_t weight = 0;
+  bool detailed = false;
+  // Representatives only: the cluster's total weight and the measured
+  // detailed region statistics.
+  std::uint64_t cluster_weight = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t committed = 0;
+  std::vector<std::uint64_t> per_thread_committed;
+  std::uint64_t l1d_misses = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t mispredicts = 0;
+  /// Commit digest of the detailed region sim (detail warm-up + measure),
+  /// pinning region behaviour bit-exactly across hosts and job counts.
+  std::uint64_t digest = 0;
+};
+
+/// Whole-run estimates reconstituted from the weighted representatives.
+struct SampledResult {
+  double est_ipc = 0.0;
+  /// Heuristic 95% confidence band: weighted between-cluster IPC
+  /// dispersion over an effective sample size -- a phase-spread indicator,
+  /// not a guaranteed bound (see docs/SAMPLING.md).
+  double ipc_ci95 = 0.0;
+  double est_l1d_mpki = 0.0;
+  double est_l2_mpki = 0.0;
+  double est_mispredict_rate = 0.0;
+  std::vector<double> per_thread_ipc;
+
+  std::uint64_t regions_total = 0;
+  std::uint64_t regions_detailed = 0;
+  std::uint64_t clusters = 0;
+  /// Instructions executed by the functional pass (all threads).
+  std::uint64_t functional_instructions = 0;
+  /// Instructions committed by the detailed region sims (warm-up + measure).
+  std::uint64_t detailed_committed = 0;
+  /// Total committed instructions an exact run of the same config would
+  /// simulate (warm-up included): the instruction stream the functional
+  /// pass carried over the whole span, paced to mirror the exact run's
+  /// thread skew.  Numerator of the "effective KIPS" speed metric in
+  /// BENCH_sim_speed.json.
+  std::uint64_t exact_equivalent_instructions = 0;
+  /// FNV-1a over (region index, region digest) of the detailed regions in
+  /// region order: one value pinning the whole region selection + replay.
+  std::uint64_t sampled_digest = 0;
+
+  std::vector<SampledRegion> regions;
+  /// Interval records of the detailed regions only (when the base config
+  /// enables interval telemetry), concatenated in region order with
+  /// region_id set.
+  std::vector<obs::IntervalRecord> intervals;
+  std::uint64_t intervals_dropped = 0;
+};
+
+/// Runs the sampled engine.  Throws std::invalid_argument for unsupported
+/// knob combinations and robust::SimulationAborted -- with a diagnostic
+/// bundle naming the failing region -- when a detailed region sim trips the
+/// hang watchdog or an invariant check.
+SampledResult run_sampled(const RunConfig& base, const SampledConfig& sampled);
+
+/// `msim.sampled.v1` report (see docs/SAMPLING.md for the schema).
+void write_sampled_json(std::ostream& os, const RunConfig& base,
+                        const SampledConfig& sampled, const SampledResult& result,
+                        int indent = 2);
+
+}  // namespace msim::sim

@@ -40,6 +40,10 @@ namespace msim::robust {
 class InvariantChecker;  // friend of Pipeline; see src/robust/invariant.hpp
 }
 
+namespace msim {
+class ThreadPool;  // optional producer pool for run_functional
+}
+
 namespace msim::persist {
 class Archive;
 }
@@ -102,6 +106,16 @@ struct ThreadStallStats {
 
 class Pipeline;
 
+/// Per-thread event counts returned by Pipeline::run_functional: what the
+/// functional fast path executed for one thread (mode=sampled profiling).
+struct FunctionalDelta {
+  std::uint64_t instructions = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t mispredicts = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+};
+
 /// Cycle-level observation hook, called synchronously from the pipeline.
 /// The robust::InvariantChecker implements this to audit structural
 /// invariants after every cycle; implementations may throw to abort a run.
@@ -133,6 +147,32 @@ class Pipeline {
   /// MachineConfig::hang_cycles consecutive cycles (0 disables).
   Cycle run(std::uint64_t horizon, Cycle max_cycles = 0);
 
+  /// Functional fast path (mode=sampled warm-up): executes instructions in
+  /// program order, updating only the long-lived microarchitectural state a
+  /// detailed region sim inherits -- caches (same last-fetch-line I-side
+  /// rule as fetch), branch predictor + BTB (same train call as fetch), the
+  /// trace generators, and the per-thread committed/fetched counters.  No
+  /// cycle-level pipeline runs: nothing enters the fetch queue, IQ, ROB or
+  /// LSQ, no interval captures fire, and the commit digest is untouched.
+  /// Threads advance in chunked round-robin order (a fixed 64-instruction
+  /// burst per thread per turn), one clock tick per instruction, so cache
+  /// LRU and MSHR pruning see a monotone clock.  Only legal while the
+  /// detailed pipeline is empty (fresh machine or directly after a previous
+  /// functional block).  `per_thread_targets` gives the instruction count
+  /// per thread (size must equal thread_count()); the overload runs every
+  /// thread the same distance.  Returns what was executed, per thread.
+  ///
+  /// With a non-null `pool` (and more than one thread), trace generation
+  /// runs as one producer task per thread on the pool while the shared
+  /// cache/predictor updates apply on the calling thread in the same
+  /// canonical burst order as the serial path -- the result is
+  /// bit-identical at any pool size, including none.
+  std::vector<FunctionalDelta> run_functional(
+      std::span<const std::uint64_t> per_thread_targets,
+      ThreadPool* pool = nullptr);
+  std::vector<FunctionalDelta> run_functional(std::uint64_t per_thread_instructions,
+                                              ThreadPool* pool = nullptr);
+
   /// Installs a cycle-level observer (invariant checking); nullptr (the
   /// default) disables.  Not owned; must outlive the pipeline or be
   /// detached before destruction.
@@ -162,6 +202,19 @@ class Pipeline {
   [[nodiscard]] std::uint64_t commit_digest() const noexcept { return commit_digest_; }
   [[nodiscard]] unsigned thread_count() const noexcept { return config_.thread_count; }
   [[nodiscard]] std::uint64_t committed(ThreadId tid) const;
+  /// Raw (reset-independent) count of instructions that entered the fetch
+  /// queue for `tid`.  Equivalence anchor for the functional fast path: a
+  /// functional run of fetched(tid) instructions trains the same per-thread
+  /// branch-stream prefix as this detailed run did.
+  [[nodiscard]] std::uint64_t fetched(ThreadId tid) const;
+  /// True when the one-instruction fetch lookahead holds a generated but
+  /// not-yet-fetched instruction (its generator is one ahead of fetched()).
+  [[nodiscard]] bool has_pending_fetch(ThreadId tid) const;
+  /// Generates the fetch lookahead for `tid` if it is empty (test hook for
+  /// aligning generator state with a detailed run whose lookahead engaged).
+  void prime_fetch_lookahead(ThreadId tid);
+  /// The thread's trace generator (equivalence tests; read-only).
+  [[nodiscard]] const trace::TraceGenerator& generator(ThreadId tid) const;
   [[nodiscard]] std::uint64_t total_committed() const noexcept;
   [[nodiscard]] double ipc(ThreadId tid) const;
   [[nodiscard]] double total_ipc() const;

@@ -14,6 +14,9 @@ is one interval record.  The check fails (exit 1) on:
     an index that is neither previous+1 nor a reset back to 0 (a stats
     reset -- e.g. the end of warmup -- legitimately rebases the stream:
     the index restarts and the first rebased window may be short)
+  * a `region` key (mode=sampled streams tag every record with the
+    detailed region that produced it) that is negative, non-integer, or
+    decreasing across records
   * per-record invariants: window no wider than interval_cycles and ending
     on an interval boundary, thread count matching the header, negative
     rates, IPC inconsistent with committed / window width, phase
@@ -99,16 +102,31 @@ def main():
     prev = None
     records = 0
     prev_fp = {}
+    prev_region = None
     for lineno, line in enumerate(lines[1:], start=2):
         try:
             r = json.loads(line)
         except json.JSONDecodeError as e:
             fail(lineno, f"not valid JSON: {e}")
         missing = RECORD_KEYS - r.keys()
-        extra = r.keys() - RECORD_KEYS
+        # mode=sampled streams tag each record with its detailed region.
+        extra = r.keys() - RECORD_KEYS - {"region"}
         if missing or extra:
             fail(lineno, f"missing keys {sorted(missing)}, "
                  f"unexpected keys {sorted(extra)}")
+        region = r.get("region")
+        if region is not None:
+            if not isinstance(region, int) or region < 0:
+                fail(lineno, f"bad region id {region!r}")
+            if prev_region is not None and region < prev_region:
+                fail(lineno, f"region {region} after region {prev_region} "
+                     f"(records must be in region order)")
+            if region != prev_region:
+                # Each detailed region is an independent replay: its index,
+                # window and fingerprint chains restart.
+                prev = None
+                prev_fp = {}
+            prev_region = region
         width = r["end"] - r["start"]
         if not 0 < width <= interval:
             fail(lineno, f"window [{r['start']},{r['end']}) is wider than "

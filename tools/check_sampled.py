@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Gate a sampled-simulation report against an exact run of the same config.
+
+Usage:
+    check_sampled.py SAMPLED.json EXACT.json [--ipc-tolerance 0.03]
+                     [--mpki-tolerance 0.05]
+
+SAMPLED.json uses the msim.sampled.v1 schema written by
+`msim_cli mode=sampled --sampled-json PATH`; EXACT.json is the
+--stats-json report of the same configuration run in exact mode.  The
+check fails (exit 1) when:
+
+  * either report is structurally invalid (wrong schema, missing keys,
+    non-finite estimates, region bookkeeping that does not add up), or
+  * the sampled IPC estimate deviates from the exact throughput IPC by
+    more than --ipc-tolerance (default 3%), or
+  * a sampled L1D/L2 MPKI estimate deviates from the exact value by more
+    than --mpki-tolerance (default 5%).
+
+The tolerances are the accuracy contract of docs/SAMPLING.md, enforced
+across the golden matrix by tests/test_sampled.cpp; this script is the
+CI smoke gate over a real CLI round trip.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def fail(msg):
+    sys.exit(f"error: {msg}")
+
+
+def finite(doc, path, key):
+    value = doc.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        fail(f"{path}: {key} is {value!r}, expected a number")
+    if not math.isfinite(value):
+        fail(f"{path}: {key} is not finite")
+    return float(value)
+
+
+def load_sampled(path):
+    doc = load_json(path)
+    if doc.get("schema") != "msim.sampled.v1":
+        fail(f"{path}: expected schema msim.sampled.v1, got {doc.get('schema')!r}")
+    estimates = doc.get("estimates")
+    if not isinstance(estimates, dict):
+        fail(f"{path}: missing estimates block")
+
+    regions = doc.get("regions")
+    if not isinstance(regions, list) or not regions:
+        fail(f"{path}: missing regions array")
+    detailed = [r for r in regions if r.get("detailed")]
+    if len(regions) != doc.get("regions_total"):
+        fail(f"{path}: regions_total={doc.get('regions_total')} but "
+             f"{len(regions)} regions listed")
+    if len(detailed) != doc.get("regions_detailed"):
+        fail(f"{path}: regions_detailed={doc.get('regions_detailed')} but "
+             f"{len(detailed)} regions flagged detailed")
+    clusters = {r.get("cluster") for r in regions}
+    if len(clusters) != doc.get("clusters"):
+        fail(f"{path}: clusters={doc.get('clusters')} but {len(clusters)} "
+             f"distinct cluster ids in regions")
+    for r in detailed:
+        if not r.get("digest"):
+            fail(f"{path}: detailed region {r.get('index')} has no digest")
+
+    return {
+        "ipc": finite(estimates, path, "ipc"),
+        "l1d_mpki": finite(estimates, path, "l1d_mpki"),
+        "l2_mpki": finite(estimates, path, "l2_mpki"),
+        "regions_detailed": len(detailed),
+        "regions_total": len(regions),
+    }
+
+
+def metric(metrics, path, key):
+    entry = metrics.get(key)
+    if not isinstance(entry, dict):
+        fail(f"{path}: missing metric {key}")
+    return finite(entry, f"{path}:{key}", "value")
+
+
+def load_exact(path):
+    doc = load_json(path)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        fail(f"{path}: missing metrics block (is this a --stats-json report?)")
+    ipc = finite(doc, path, "throughput_ipc")
+    committed = metric(metrics, path, "pipeline.committed")
+    if committed <= 0:
+        fail(f"{path}: pipeline.committed is {committed}")
+    l1d = metric(metrics, path, "mem.l1d.misses")
+    l2 = metric(metrics, path, "mem.l2.misses")
+    return {
+        "ipc": ipc,
+        "l1d_mpki": 1000.0 * l1d / committed,
+        "l2_mpki": 1000.0 * l2 / committed,
+    }
+
+
+def check(label, est, exact, tolerance, failures):
+    if exact == 0.0:
+        # A zero exact value cannot anchor a relative error; require the
+        # estimate to agree exactly (integer-counter quantities only).
+        rel = 0.0 if est == 0.0 else math.inf
+    else:
+        rel = abs(est - exact) / abs(exact)
+    status = "ok" if rel <= tolerance else "FAIL"
+    print(f"  {label:<10} sampled {est:10.4f}  exact {exact:10.4f}  "
+          f"error {100.0 * rel:5.2f}% (limit {100.0 * tolerance:.0f}%)  {status}")
+    if rel > tolerance:
+        failures.append(label)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("sampled")
+    parser.add_argument("exact")
+    parser.add_argument("--ipc-tolerance", type=float, default=0.03,
+                        help="max relative IPC error (default 0.03)")
+    parser.add_argument("--mpki-tolerance", type=float, default=0.05,
+                        help="max relative MPKI error (default 0.05)")
+    args = parser.parse_args()
+
+    sampled = load_sampled(args.sampled)
+    exact = load_exact(args.exact)
+
+    print(f"sampled estimate vs exact "
+          f"({sampled['regions_detailed']}/{sampled['regions_total']} "
+          f"regions detailed):")
+    failures = []
+    check("IPC", sampled["ipc"], exact["ipc"], args.ipc_tolerance, failures)
+    check("L1D MPKI", sampled["l1d_mpki"], exact["l1d_mpki"],
+          args.mpki_tolerance, failures)
+    check("L2 MPKI", sampled["l2_mpki"], exact["l2_mpki"],
+          args.mpki_tolerance, failures)
+
+    if failures:
+        sys.exit(f"error: sampled estimates out of tolerance: "
+                 f"{', '.join(failures)}")
+    print("sampled accuracy gate passed")
+
+
+if __name__ == "__main__":
+    main()
