@@ -2,7 +2,7 @@
 //
 // Every bench binary accepts `key=value` overrides:
 //   warmup=N horizon=N seed=N iq=32,48,64,96,128 quick=1 jobs=N json=PATH
-//   checkpoint=PATH resume=0|1
+//   checkpoint=PATH resume=0|1 isolation=thread|process workers=N
 // `quick=1` shrinks the horizons by 4x for smoke runs.  `jobs=N` fans the
 // sweep grid out across N worker threads (default: hardware concurrency;
 // `jobs=1` is the serial path) — results are bit-identical at any job
@@ -48,6 +48,10 @@ struct BenchOptions {
   /// See docs/CHECKPOINT.md.
   std::string journal_path;
   bool resume = false;
+  /// Sweep execution backend (docs/ROBUSTNESS.md): isolation=process runs
+  /// cells in supervised worker processes; workers= implies it.
+  sim::SweepIsolation isolation = sim::SweepIsolation::kThread;
+  unsigned workers = 0;  ///< worker processes (0 = jobs)
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -55,14 +59,14 @@ inline BenchOptions parse_options(int argc, char** argv) {
       KvConfig::parse({argv + 1, static_cast<std::size_t>(argc - 1)});
   static constexpr std::string_view kKnown[] = {
       "warmup", "horizon", "seed", "iq", "quick", "jobs", "verbose", "json",
-      "verify", "hang_cycles", "checkpoint", "resume"};
+      "verify", "hang_cycles", "checkpoint", "resume", "isolation", "workers"};
   const auto unknown = cli.unknown_keys(kKnown);
   if (!unknown.empty()) {
     std::string msg = "unknown option(s):";
     for (const std::string& k : unknown) msg += " " + k;
     msg += " (known: warmup horizon seed iq quick jobs verbose json verify "
-           "hang_cycles checkpoint resume; see the knob table in "
-           "EXPERIMENTS.md)";
+           "hang_cycles checkpoint resume isolation workers; see the knob "
+           "table in EXPERIMENTS.md)";
     throw std::invalid_argument(msg);
   }
   BenchOptions opts;
@@ -88,6 +92,17 @@ inline BenchOptions parse_options(int argc, char** argv) {
   opts.base.hang_cycles = cli.get_uint("hang_cycles", 500'000);
   opts.journal_path = cli.get_string("checkpoint", "");
   opts.resume = cli.get_bool("resume", false);
+  const std::string isolation = cli.get_string("isolation", "");
+  const std::uint64_t workers = cli.get_uint("workers", 0);
+  if (isolation == "process" || (isolation.empty() && workers != 0)) {
+    opts.isolation = sim::SweepIsolation::kProcess;
+    opts.workers = static_cast<unsigned>(workers);
+  } else if (!isolation.empty() && isolation != "thread") {
+    throw std::invalid_argument("unknown isolation: '" + isolation +
+                                "' (thread | process)");
+  } else if (workers != 0) {
+    throw std::invalid_argument("workers= requires isolation=process");
+  }
   if (opts.resume && opts.journal_path.empty()) {
     throw std::invalid_argument(
         "resume=1 needs checkpoint=PATH naming the journal to resume");
@@ -157,6 +172,8 @@ inline std::vector<sim::SweepCell> figure_sweep(unsigned thread_count,
   req.iq_sizes.assign(opts.iq_sizes.begin(), opts.iq_sizes.end());
   req.base = opts.base;
   req.jobs = opts.jobs;
+  req.isolation = opts.isolation;
+  req.workers = opts.workers;
   req.journal_path = opts.journal_path;
   req.resume = opts.resume;
   if (opts.verbose) {

@@ -18,6 +18,8 @@
 //   --progress, --progress-json PATH      live progress event stream
 //   --chrome-trace PATH                   host-time spans for chrome://tracing
 //   verify=, hang_cycles=, fault_* knobs, isolate=, retries=, --diag
+//   isolation=process, workers=, cell_timeout_ms=, chaos=   supervised
+//                                         sweep worker processes
 //   --checkpoint, --checkpoint-every, --resume, checkpoint_exit=
 //
 // Exit codes: 0 success; 2 bad usage / configuration error (one-line
@@ -231,6 +233,23 @@ int run_sweep_mode(const KvConfig& cli, sim::RunConfig base, unsigned threads,
   req.jobs = jobs;
   req.isolate_failures = cli.get_bool("isolate", true);
   req.retries = static_cast<unsigned>(cli.get_uint("retries", 1));
+  // Process isolation (docs/ROBUSTNESS.md): workers= implies the process
+  // backend, so `workers=4` alone does the expected thing.
+  const std::string isolation = cli.get_string("isolation", "");
+  const std::uint64_t workers = cli.get_uint("workers", 0);
+  if (isolation == "process" || (isolation.empty() && workers != 0)) {
+    req.isolation = sim::SweepIsolation::kProcess;
+    req.workers = static_cast<unsigned>(workers);
+  } else if (!isolation.empty() && isolation != "thread") {
+    throw std::invalid_argument("unknown isolation: '" + isolation +
+                                "' (thread | process)");
+  } else if (workers != 0) {
+    throw std::invalid_argument(
+        "workers= selects worker processes and requires isolation=process "
+        "(or drop isolation= and let workers= imply it)");
+  }
+  req.cell_timeout_ms = cli.get_uint("cell_timeout_ms", 0);
+  req.chaos = cli.get_string("chaos", "");
   // In sweep mode --checkpoint/--resume name the write-ahead cell journal:
   // a killed sweep (exit 128+N) resumes from it, replaying completed cells.
   req.journal_path = cli.get_string("checkpoint", "");
@@ -245,7 +264,12 @@ int run_sweep_mode(const KvConfig& cli, sim::RunConfig base, unsigned threads,
 
   std::cout << "msim-ooo sweep: " << threads << " threads, " << req.kinds.size()
             << " scheduler kind(s), " << req.iq_sizes.size()
-            << " IQ size(s), jobs=" << jobs << "\n\n";
+            << " IQ size(s), jobs=" << jobs;
+  if (req.isolation == sim::SweepIsolation::kProcess) {
+    std::cout << ", isolation=process workers="
+              << (req.workers == 0 ? jobs : req.workers);
+  }
+  std::cout << "\n\n";
 
   sim::BaselineCache baselines(req.base);
   std::vector<sim::SweepCell> cells;
@@ -268,6 +292,7 @@ int run_sweep_mode(const KvConfig& cli, sim::RunConfig base, unsigned threads,
     std::cerr << "FAILED cell: " << core::scheduler_kind_name(f.kind) << " iq="
               << f.iq_entries << " " << f.mix_name << " after " << f.attempts
               << " attempt(s): " << f.error << "\n";
+    if (!f.diag.empty()) std::cerr << "  diag: " << f.diag << "\n";
   }
 
   const std::string sweep_json = cli.get_string("sweep_json", "");

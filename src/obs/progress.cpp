@@ -18,6 +18,9 @@ std::string_view progress_kind_name(ProgressKind kind) noexcept {
     case ProgressKind::kCellRetry:       return "cell_retry";
     case ProgressKind::kCellFinish:      return "cell_finish";
     case ProgressKind::kSweepFinish:     return "sweep_finish";
+    case ProgressKind::kWorkerSpawn:     return "worker_spawn";
+    case ProgressKind::kWorkerDeath:     return "worker_death";
+    case ProgressKind::kWorkerExit:      return "worker_exit";
   }
   return "unknown";
 }

@@ -30,8 +30,12 @@ enum class ProgressKind : std::uint8_t {
   kCellRetry,         ///< an isolated cell failed and will retry (detail)
   kCellFinish,        ///< one sweep cell done (done/total, ok)
   kSweepFinish,       ///< the sweep completed (done/total)
+  kWorkerSpawn,       ///< a sweep worker process forked (label = slot,
+                      ///< total = incarnation)
+  kWorkerDeath,       ///< a worker died unexpectedly (detail = diagnosis)
+  kWorkerExit,        ///< a worker finished its shard and exited cleanly
 };
-inline constexpr std::size_t kProgressKindCount = 9;
+inline constexpr std::size_t kProgressKindCount = 12;
 
 [[nodiscard]] std::string_view progress_kind_name(ProgressKind kind) noexcept;
 

@@ -53,6 +53,86 @@ std::string header_line(std::uint64_t fingerprint) {
          ", \"fingerprint\": \"" + hex_u64(fingerprint) + "\"}\n";
 }
 
+std::string entry_line(const std::string& key,
+                       const std::vector<std::uint8_t>& payload) {
+  return "{\"cell\": " + json_escape(key) + ", \"payload\": \"" +
+         to_hex(payload) + "\"}\n";
+}
+
+/// Parses journal `content`: validates the header strictly, loads entries
+/// until the first malformed line (a torn tail), and reports in
+/// `valid_bytes` how far the well-formed prefix reaches — the truncation
+/// point that makes the file safe to append to again.
+std::map<std::string, std::vector<std::uint8_t>> parse_journal(
+    const std::string& content, const std::string& path,
+    std::uint64_t fingerprint, std::size_t& valid_bytes) {
+  std::map<std::string, std::vector<std::uint8_t>> entries;
+  std::size_t pos = 0;
+  bool first = true;
+  valid_bytes = 0;
+  while (pos < content.size()) {
+    std::size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) break;  // torn tail: ignore
+    const std::string line = content.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) {
+      valid_bytes = pos;
+      continue;
+    }
+    if (first) {
+      first = false;
+      JsonValue header;
+      try {
+        header = JsonValue::parse(line);
+      } catch (const std::invalid_argument&) {
+        throw PersistError("'" + path + "' is not a msim sweep journal");
+      }
+      if (!header.is_object() || !header.contains("msim_sweep_journal")) {
+        throw PersistError("'" + path + "' is not a msim sweep journal");
+      }
+      const auto version =
+          static_cast<std::uint32_t>(header.at("msim_sweep_journal").as_number());
+      if (version != kJournalFormatVersion) {
+        throw PersistError("'" + path + "' has journal format version " +
+                           std::to_string(version) +
+                           "; this binary writes version " +
+                           std::to_string(kJournalFormatVersion));
+      }
+      const std::string& fp = header.at("fingerprint").as_string();
+      if (fp != hex_u64(fingerprint)) {
+        throw PersistError(
+            "'" + path + "' belongs to sweep fingerprint " + fp +
+            " but this sweep has " + hex_u64(fingerprint) +
+            "; a journal only resumes the exact sweep request it was "
+            "written for (docs/CHECKPOINT.md)");
+      }
+      valid_bytes = pos;
+      continue;
+    }
+    JsonValue entry;
+    try {
+      entry = JsonValue::parse(line);
+    } catch (const std::invalid_argument&) {
+      break;  // torn or corrupt entry: everything before it still counts
+    }
+    if (!entry.is_object() || !entry.contains("cell") ||
+        !entry.contains("payload")) {
+      break;
+    }
+    try {
+      entries[entry.at("cell").as_string()] =
+          from_hex(entry.at("payload").as_string());
+    } catch (const PersistError&) {
+      break;
+    }
+    valid_bytes = pos;
+  }
+  if (first) {
+    throw PersistError("'" + path + "' is empty or has no journal header");
+  }
+  return entries;
+}
+
 }  // namespace
 
 SweepJournal::SweepJournal(std::string path, std::uint64_t fingerprint,
@@ -69,63 +149,16 @@ SweepJournal::SweepJournal(std::string path, std::uint64_t fingerprint,
     }
   }
   if (have_file) {
-    // Validate the header strictly; tolerate only a torn final line.
-    std::size_t pos = 0;
-    bool first = true;
-    while (pos < existing.size()) {
-      std::size_t eol = existing.find('\n', pos);
-      if (eol == std::string::npos) break;  // torn tail: ignore
-      const std::string line = existing.substr(pos, eol - pos);
-      pos = eol + 1;
-      if (line.empty()) continue;
-      if (first) {
-        first = false;
-        JsonValue header;
-        try {
-          header = JsonValue::parse(line);
-        } catch (const std::invalid_argument&) {
-          throw PersistError("'" + path_ + "' is not a msim sweep journal");
-        }
-        if (!header.is_object() || !header.contains("msim_sweep_journal")) {
-          throw PersistError("'" + path_ + "' is not a msim sweep journal");
-        }
-        const auto version =
-            static_cast<std::uint32_t>(header.at("msim_sweep_journal").as_number());
-        if (version != kJournalFormatVersion) {
-          throw PersistError("'" + path_ + "' has journal format version " +
-                             std::to_string(version) +
-                             "; this binary writes version " +
-                             std::to_string(kJournalFormatVersion));
-        }
-        const std::string& fp = header.at("fingerprint").as_string();
-        if (fp != hex_u64(fingerprint)) {
-          throw PersistError(
-              "'" + path_ + "' belongs to sweep fingerprint " + fp +
-              " but this sweep has " + hex_u64(fingerprint) +
-              "; a journal only resumes the exact sweep request it was "
-              "written for (docs/CHECKPOINT.md)");
-        }
-        continue;
+    std::size_t valid_bytes = 0;
+    entries_ = parse_journal(existing, path_, fingerprint, valid_bytes);
+    if (valid_bytes < existing.size()) {
+      // Torn tail: cut it off before reopening for append.  The fd below is
+      // O_APPEND, so without this the next record would be glued onto the
+      // torn bytes and a later load would discard both.
+      if (::truncate(path_.c_str(), static_cast<::off_t>(valid_bytes)) != 0) {
+        throw std::runtime_error("cannot truncate torn tail of journal '" +
+                                 path_ + "': " + std::strerror(errno));
       }
-      JsonValue entry;
-      try {
-        entry = JsonValue::parse(line);
-      } catch (const std::invalid_argument&) {
-        break;  // torn or corrupt entry: everything before it still counts
-      }
-      if (!entry.is_object() || !entry.contains("cell") ||
-          !entry.contains("payload")) {
-        break;
-      }
-      try {
-        entries_[entry.at("cell").as_string()] =
-            from_hex(entry.at("payload").as_string());
-      } catch (const PersistError&) {
-        break;
-      }
-    }
-    if (first) {
-      throw PersistError("'" + path_ + "' is empty or has no journal header");
     }
   } else {
     // Fresh journal: atomic header write so a crash here leaves either no
@@ -151,9 +184,7 @@ const std::vector<std::uint8_t>* SweepJournal::find(
 
 void SweepJournal::append(const std::string& key,
                           const std::vector<std::uint8_t>& payload) {
-  const std::string line =
-      "{\"cell\": " + json_escape(key) + ", \"payload\": \"" + to_hex(payload) +
-      "\"}\n";
+  const std::string line = entry_line(key, payload);
   std::size_t written = 0;
   while (written < line.size()) {
     const ::ssize_t n = ::write(fd_, line.data() + written, line.size() - written);
@@ -168,6 +199,29 @@ void SweepJournal::append(const std::string& key,
     throw std::runtime_error("journal fsync failed for '" + path_ +
                              "': " + std::strerror(errno));
   }
+}
+
+std::map<std::string, std::vector<std::uint8_t>> SweepJournal::read_completed(
+    const std::string& path, std::uint64_t fingerprint) {
+  std::string content;
+  try {
+    content = read_file(path);
+  } catch (const std::runtime_error&) {
+    return {};  // no journal: nothing completed
+  }
+  std::size_t valid_bytes = 0;
+  return parse_journal(content, path, fingerprint, valid_bytes);
+}
+
+void SweepJournal::write_merged(
+    const std::string& path, std::uint64_t fingerprint,
+    const std::vector<std::pair<std::string, std::vector<std::uint8_t>>>&
+        entries) {
+  std::string content = header_line(fingerprint);
+  for (const auto& [key, payload] : entries) {
+    content += entry_line(key, payload);
+  }
+  write_text_atomic(path, content);
 }
 
 }  // namespace msim::persist

@@ -33,6 +33,15 @@ int signal_pending() noexcept { return static_cast<int>(g_pending_signal); }
 
 void clear_pending_signal() noexcept { g_pending_signal = 0; }
 
+void reset_signals_in_forked_child() noexcept {
+  struct sigaction dfl = {};
+  dfl.sa_handler = SIG_DFL;
+  sigemptyset(&dfl.sa_mask);
+  (void)sigaction(SIGINT, &dfl, nullptr);
+  (void)sigaction(SIGTERM, &dfl, nullptr);
+  g_pending_signal = 0;
+}
+
 void throw_if_interrupted() {
   const int signum = signal_pending();
   if (signum != 0) throw Interrupted(signum);

@@ -46,6 +46,16 @@ class SignalGuard {
 /// Resets the pending-signal flag (tests).
 void clear_pending_signal() noexcept;
 
+/// Must be called first thing in a forked worker process (before any other
+/// work).  A child inherits the parent's SignalGuard handler and possibly
+/// its pending flag, so without this a supervisor's SIGTERM would be
+/// converted into the parent's cooperative save-and-flush path — the worker
+/// would run the *parent's* final-checkpoint/journal-flush logic against
+/// the parent's paths (a double flush) instead of dying.  Restores SIGINT
+/// and SIGTERM to their default dispositions and clears the pending flag;
+/// the supervisor alone owns graceful shutdown.
+void reset_signals_in_forked_child() noexcept;
+
 /// Throws Interrupted when a signal is pending.
 void throw_if_interrupted();
 

@@ -1,0 +1,552 @@
+#include "robust/supervisor.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/check.hpp"
+#include "common/json.hpp"
+#include "obs/progress.hpp"
+#include "persist/journal.hpp"
+#include "persist/signal.hpp"
+
+namespace msim::robust {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kNoCell = ~std::uint64_t{0};
+
+/// Clamped at zero: `then` may postdate `now` (a message stamped mid-loop
+/// against a now captured at the top), and a negative duration cast to
+/// unsigned would read as an enormous silence.
+std::uint64_t ms_since(Clock::time_point then, Clock::time_point now) {
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - then).count();
+  return ms > 0 ? static_cast<std::uint64_t>(ms) : 0;
+}
+
+/// Describes how a reaped worker ended, for diagnostics.
+std::string describe_wait_status(int status) {
+  if (WIFEXITED(status)) {
+    return "exited with status " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return "killed by signal " + std::to_string(WTERMSIG(status));
+  }
+  return "ended with wait status " + std::to_string(status);
+}
+
+// ---- worker side -----------------------------------------------------------
+
+/// Everything the forked child needs; plain values so fork() hands each
+/// incarnation a private copy.
+struct WorkerArgs {
+  unsigned slot = 0;
+  unsigned incarnation = 0;
+  int pipe_fd = -1;
+  std::vector<std::size_t> cells;  // remaining shard, grid order
+};
+
+/// The worker process body.  Never returns: _exit() always, so a worker
+/// forked from a test binary cannot fall back into the test framework.
+[[noreturn]] void worker_main(const SupervisorConfig& config,
+                              const WorkerArgs& args, const CellFn& cell_fn) {
+  persist::reset_signals_in_forked_child();
+
+  // Private shard journal: replaying it first means work journaled just
+  // before a death is reported, not repeated.
+  std::unique_ptr<persist::SweepJournal> shard;
+  if (!config.journal_path.empty()) {
+    try {
+      shard = std::make_unique<persist::SweepJournal>(
+          SweepSupervisor::shard_path(config.journal_path, args.slot),
+          config.journal_fingerprint, /*resume=*/true);
+    } catch (const std::exception&) {
+      _exit(10);  // unusable shard journal: the supervisor sees a death
+    }
+  }
+
+  std::mutex pipe_mu;  // frames must not interleave with heartbeats
+  std::atomic<std::uint64_t> current_cell{kNoCell};
+  std::atomic<bool> stop_heartbeat{false};
+
+  auto send = [&](WorkerMsg type, const std::vector<std::uint8_t>& payload) {
+    const std::lock_guard<std::mutex> lock(pipe_mu);
+    if (!write_frame(args.pipe_fd, type, payload)) {
+      _exit(11);  // supervisor is gone: stop computing into the void
+    }
+  };
+
+  {
+    std::vector<std::uint8_t> hello;
+    put_u32(hello, args.slot);
+    put_u32(hello, args.incarnation);
+    send(WorkerMsg::kHello, hello);
+  }
+
+  std::thread heartbeat([&] {
+    while (!stop_heartbeat.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config.tuning.heartbeat_interval_ms));
+      if (stop_heartbeat.load(std::memory_order_relaxed)) break;
+      std::vector<std::uint8_t> beat;
+      put_u64(beat, current_cell.load(std::memory_order_relaxed));
+      send(WorkerMsg::kHeartbeat, beat);
+    }
+  });
+  auto quiesce = [&] {
+    stop_heartbeat.store(true, std::memory_order_relaxed);
+  };
+
+  for (const std::size_t cell : args.cells) {
+    const std::string key = config.cell_label ? config.cell_label(cell)
+                                              : std::to_string(cell);
+    if (shard != nullptr) {
+      if (const std::vector<std::uint8_t>* replay = shard->find(key)) {
+        std::vector<std::uint8_t> done;
+        put_u64(done, cell);
+        done.push_back(1);          // ok
+        put_u32(done, 0);           // attempts live inside the payload
+        put_string(done, "");
+        put_bytes(done, *replay);
+        send(WorkerMsg::kCellDone, done);
+        continue;
+      }
+    }
+
+    {
+      std::vector<std::uint8_t> start;
+      put_u64(start, cell);
+      send(WorkerMsg::kCellStart, start);
+    }
+    current_cell.store(cell, std::memory_order_relaxed);
+
+    if (const WorkerFault* fault = config.chaos.fault_for(cell)) {
+      if (fault->persistent || args.incarnation == 0) {
+        perform_worker_fault(*fault, quiesce);
+      }
+    }
+
+    CellOutcome outcome;
+    try {
+      outcome = cell_fn(cell);
+    } catch (const std::exception& e) {
+      outcome.ok = false;
+      outcome.error = e.what();
+    } catch (...) {
+      outcome.ok = false;
+      outcome.error = "unknown exception in sweep cell";
+    }
+
+    if (outcome.ok && shard != nullptr) {
+      try {
+        shard->append(key, outcome.payload);
+      } catch (const std::exception& e) {
+        outcome.ok = false;
+        outcome.error = std::string("shard journal append failed: ") + e.what();
+      }
+    }
+
+    std::vector<std::uint8_t> done;
+    put_u64(done, cell);
+    done.push_back(outcome.ok ? 1 : 0);
+    put_u32(done, outcome.attempts);
+    put_string(done, outcome.error);
+    put_bytes(done, outcome.payload);
+    send(WorkerMsg::kCellDone, done);
+    current_cell.store(kNoCell, std::memory_order_relaxed);
+  }
+
+  send(WorkerMsg::kShardDone, {});
+  quiesce();
+  heartbeat.join();
+  _exit(0);
+}
+
+// ---- supervisor side -------------------------------------------------------
+
+struct WorkerSlot {
+  pid_t pid = -1;
+  int fd = -1;  // nonblocking read end of the worker's pipe
+  FrameReader reader;
+  unsigned incarnations = 0;  // forks so far (next incarnation index)
+  unsigned deaths = 0;        // unexpected ends so far (backoff input)
+  bool shard_done = false;    // saw kShardDone from the live incarnation
+  bool finished = false;      // no work left, no process running
+  bool respawn_pending = false;
+  Clock::time_point respawn_at{};
+  std::uint64_t in_flight = kNoCell;
+  Clock::time_point cell_started{};
+  Clock::time_point last_msg{};
+  std::string kill_reason;  // set when the supervisor SIGKILLs on purpose
+};
+
+}  // namespace
+
+std::string SweepSupervisor::shard_path(const std::string& journal_path,
+                                        unsigned slot) {
+  return journal_path + ".shard" + std::to_string(slot);
+}
+
+SweepSupervisor::SweepSupervisor(SupervisorConfig config)
+    : config_(std::move(config)) {
+  MSIM_CHECK(config_.workers >= 1);
+}
+
+SupervisorReport SweepSupervisor::run(const CellFn& cell_fn) {
+  SupervisorReport report;
+  const unsigned workers = config_.workers;
+
+  std::set<std::size_t> done(config_.completed.begin(), config_.completed.end());
+  std::set<std::size_t> exhausted;
+  std::map<std::size_t, unsigned> cell_deaths;
+  std::size_t done_count = done.size();
+
+  auto publish = [&](obs::ProgressEvent event) {
+    if (config_.progress_bus != nullptr) config_.progress_bus->publish(event);
+  };
+  auto label_of = [&](std::size_t cell) {
+    return config_.cell_label ? config_.cell_label(cell) : std::to_string(cell);
+  };
+
+  // Remaining shard of `slot`, in grid order: owned, not done, not exhausted.
+  auto remaining = [&](unsigned slot) {
+    std::vector<std::size_t> cells;
+    for (std::size_t i = slot; i < config_.total_cells; i += workers) {
+      if (done.count(i) == 0 && exhausted.count(i) == 0) cells.push_back(i);
+    }
+    return cells;
+  };
+
+  std::vector<WorkerSlot> slots(workers);
+
+  auto spawn = [&](unsigned slot_index) {
+    WorkerSlot& slot = slots[slot_index];
+    const std::vector<std::size_t> cells = remaining(slot_index);
+    if (cells.empty()) {
+      slot.finished = true;
+      slot.respawn_pending = false;
+      return;
+    }
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      throw std::runtime_error(std::string("sweep supervisor: pipe: ") +
+                               std::strerror(errno));
+    }
+    WorkerArgs args;
+    args.slot = slot_index;
+    args.incarnation = slot.incarnations;
+    args.pipe_fd = fds[1];
+    args.cells = cells;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      (void)::close(fds[0]);
+      (void)::close(fds[1]);
+      throw std::runtime_error(std::string("sweep supervisor: fork: ") +
+                               std::strerror(errno));
+    }
+    if (pid == 0) {
+      (void)::close(fds[0]);
+      for (const WorkerSlot& other : slots) {
+        if (other.fd >= 0) (void)::close(other.fd);
+      }
+      worker_main(config_, args, cell_fn);  // never returns
+    }
+    (void)::close(fds[1]);
+    const int flags = ::fcntl(fds[0], F_GETFL, 0);
+    (void)::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK);
+    (void)::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+    slot.pid = pid;
+    slot.fd = fds[0];
+    slot.reader = FrameReader{};
+    slot.shard_done = false;
+    slot.respawn_pending = false;
+    slot.in_flight = kNoCell;
+    slot.kill_reason.clear();
+    slot.last_msg = Clock::now();
+    ++slot.incarnations;
+    ++report.workers_spawned;
+    obs::ProgressEvent event(obs::ProgressKind::kWorkerSpawn);
+    event.label = "worker" + std::to_string(slot_index);
+    event.detail = "incarnation " + std::to_string(args.incarnation);
+    publish(event);
+  };
+
+  auto kill_all_and_reap = [&] {
+    for (WorkerSlot& slot : slots) {
+      if (slot.pid > 0) (void)::kill(slot.pid, SIGKILL);
+    }
+    for (WorkerSlot& slot : slots) {
+      if (slot.pid > 0) {
+        int status = 0;
+        (void)::waitpid(slot.pid, &status, 0);
+        slot.pid = -1;
+      }
+      if (slot.fd >= 0) {
+        (void)::close(slot.fd);
+        slot.fd = -1;
+      }
+    }
+  };
+
+  auto handle_frame = [&](unsigned slot_index, const Frame& frame) {
+    WorkerSlot& slot = slots[slot_index];
+    slot.last_msg = Clock::now();
+    FieldReader fields(frame.payload);
+    switch (frame.type) {
+      case WorkerMsg::kHello:
+        (void)fields.u32();
+        (void)fields.u32();
+        break;
+      case WorkerMsg::kHeartbeat:
+        (void)fields.u64();
+        break;
+      case WorkerMsg::kCellStart: {
+        const std::uint64_t cell = fields.u64();
+        slot.in_flight = cell;
+        slot.cell_started = Clock::now();
+        obs::ProgressEvent event(obs::ProgressKind::kCellStart);
+        event.label = label_of(cell);
+        event.total = config_.total_cells;
+        event.done = done_count;
+        publish(event);
+        break;
+      }
+      case WorkerMsg::kCellDone: {
+        const std::uint64_t cell = fields.u64();
+        CellOutcome outcome;
+        outcome.ok = fields.u8() != 0;
+        outcome.attempts = fields.u32();
+        outcome.error = fields.string();
+        outcome.payload = fields.bytes();
+        if (slot.in_flight == cell) slot.in_flight = kNoCell;
+        if (done.insert(cell).second) {
+          ++done_count;
+          report.outcomes[cell] = std::move(outcome);
+          obs::ProgressEvent event(obs::ProgressKind::kCellFinish);
+          event.label = label_of(cell);
+          event.total = config_.total_cells;
+          event.done = done_count;
+          event.ok = report.outcomes[cell].ok;
+          if (!event.ok) event.detail = report.outcomes[cell].error;
+          publish(event);
+        }
+        break;
+      }
+      case WorkerMsg::kShardDone:
+        slot.shard_done = true;
+        break;
+    }
+  };
+
+  // Drains whatever the pipe holds right now; returns false once the write
+  // end is closed (EOF).
+  auto drain_fd = [&](unsigned slot_index) {
+    WorkerSlot& slot = slots[slot_index];
+    if (slot.fd < 0) return false;
+    std::uint8_t buf[4096];
+    for (;;) {
+      const ::ssize_t n = ::read(slot.fd, buf, sizeof buf);
+      if (n > 0) {
+        slot.reader.feed(buf, static_cast<std::size_t>(n));
+        while (auto frame = slot.reader.next()) handle_frame(slot_index, *frame);
+        continue;
+      }
+      if (n == 0) return false;  // EOF
+      if (errno == EINTR) continue;
+      return true;  // EAGAIN: drained for now
+    }
+  };
+
+  auto on_death = [&](unsigned slot_index, const std::string& how) {
+    WorkerSlot& slot = slots[slot_index];
+    ++slot.deaths;
+    ++report.worker_deaths;
+    {
+      obs::ProgressEvent event(obs::ProgressKind::kWorkerDeath);
+      event.label = "worker" + std::to_string(slot_index);
+      event.ok = false;
+      event.detail = how;
+      publish(event);
+    }
+    // Charge the death to the in-flight cell; a worker that died between
+    // cells charges its next one, so repeated silent deaths still converge
+    // on an exhausted cell instead of respawning forever.
+    std::uint64_t victim = slot.in_flight;
+    if (victim == kNoCell) {
+      const std::vector<std::size_t> cells = remaining(slot_index);
+      if (cells.empty()) {
+        slot.finished = true;  // everything reported before the death landed
+        return;
+      }
+      victim = cells.front();
+    }
+    slot.in_flight = kNoCell;
+    const unsigned deaths_here = ++cell_deaths[static_cast<std::size_t>(victim)];
+    if (deaths_here > config_.retries) {
+      exhausted.insert(static_cast<std::size_t>(victim));
+      ++done_count;
+      SupervisorFailure failure;
+      failure.cell = static_cast<std::size_t>(victim);
+      failure.attempts = deaths_here;
+      failure.error = "worker process " + how + " while running this cell (" +
+                      std::to_string(deaths_here) + " attempts)";
+      std::ostringstream diag;
+      {
+        JsonWriter w(diag, 0);
+        w.begin_object();
+        w.kv("cell", static_cast<std::uint64_t>(victim));
+        w.kv("label", label_of(static_cast<std::size_t>(victim)));
+        w.kv("slot", static_cast<std::uint64_t>(slot_index));
+        w.kv("worker_deaths", static_cast<std::uint64_t>(deaths_here));
+        w.kv("last_death", how);
+        w.kv("retries", static_cast<std::uint64_t>(config_.retries));
+        w.end_object();
+      }
+      failure.diag = diag.str();
+      report.process_failures.push_back(std::move(failure));
+      obs::ProgressEvent event(obs::ProgressKind::kCellFinish);
+      event.label = label_of(static_cast<std::size_t>(victim));
+      event.total = config_.total_cells;
+      event.done = done_count;
+      event.ok = false;
+      event.detail = report.process_failures.back().error;
+      publish(event);
+    } else {
+      obs::ProgressEvent event(obs::ProgressKind::kCellRetry);
+      event.label = label_of(static_cast<std::size_t>(victim));
+      event.ok = false;
+      event.detail = how + "; retrying after backoff";
+      publish(event);
+    }
+    const std::uint64_t delay =
+        config_.tuning.backoff.delay_ms(slot_index, slot.deaths);
+    slot.respawn_pending = true;
+    slot.respawn_at = Clock::now() + std::chrono::milliseconds(delay);
+  };
+
+  try {
+    for (unsigned i = 0; i < workers; ++i) spawn(i);
+
+    for (;;) {
+      bool all_finished = true;
+      for (const WorkerSlot& slot : slots) {
+        if (!slot.finished) {
+          all_finished = false;
+          break;
+        }
+      }
+      if (all_finished) break;
+
+      if (config_.watch_signals) {
+        const int signum = persist::signal_pending();
+        if (signum != 0) {
+          kill_all_and_reap();
+          throw persist::Interrupted(signum);
+        }
+      }
+
+      const Clock::time_point now = Clock::now();
+
+      for (unsigned i = 0; i < workers; ++i) {
+        WorkerSlot& slot = slots[i];
+        if (slot.respawn_pending && now >= slot.respawn_at) spawn(i);
+      }
+
+      std::vector<struct pollfd> pfds;
+      std::vector<unsigned> pfd_slots;
+      for (unsigned i = 0; i < workers; ++i) {
+        if (slots[i].fd >= 0) {
+          pfds.push_back({slots[i].fd, POLLIN, 0});
+          pfd_slots.push_back(i);
+        }
+      }
+      if (pfds.empty()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      } else {
+        (void)::poll(pfds.data(), pfds.size(), 20);
+        for (std::size_t p = 0; p < pfds.size(); ++p) {
+          if ((pfds[p].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+            (void)drain_fd(pfd_slots[p]);
+          }
+        }
+      }
+
+      for (unsigned i = 0; i < workers; ++i) {
+        WorkerSlot& slot = slots[i];
+        if (slot.pid <= 0) continue;
+        int status = 0;
+        const pid_t reaped = ::waitpid(slot.pid, &status, WNOHANG);
+        if (reaped != slot.pid) continue;
+        // Reap order matters: drain every frame the worker managed to
+        // write before deciding whether its death lost a cell.
+        while (drain_fd(i)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        if (slot.fd >= 0) {
+          (void)::close(slot.fd);
+          slot.fd = -1;
+        }
+        slot.pid = -1;
+        const bool clean = slot.shard_done && WIFEXITED(status) &&
+                           WEXITSTATUS(status) == 0;
+        if (clean && remaining(i).empty()) {
+          slot.finished = true;
+          obs::ProgressEvent event(obs::ProgressKind::kWorkerExit);
+          event.label = "worker" + std::to_string(i);
+          publish(event);
+        } else {
+          std::string how = slot.kill_reason.empty()
+                                ? describe_wait_status(status)
+                                : slot.kill_reason;
+          on_death(i, how);
+        }
+      }
+
+      for (unsigned i = 0; i < workers; ++i) {
+        WorkerSlot& slot = slots[i];
+        if (slot.pid <= 0) continue;
+        const std::uint64_t silent = ms_since(slot.last_msg, now);
+        if (silent > config_.tuning.heartbeat_timeout_ms) {
+          slot.kill_reason = "missed heartbeats for " + std::to_string(silent) +
+                             "ms (SIGKILLed by supervisor)";
+          (void)::kill(slot.pid, SIGKILL);
+          continue;
+        }
+        if (config_.cell_timeout_ms != 0 && slot.in_flight != kNoCell) {
+          const std::uint64_t running = ms_since(slot.cell_started, now);
+          if (running > config_.cell_timeout_ms) {
+            slot.kill_reason =
+                "cell exceeded cell_timeout_ms=" +
+                std::to_string(config_.cell_timeout_ms) + " (ran " +
+                std::to_string(running) + "ms; SIGKILLed by supervisor)";
+            (void)::kill(slot.pid, SIGKILL);
+          }
+        }
+      }
+    }
+  } catch (...) {
+    kill_all_and_reap();
+    throw;
+  }
+
+  return report;
+}
+
+}  // namespace msim::robust

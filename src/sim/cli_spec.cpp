@@ -45,6 +45,12 @@ Sweep mode:
   jobs=N (--jobs N)     sweep worker threads; results bit-identical
                         at any job count                       [hw conc.]
   --sweep-json PATH     write the sweep grid as JSON
+  isolation=thread|process  sweep execution backend: worker threads, or
+                        supervised worker processes that survive crashes
+                        and hangs (docs/ROBUSTNESS.md)         [thread]
+  workers=N             worker processes (implies isolation=process;
+                        0 = jobs).  Surviving cells byte-identical at
+                        any worker count
 
 Observability (docs/OBSERVABILITY.md):
   --stats-json PATH     full metric registry as JSON
@@ -68,6 +74,14 @@ Robustness:
   hang_cycles=N         abort after N commit-free cycles (0=off) [500000]
   fault_intensity=P  fault_seed=S  fault_index=I   fault injection
   isolate=0|1  retries=N                    sweep crash isolation
+  cell_timeout_ms=N     isolation=process: wall-clock budget per sweep
+                        cell; a worker exceeding it is SIGKILLed and the
+                        cell retried like any other worker death (0=off,
+                        complements the in-simulation hang_cycles)
+  chaos=SPEC            isolation=process test knob: inject worker faults,
+                        comma-separated ACTION@CELL with ACTION one of
+                        kill|segv|hang and an optional trailing ! for
+                        every-attempt persistence (e.g. kill@5,hang@2!)
   --diag PATH           abort diagnostic bundle    [msim-diagnostic.json]
 
 Checkpoint / restore (docs/CHECKPOINT.md):
@@ -95,7 +109,8 @@ constexpr std::string_view kKnownKeys[] = {
     "interval", "interval_json", "progress", "progress_json", "chrome_trace",
     "dump_config", "verify", "hang_cycles", "fault_intensity", "fault_seed",
     "fault_index", "isolate", "retries", "diag", "checkpoint",
-    "checkpoint_every", "checkpoint_exit", "resume", "help"};
+    "checkpoint_every", "checkpoint_exit", "resume", "help",
+    "isolation", "workers", "cell_timeout_ms", "chaos"};
 
 constexpr std::string_view kValueFlags[] = {
     "stats_json",   "trace_out",     "trace_format", "trace_capacity",

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <filesystem>
 #include <future>
 #include <optional>
 #include <stdexcept>
@@ -15,6 +16,7 @@
 #include "common/thread_pool.hpp"
 #include "persist/journal.hpp"
 #include "persist/signal.hpp"
+#include "robust/supervisor.hpp"
 
 namespace msim::sim {
 
@@ -255,6 +257,7 @@ void io_mix_result(persist::Archive& ar, MixResult& m) {
   ar.io(m.ok);
   ar.io(m.error);
   ar.io(m.attempts);
+  ar.io(m.diag);
   io_run_result(ar, m.raw);
 }
 
@@ -332,6 +335,24 @@ std::string describe(core::SchedulerKind kind, std::uint32_t iq,
 std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& baselines) {
   MSIM_CHECK(!request.iq_sizes.empty());
   MSIM_CHECK(request.jobs >= 1);
+  if (request.isolation == SweepIsolation::kProcess) {
+    if (!request.isolate_failures) {
+      throw std::invalid_argument(
+          "isolation=process requires isolate (the supervisor degrades worker "
+          "deaths into per-cell failures, which only partial results can "
+          "report)");
+    }
+  } else {
+    if (request.workers != 0) {
+      throw std::invalid_argument("workers= requires isolation=process");
+    }
+    if (request.cell_timeout_ms != 0) {
+      throw std::invalid_argument("cell_timeout_ms= requires isolation=process");
+    }
+    if (!request.chaos.empty()) {
+      throw std::invalid_argument("chaos= requires isolation=process");
+    }
+  }
   const auto mixes = trace::mixes_for(request.thread_count);
 
   // The traditional scheduler anchors every speedup; ensure it is present.
@@ -368,12 +389,16 @@ std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& bas
   std::optional<ScopedCheckThrow> check_guard;
   if (request.isolate_failures) check_guard.emplace();
 
-  // Crash recovery: the journal replays completed cells (resume) and
-  // durably records each newly completed cell before the sweep moves on.
+  const std::uint64_t fingerprint = sweep_fingerprint(request);
+
+  // Crash recovery (thread backend): the journal replays completed cells
+  // (resume) and durably records each newly completed cell before the sweep
+  // moves on.  The process backend manages per-worker journal shards
+  // instead (below).
   std::optional<persist::SweepJournal> journal;
-  if (!request.journal_path.empty()) {
-    journal.emplace(request.journal_path, sweep_fingerprint(request),
-                    request.resume);
+  if (request.isolation == SweepIsolation::kThread &&
+      !request.journal_path.empty()) {
+    journal.emplace(request.journal_path, fingerprint, request.resume);
     if (journal->loaded_entries() != 0 && request.progress) {
       request.progress("journal: replaying " +
                        std::to_string(journal->loaded_entries()) +
@@ -476,7 +501,182 @@ std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& bas
   };
 
   std::vector<MixResult> results(grid.size());
-  if (request.jobs == 1) {
+  if (request.isolation == SweepIsolation::kProcess) {
+    const unsigned workers = request.workers == 0 ? request.jobs : request.workers;
+    robust::ChaosPlan chaos;
+    if (!request.chaos.empty()) {
+      chaos = robust::ChaosPlan::parse(request.chaos);
+      for (const robust::WorkerFault& fault : chaos.faults) {
+        if (fault.cell >= grid.size()) {
+          throw std::invalid_argument(
+              "chaos: cell " + std::to_string(fault.cell) +
+              " is outside this sweep's grid of " + std::to_string(grid.size()) +
+              " cells");
+        }
+      }
+    }
+
+    auto key_of = [&](std::size_t i) {
+      return describe(grid[i].kind, grid[i].iq, grid[i].mix->name);
+    };
+
+    // Completed work = the merged journal plus any worker shards that
+    // survived a killed supervisor.  Shards are probed by existence, never
+    // opened for appending: slot files must not spring into being here.
+    std::map<std::string, std::vector<std::uint8_t>> completed;
+    if (!request.journal_path.empty()) {
+      if (request.resume) {
+        completed =
+            persist::SweepJournal::read_completed(request.journal_path, fingerprint);
+        for (unsigned k = 0;; ++k) {
+          const std::string shard =
+              robust::SweepSupervisor::shard_path(request.journal_path, k);
+          if (!std::filesystem::exists(shard)) break;
+          for (auto& [key, payload] :
+               persist::SweepJournal::read_completed(shard, fingerprint)) {
+            completed.emplace(key, std::move(payload));
+          }
+        }
+      } else {
+        // A fresh sweep must not replay stale state from a previous one.
+        (void)std::filesystem::remove(request.journal_path);
+        for (unsigned k = 0;; ++k) {
+          if (!std::filesystem::remove(
+                  robust::SweepSupervisor::shard_path(request.journal_path, k))) {
+            break;
+          }
+        }
+      }
+    }
+
+    std::vector<std::size_t> completed_indices;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const auto it = completed.find(key_of(i));
+      if (it == completed.end()) continue;
+      MixResult m = decode_mix_result(it->second);
+      if (m.mix_name != grid[i].mix->name) {
+        throw persist::PersistError(
+            "journal entry '" + it->first + "' replays mix '" + m.mix_name +
+            "'; the journal does not match this sweep (docs/CHECKPOINT.md)");
+      }
+      results[i] = std::move(m);
+      completed_indices.push_back(i);
+      const std::uint64_t completed_count = done.fetch_add(1) + 1;
+      if (bus) {
+        obs::ProgressEvent ev(obs::ProgressKind::kCellFinish);
+        ev.label = it->first;
+        ev.done = completed_count;
+        ev.total = grid.size();
+        ev.detail = "journal replay";
+        bus->publish(ev);
+      }
+    }
+    if (!completed_indices.empty() && request.progress) {
+      request.progress("journal: replaying " +
+                       std::to_string(completed_indices.size()) +
+                       " completed cell(s)");
+    }
+
+    // Workers inherit this config at fork: no progress bus (its sinks and
+    // streams belong to the parent) and no cooperative signal handling (the
+    // supervisor owns shutdown; forked children reset to SIG_DFL).
+    RunConfig worker_base = request.base;
+    worker_base.progress_bus = nullptr;
+    worker_base.watch_signals = false;
+    auto cell_fn = [&](std::size_t i) -> robust::CellOutcome {
+      const GridPoint& p = grid[i];
+      MixResult r;
+      std::string last_error = "unknown failure";
+      bool finished = false;
+      for (unsigned attempt = 1; attempt <= request.retries + 1 && !finished;
+           ++attempt) {
+        try {
+          r = run_mix(*p.mix, p.kind, p.iq, worker_base, baselines);
+          r.attempts = attempt;
+          finished = true;
+        } catch (const std::exception& e) {
+          last_error = e.what();
+        }
+      }
+      if (!finished) {
+        r = MixResult{};
+        r.mix_name = p.mix->name;
+        r.ok = false;
+        r.error = last_error;
+        r.attempts = request.retries + 1;
+      }
+      robust::CellOutcome out;
+      out.ok = r.ok;
+      out.error = r.error;
+      out.attempts = r.attempts;
+      out.payload = encode_mix_result(r);
+      return out;
+    };
+
+    robust::SupervisorConfig sc;
+    sc.total_cells = grid.size();
+    sc.workers = workers;
+    sc.retries = request.retries;
+    sc.cell_timeout_ms = request.cell_timeout_ms;
+    sc.tuning.heartbeat_timeout_ms = request.worker_heartbeat_timeout_ms;
+    sc.chaos = std::move(chaos);
+    sc.journal_path = request.journal_path;
+    sc.journal_fingerprint = fingerprint;
+    sc.completed = completed_indices;
+    sc.watch_signals = request.base.watch_signals;
+    sc.progress_bus = bus;
+    sc.cell_label = key_of;
+    robust::SweepSupervisor supervisor(std::move(sc));
+    robust::SupervisorReport report = supervisor.run(cell_fn);
+
+    for (auto& [index, outcome] : report.outcomes) {
+      if (!outcome.payload.empty()) {
+        results[index] = decode_mix_result(outcome.payload);
+      } else {
+        results[index].mix_name = grid[index].mix->name;
+        results[index].ok = false;
+        results[index].error = outcome.error;
+        results[index].attempts = outcome.attempts;
+      }
+    }
+    for (const robust::SupervisorFailure& failure : report.process_failures) {
+      MixResult m;
+      m.mix_name = grid[failure.cell].mix->name;
+      m.ok = false;
+      m.error = failure.error;
+      m.attempts = failure.attempts;
+      m.diag = failure.diag;
+      results[failure.cell] = std::move(m);
+    }
+    done.store(completed_indices.size() + report.outcomes.size() +
+               report.process_failures.size());
+
+    // Merge the shards into the main journal in fixed grid order, reusing
+    // the exact payload bytes the workers journaled, then retire the
+    // shards.  A crash before the merge leaves the shards in place; a
+    // resume unions them right back in.
+    if (!request.journal_path.empty()) {
+      std::vector<std::pair<std::string, std::vector<std::uint8_t>>> merged;
+      for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (!results[i].ok) continue;
+        const std::string key = key_of(i);
+        if (const auto cit = completed.find(key); cit != completed.end()) {
+          merged.emplace_back(key, std::move(cit->second));
+        } else if (const auto oit = report.outcomes.find(i);
+                   oit != report.outcomes.end() && oit->second.ok) {
+          merged.emplace_back(key, std::move(oit->second.payload));
+        }
+      }
+      persist::SweepJournal::write_merged(request.journal_path, fingerprint,
+                                          merged);
+      for (unsigned k = 0;; ++k) {
+        if (!std::filesystem::remove(
+                robust::SweepSupervisor::shard_path(request.journal_path, k))) {
+          break;
+        }
+      }
+    }
+  } else if (request.jobs == 1) {
     // Serial path: today's behavior, including progress notes before each run.
     for (std::size_t i = 0; i < grid.size(); ++i) {
       const GridPoint& p = grid[i];
@@ -588,7 +788,7 @@ std::vector<FailedCell> sweep_failures(const std::vector<SweepCell>& cells) {
     for (const MixResult& m : cell.mixes) {
       if (m.ok) continue;
       failures.push_back(
-          {cell.kind, cell.iq_entries, m.mix_name, m.error, m.attempts});
+          {cell.kind, cell.iq_entries, m.mix_name, m.error, m.attempts, m.diag});
     }
   }
   return failures;

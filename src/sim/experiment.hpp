@@ -95,6 +95,10 @@ struct MixResult {
   bool ok = true;
   std::string error;
   unsigned attempts = 1;  ///< simulation attempts consumed (retries included)
+  /// JSON diagnostic bundle for process-level failures (worker deaths under
+  /// isolation=process): which worker slot, how it died, how many deaths.
+  /// Empty for in-process failures and successful cells.
+  std::string diag;
 };
 
 /// Runs one workload mix; `base` supplies everything except benchmarks,
@@ -121,6 +125,19 @@ struct SweepCell {
   std::vector<MixResult> mixes;
 };
 
+/// How run_sweep executes grid cells.
+enum class SweepIsolation {
+  /// Worker threads in this process (ThreadPool).  A crashing cell is
+  /// contained by exception isolation only; a hard crash (segfault, OOM
+  /// kill) takes the whole sweep down.
+  kThread,
+  /// Forked worker processes under robust::SweepSupervisor: worker deaths
+  /// and hangs are detected, retried with backoff, and degrade to
+  /// per-cell failures instead of killing the sweep
+  /// (docs/ROBUSTNESS.md).  Requires isolate_failures.
+  kProcess,
+};
+
 struct SweepRequest {
   unsigned thread_count = 2;  ///< selects the paper's 12 mixes of that size
   std::vector<core::SchedulerKind> kinds;
@@ -130,6 +147,27 @@ struct SweepRequest {
   /// calling thread); 0 is invalid.  Results are bit-identical at any
   /// value.
   unsigned jobs = 1;
+  /// Execution backend.  Successful cells are bit-identical across
+  /// backends and across any jobs/workers count.
+  SweepIsolation isolation = SweepIsolation::kThread;
+  /// Worker processes for isolation=process (0 = use `jobs`).  Cell i is
+  /// owned by worker i % workers, so the shard assignment is a pure
+  /// function of the grid.  Invalid (std::invalid_argument) with
+  /// isolation=thread.
+  unsigned workers = 0;
+  /// Wall-clock budget per cell under isolation=process (0 = unlimited):
+  /// complements the deterministic in-simulation `hang_cycles` watchdog
+  /// with a host-time bound that catches hangs outside simulated code.
+  /// The offending worker is SIGKILLed and the cell retried/failed like
+  /// any other worker death.
+  std::uint64_t cell_timeout_ms = 0;
+  /// Chaos fault-injection spec for worker processes, e.g.
+  /// "kill@5,hang@13,segv@2!" (robust::ChaosPlan::parse).  Only valid with
+  /// isolation=process; "" = no faults.
+  std::string chaos;
+  /// Supervisor liveness bound: a worker silent this long is presumed hung
+  /// and SIGKILLed (isolation=process).
+  std::uint64_t worker_heartbeat_timeout_ms = 2000;
   /// Optional progress sink (benches report to stderr).  With jobs > 1 it
   /// is invoked under a lock, one whole message at a time, as cells
   /// *finish* (completion order is nondeterministic).
@@ -145,7 +183,11 @@ struct SweepRequest {
   /// Crash recovery (src/persist/, docs/CHECKPOINT.md): write-ahead journal
   /// of completed cells ("" = off).  Every finished (kind, iq, mix) cell is
   /// appended durably before the sweep moves on, so a killed sweep loses at
-  /// most the cells in flight.
+  /// most the cells in flight.  Under isolation=process every worker
+  /// appends to its own shard `<path>.shard<slot>`; the shards are merged
+  /// into `<path>` in fixed grid order when the sweep finishes, and a
+  /// resume replays the union of the merged journal and any surviving
+  /// shards — byte-identical even after `kill -9` of the supervisor.
   std::string journal_path;
   /// Resume from an existing journal at journal_path: completed cells are
   /// replayed from the journal instead of re-simulated (bit-identical, since
@@ -183,6 +225,7 @@ struct FailedCell {
   std::string mix_name;
   std::string error;
   unsigned attempts = 0;
+  std::string diag;  ///< JSON diagnostic bundle (process-level failures)
 };
 
 /// Collects the failed mixes of an isolated sweep in grid order.

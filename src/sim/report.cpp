@@ -195,6 +195,7 @@ void write_sweep_json(std::ostream& os, const std::vector<SweepCell>& cells,
       w.kv("mix", f.mix_name);
       w.kv("error", f.error);
       w.kv("attempts", f.attempts);
+      if (!f.diag.empty()) w.kv("diag", f.diag);
       w.end_object();
     }
     w.end_array();

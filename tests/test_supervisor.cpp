@@ -1,0 +1,667 @@
+// Process-isolated sweep execution (docs/ROBUSTNESS.md).
+//
+// The contract under test, from the bottom up:
+//
+//   1. BackoffPolicy: deterministic, bounded, wall-clock-free respawn
+//      delays.
+//   2. The worker pipe protocol: framed messages survive arbitrary
+//      fragmentation; truncated payloads fail loudly; chaos specs parse.
+//   3. SweepSupervisor against a synthetic CellFn: happy path at several
+//      worker counts, SIGKILL/SIGSEGV/hang faults detected and retried,
+//      persistent faults exhausting retries into SupervisorFailures with
+//      diagnostic bundles, per-cell wall-clock timeouts.
+//   4. run_sweep(isolation=process): byte-identical to the thread backend
+//      at any worker count, chaos-faulted sweeps byte-identical on every
+//      surviving cell, failed cells attributed to the exact injected grid
+//      index, journal merge + resume.
+//   5. The PR's robustness satellites: SweepJournal torn-tail truncation
+//      and reset_signals_in_forked_child.
+//
+// Every forked child here either _exits inside supervisor code or is
+// SIGKILLed; no worker process ever returns into gtest.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/archive.hpp"
+#include "obs/progress.hpp"
+#include "persist/journal.hpp"
+#include "persist/signal.hpp"
+#include "robust/backoff.hpp"
+#include "robust/supervisor.hpp"
+#include "robust/worker_protocol.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "trace/mixes.hpp"
+
+namespace msim {
+namespace {
+
+std::string temp_path(const std::string& stem) {
+  return (std::filesystem::temp_directory_path() /
+          (stem + "-" + std::to_string(::getpid())))
+      .string();
+}
+
+/// Removes a temp file (and any sweep-journal shards beside it) even when
+/// an assertion bails out of the test early.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& stem) : path_(temp_path(stem)) {}
+  ~TempFile() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+    for (unsigned k = 0; k < 64; ++k) {
+      std::filesystem::remove(robust::SweepSupervisor::shard_path(path_, k), ec);
+    }
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ---------------------------------------------------------------------------
+// 1. BackoffPolicy
+// ---------------------------------------------------------------------------
+
+TEST(BackoffPolicy, NoDelayBeforeTheFirstDeath) {
+  robust::BackoffPolicy policy;
+  EXPECT_EQ(policy.delay_ms(0, 0), 0u);
+  EXPECT_EQ(policy.delay_ms(7, 0), 0u);
+}
+
+TEST(BackoffPolicy, DeterministicForIdenticalInputs) {
+  robust::BackoffPolicy policy;
+  for (unsigned slot = 0; slot < 4; ++slot) {
+    for (unsigned deaths = 1; deaths < 8; ++deaths) {
+      EXPECT_EQ(policy.delay_ms(slot, deaths), policy.delay_ms(slot, deaths));
+    }
+  }
+}
+
+TEST(BackoffPolicy, GrowsExponentiallyAndSaturatesAtMax) {
+  robust::BackoffPolicy policy;
+  policy.base_ms = 50;
+  policy.max_ms = 400;
+  policy.jitter_pct = 0;  // isolate the exponential shape
+  EXPECT_EQ(policy.delay_ms(0, 1), 50u);
+  EXPECT_EQ(policy.delay_ms(0, 2), 100u);
+  EXPECT_EQ(policy.delay_ms(0, 3), 200u);
+  EXPECT_EQ(policy.delay_ms(0, 4), 400u);
+  EXPECT_EQ(policy.delay_ms(0, 5), 400u);   // capped
+  EXPECT_EQ(policy.delay_ms(0, 63), 400u);  // shift saturates, no overflow
+}
+
+TEST(BackoffPolicy, JitterStaysWithinTheConfiguredBand) {
+  robust::BackoffPolicy policy;
+  policy.base_ms = 100;
+  policy.max_ms = 100'000;
+  policy.jitter_pct = 25;
+  for (unsigned slot = 0; slot < 8; ++slot) {
+    const std::uint64_t base = 100;  // deaths=1
+    const std::uint64_t got = policy.delay_ms(slot, 1);
+    EXPECT_GE(got, base);
+    EXPECT_LE(got, base + base * 25 / 100);
+  }
+}
+
+TEST(BackoffPolicy, DifferentSlotsJitterDifferently) {
+  robust::BackoffPolicy policy;
+  policy.base_ms = 1000;
+  policy.max_ms = 100'000;
+  policy.jitter_pct = 50;
+  std::set<std::uint64_t> delays;
+  for (unsigned slot = 0; slot < 16; ++slot) delays.insert(policy.delay_ms(slot, 1));
+  EXPECT_GT(delays.size(), 1u) << "jitter ignores the slot";
+}
+
+// ---------------------------------------------------------------------------
+// 2. Worker protocol + chaos plans
+// ---------------------------------------------------------------------------
+
+TEST(WorkerProtocol, FramesSurviveByteAtATimeDelivery) {
+  std::vector<std::uint8_t> payload;
+  robust::put_u64(payload, 42);
+  payload.push_back(1);
+  robust::put_u32(payload, 3);
+  robust::put_string(payload, "err");
+  robust::put_bytes(payload, {0xde, 0xad, 0xbe, 0xef});
+
+  std::vector<std::uint8_t> wire;
+  robust::encode_frame(robust::WorkerMsg::kCellDone, payload, wire);
+  robust::encode_frame(robust::WorkerMsg::kShardDone, {}, wire);
+
+  robust::FrameReader reader;
+  std::vector<robust::Frame> frames;
+  for (const std::uint8_t byte : wire) {
+    reader.feed(&byte, 1);
+    while (auto frame = reader.next()) frames.push_back(std::move(*frame));
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, robust::WorkerMsg::kCellDone);
+  EXPECT_EQ(frames[1].type, robust::WorkerMsg::kShardDone);
+
+  robust::FieldReader fields(frames[0].payload);
+  EXPECT_EQ(fields.u64(), 42u);
+  EXPECT_EQ(fields.u8(), 1);
+  EXPECT_EQ(fields.u32(), 3u);
+  EXPECT_EQ(fields.string(), "err");
+  EXPECT_EQ(fields.bytes(), (std::vector<std::uint8_t>{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(WorkerProtocol, TruncatedPayloadThrowsInsteadOfReadingGarbage) {
+  std::vector<std::uint8_t> payload;
+  robust::put_u32(payload, 7);
+  robust::FieldReader fields(payload);
+  (void)fields.u32();
+  EXPECT_THROW((void)fields.u64(), std::runtime_error);
+}
+
+TEST(ChaosPlan, ParsesActionsCellsAndPersistence) {
+  const auto plan = robust::ChaosPlan::parse("kill@5,segv@13,hang@21,kill@2!");
+  ASSERT_EQ(plan.faults.size(), 4u);
+  ASSERT_NE(plan.fault_for(5), nullptr);
+  EXPECT_EQ(plan.fault_for(5)->action, robust::WorkerFault::Action::kKill);
+  EXPECT_FALSE(plan.fault_for(5)->persistent);
+  EXPECT_EQ(plan.fault_for(13)->action, robust::WorkerFault::Action::kSegv);
+  EXPECT_EQ(plan.fault_for(21)->action, robust::WorkerFault::Action::kHang);
+  ASSERT_NE(plan.fault_for(2), nullptr);
+  EXPECT_TRUE(plan.fault_for(2)->persistent);
+  EXPECT_EQ(plan.fault_for(99), nullptr);
+  EXPECT_TRUE(robust::ChaosPlan::parse("").empty());
+}
+
+TEST(ChaosPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(robust::ChaosPlan::parse("explode@3"), std::invalid_argument);
+  EXPECT_THROW(robust::ChaosPlan::parse("kill@"), std::invalid_argument);
+  EXPECT_THROW(robust::ChaosPlan::parse("kill@abc"), std::invalid_argument);
+  EXPECT_THROW(robust::ChaosPlan::parse("kill"), std::invalid_argument);
+  EXPECT_THROW(robust::ChaosPlan::parse("kill@3,segv@3"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// 3. SweepSupervisor against a synthetic CellFn
+// ---------------------------------------------------------------------------
+
+/// Deterministic payload for cell i; any worker at any incarnation must
+/// produce exactly these bytes.
+std::vector<std::uint8_t> cell_payload(std::size_t i) {
+  std::vector<std::uint8_t> out;
+  robust::put_u64(out, 0x5eedu + i * 17);
+  return out;
+}
+
+robust::CellFn synthetic_cells() {
+  return [](std::size_t i) {
+    robust::CellOutcome out;
+    out.payload = cell_payload(i);
+    return out;
+  };
+}
+
+robust::SupervisorConfig base_config(std::size_t cells, unsigned workers) {
+  robust::SupervisorConfig config;
+  config.total_cells = cells;
+  config.workers = workers;
+  config.retries = 1;
+  // Fast respawns and hang detection: the defaults are tuned for real
+  // sweeps, not unit tests.
+  config.tuning.heartbeat_interval_ms = 10;
+  config.tuning.heartbeat_timeout_ms = 500;
+  config.tuning.backoff.base_ms = 10;
+  config.tuning.backoff.max_ms = 50;
+  return config;
+}
+
+void expect_all_cells_ok(const robust::SupervisorReport& report,
+                         std::size_t cells) {
+  EXPECT_TRUE(report.process_failures.empty());
+  ASSERT_EQ(report.outcomes.size(), cells);
+  for (std::size_t i = 0; i < cells; ++i) {
+    const auto it = report.outcomes.find(i);
+    ASSERT_NE(it, report.outcomes.end()) << "cell " << i << " never reported";
+    EXPECT_TRUE(it->second.ok);
+    EXPECT_EQ(it->second.payload, cell_payload(i)) << "cell " << i;
+  }
+}
+
+TEST(SweepSupervisor, RunsEveryCellAtAnyWorkerCount) {
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    robust::SweepSupervisor supervisor(base_config(13, workers));
+    const auto report = supervisor.run(synthetic_cells());
+    expect_all_cells_ok(report, 13);
+    EXPECT_EQ(report.workers_spawned, std::min<std::size_t>(workers, 13));
+    EXPECT_EQ(report.worker_deaths, 0u);
+  }
+}
+
+TEST(SweepSupervisor, CompletedCellsAreNeverRerun) {
+  auto config = base_config(8, 2);
+  config.completed = {0, 2, 4, 6};
+  robust::SweepSupervisor supervisor(std::move(config));
+  const auto report = supervisor.run(synthetic_cells());
+  EXPECT_TRUE(report.process_failures.empty());
+  ASSERT_EQ(report.outcomes.size(), 4u);
+  for (const std::size_t i : {1u, 3u, 5u, 7u}) {
+    EXPECT_TRUE(report.outcomes.count(i)) << "cell " << i;
+  }
+  EXPECT_EQ(report.outcomes.count(0), 0u);
+}
+
+TEST(SweepSupervisor, InWorkerFailuresAreOutcomesNotProcessFailures) {
+  auto config = base_config(6, 2);
+  robust::SweepSupervisor supervisor(std::move(config));
+  const auto report = supervisor.run([](std::size_t i) {
+    robust::CellOutcome out;
+    if (i == 3) {
+      out.ok = false;
+      out.error = "synthetic cell failure";
+      out.attempts = 2;
+    } else {
+      out.payload = cell_payload(i);
+    }
+    return out;
+  });
+  EXPECT_TRUE(report.process_failures.empty());
+  EXPECT_EQ(report.worker_deaths, 0u);
+  ASSERT_EQ(report.outcomes.size(), 6u);
+  EXPECT_FALSE(report.outcomes.at(3).ok);
+  EXPECT_EQ(report.outcomes.at(3).error, "synthetic cell failure");
+  EXPECT_EQ(report.outcomes.at(3).attempts, 2u);
+}
+
+TEST(SweepSupervisor, SigkilledWorkerIsRespawnedAndTheCellRetried) {
+  auto config = base_config(9, 3);
+  config.chaos = robust::ChaosPlan::parse("kill@4");
+  robust::SweepSupervisor supervisor(std::move(config));
+  const auto report = supervisor.run(synthetic_cells());
+  expect_all_cells_ok(report, 9);
+  EXPECT_GE(report.worker_deaths, 1u);
+  EXPECT_GE(report.workers_spawned, 4u);  // 3 initial + >=1 respawn
+}
+
+TEST(SweepSupervisor, SegvIsJustAnotherDeath) {
+  auto config = base_config(5, 2);
+  config.chaos = robust::ChaosPlan::parse("segv@1");
+  robust::SweepSupervisor supervisor(std::move(config));
+  const auto report = supervisor.run(synthetic_cells());
+  expect_all_cells_ok(report, 5);
+  EXPECT_GE(report.worker_deaths, 1u);
+}
+
+TEST(SweepSupervisor, HangingWorkerIsDetectedByMissedHeartbeats) {
+  auto config = base_config(6, 2);
+  config.chaos = robust::ChaosPlan::parse("hang@2");
+  robust::SweepSupervisor supervisor(std::move(config));
+  const auto report = supervisor.run(synthetic_cells());
+  expect_all_cells_ok(report, 6);
+  EXPECT_GE(report.worker_deaths, 1u);
+}
+
+TEST(SweepSupervisor, PersistentFaultExhaustsRetriesIntoADiagnosedFailure) {
+  auto config = base_config(7, 2);
+  config.retries = 1;
+  config.chaos = robust::ChaosPlan::parse("kill@3!");
+  config.cell_label = [](std::size_t i) { return "cell#" + std::to_string(i); };
+  robust::SweepSupervisor supervisor(std::move(config));
+  const auto report = supervisor.run(synthetic_cells());
+
+  ASSERT_EQ(report.process_failures.size(), 1u);
+  const robust::SupervisorFailure& failure = report.process_failures[0];
+  EXPECT_EQ(failure.cell, 3u);
+  EXPECT_EQ(failure.attempts, 2u);  // retries + 1
+  EXPECT_NE(failure.error.find("killed by signal 9"), std::string::npos)
+      << failure.error;
+  EXPECT_NE(failure.diag.find("\"slot\""), std::string::npos) << failure.diag;
+  EXPECT_NE(failure.diag.find("cell#3"), std::string::npos) << failure.diag;
+
+  // Every other cell still completed, bit-exactly.
+  EXPECT_EQ(report.outcomes.size(), 6u);
+  EXPECT_EQ(report.outcomes.count(3), 0u);
+  for (const auto& [i, outcome] : report.outcomes) {
+    EXPECT_EQ(outcome.payload, cell_payload(i)) << "cell " << i;
+  }
+}
+
+TEST(SweepSupervisor, CellTimeoutKillsTheWorkerAndFailsTheCell) {
+  auto config = base_config(4, 2);
+  config.retries = 0;
+  config.cell_timeout_ms = 150;
+  robust::SweepSupervisor supervisor(std::move(config));
+  const auto report = supervisor.run([](std::size_t i) {
+    if (i == 1) {
+      for (;;) ::usleep(50'000);  // never finishes; heartbeats keep flowing
+    }
+    robust::CellOutcome out;
+    out.payload = cell_payload(i);
+    return out;
+  });
+  ASSERT_EQ(report.process_failures.size(), 1u);
+  EXPECT_EQ(report.process_failures[0].cell, 1u);
+  EXPECT_NE(report.process_failures[0].error.find("cell_timeout_ms"),
+            std::string::npos)
+      << report.process_failures[0].error;
+  EXPECT_EQ(report.outcomes.size(), 3u);
+}
+
+TEST(SweepSupervisor, ShardJournalSavesCompletedWorkAcrossADeath) {
+  TempFile journal("msim-supervisor-shard");
+  auto config = base_config(6, 1);
+  config.journal_path = journal.path();
+  config.journal_fingerprint = 0x1234;
+  // The worker completes cells 0-3 (journaling each), then dies at 4; the
+  // respawned incarnation must replay 0-3 from its shard rather than rerun
+  // them.  Reruns are observable: the cell function appends to a side file,
+  // so a rerun would double a line.
+  TempFile side_effects("msim-supervisor-ran");
+  config.chaos = robust::ChaosPlan::parse("kill@4");
+  const std::string side_path = side_effects.path();
+  robust::SweepSupervisor supervisor(std::move(config));
+  const auto report = supervisor.run([side_path](std::size_t i) {
+    std::ofstream(side_path, std::ios::app) << i << "\n";
+    robust::CellOutcome out;
+    out.payload = cell_payload(i);
+    return out;
+  });
+  expect_all_cells_ok(report, 6);
+
+  std::ifstream in(side_path);
+  std::vector<std::string> ran;
+  for (std::string line; std::getline(in, line);) ran.push_back(line);
+  EXPECT_EQ(ran, (std::vector<std::string>{"0", "1", "2", "3", "4", "5"}))
+      << "a cell ran twice: shard replay failed";
+}
+
+// ---------------------------------------------------------------------------
+// 4. run_sweep(isolation=process)
+// ---------------------------------------------------------------------------
+
+sim::RunConfig tiny_base() {
+  sim::RunConfig cfg;
+  cfg.warmup = 1000;
+  cfg.horizon = 4000;
+  return cfg;
+}
+
+sim::SweepRequest small_request(std::uint64_t seed) {
+  sim::SweepRequest req;
+  req.thread_count = 2;
+  req.kinds = {core::SchedulerKind::kTraditional,
+               core::SchedulerKind::kTwoOpBlockOoo};
+  req.iq_sizes = {32, 64};
+  req.base = tiny_base();
+  req.base.seed = seed;
+  return req;
+}
+
+std::string sweep_json_of(const std::vector<sim::SweepCell>& cells) {
+  std::ostringstream out;
+  sim::write_sweep_json(out, cells);
+  return out.str();
+}
+
+std::vector<sim::SweepCell> run_with(sim::SweepRequest req) {
+  sim::BaselineCache baselines(req.base);
+  return run_sweep(req, baselines);
+}
+
+sim::SweepRequest process_request(std::uint64_t seed, unsigned workers) {
+  sim::SweepRequest req = small_request(seed);
+  req.isolation = sim::SweepIsolation::kProcess;
+  req.workers = workers;
+  req.worker_heartbeat_timeout_ms = 500;
+  return req;
+}
+
+TEST(ProcessSweep, ByteIdenticalToTheThreadBackendAtAnyWorkerCount) {
+  const std::string thread_json = sweep_json_of(run_with(small_request(11)));
+  for (const unsigned workers : {1u, 4u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    const std::string process_json =
+        sweep_json_of(run_with(process_request(11, workers)));
+    EXPECT_EQ(thread_json, process_json);
+  }
+}
+
+TEST(ProcessSweep, RejectsProcessOnlyKnobsOnTheThreadBackend) {
+  sim::BaselineCache baselines(tiny_base());
+  {
+    sim::SweepRequest req = small_request(1);
+    req.workers = 4;
+    EXPECT_THROW((void)run_sweep(req, baselines), std::invalid_argument);
+  }
+  {
+    sim::SweepRequest req = small_request(1);
+    req.cell_timeout_ms = 1000;
+    EXPECT_THROW((void)run_sweep(req, baselines), std::invalid_argument);
+  }
+  {
+    sim::SweepRequest req = small_request(1);
+    req.chaos = "kill@0";
+    EXPECT_THROW((void)run_sweep(req, baselines), std::invalid_argument);
+  }
+  {
+    sim::SweepRequest req = process_request(1, 2);
+    req.isolate_failures = false;
+    EXPECT_THROW((void)run_sweep(req, baselines), std::invalid_argument);
+  }
+  {
+    sim::SweepRequest req = process_request(1, 2);
+    req.chaos = "kill@100000";  // outside the grid
+    EXPECT_THROW((void)run_sweep(req, baselines), std::invalid_argument);
+  }
+}
+
+TEST(ProcessSweep, SurvivingCellsAreByteIdenticalUnderTransientChaos) {
+  // Transient faults (first incarnation only): a SIGKILL and a hang, on
+  // cells owned by different workers.  Every cell eventually succeeds, so
+  // the whole report — attempts included — must match the fault-free run.
+  const std::string clean_json = sweep_json_of(run_with(process_request(5, 4)));
+  sim::SweepRequest chaotic = process_request(5, 4);
+  chaotic.chaos = "kill@3,hang@10";
+  const std::string chaos_json = sweep_json_of(run_with(chaotic));
+  EXPECT_EQ(clean_json, chaos_json);
+}
+
+TEST(ProcessSweep, PersistentFaultIsAttributedToTheExactInjectedCell) {
+  // Grid order is kind-major: cell 17 = kind 0 (traditional), iq index 1
+  // (64), mix index 5 of the 2T mix list.
+  const auto mixes = trace::mixes_for(2);
+  const std::size_t injected = 12 + 5;  // traditional, iq=64, mix 5
+  sim::SweepRequest chaotic = process_request(7, 4);
+  chaotic.retries = 1;
+  chaotic.chaos = "kill@" + std::to_string(injected) + "!";
+  const auto cells = run_with(chaotic);
+
+  const auto failures = sim::sweep_failures(cells);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].kind, core::SchedulerKind::kTraditional);
+  EXPECT_EQ(failures[0].iq_entries, 64u);
+  EXPECT_EQ(failures[0].mix_name, mixes[5].name);
+  EXPECT_EQ(failures[0].attempts, 2u);
+  EXPECT_NE(failures[0].error.find("killed by signal 9"), std::string::npos);
+  EXPECT_NE(failures[0].diag.find("\"slot\""), std::string::npos)
+      << "failed cell carries no diagnostic bundle: " << failures[0].diag;
+
+  // Every surviving mix matches the fault-free sweep bit for bit.
+  const auto clean = run_with(process_request(7, 4));
+  ASSERT_EQ(clean.size(), cells.size());
+  for (std::size_t c = 0; c < clean.size(); ++c) {
+    ASSERT_EQ(clean[c].mixes.size(), cells[c].mixes.size());
+    for (std::size_t m = 0; m < clean[c].mixes.size(); ++m) {
+      const sim::MixResult& a = clean[c].mixes[m];
+      const sim::MixResult& b = cells[c].mixes[m];
+      if (!b.ok) continue;  // the injected cell
+      SCOPED_TRACE("cell " + std::to_string(c) + " mix " + a.mix_name);
+      EXPECT_EQ(a.throughput_ipc, b.throughput_ipc);
+      EXPECT_EQ(a.fairness, b.fairness);
+      EXPECT_EQ(a.attempts, b.attempts);
+      EXPECT_EQ(a.raw.commit_digest, b.raw.commit_digest);
+    }
+  }
+}
+
+TEST(ProcessSweep, JournalMergesToTheMainFileAndResumesByteIdentically) {
+  TempFile journal("msim-process-journal");
+  sim::SweepRequest first = process_request(3, 4);
+  first.journal_path = journal.path();
+  const std::string first_json = sweep_json_of(run_with(first));
+
+  // The merge retired every shard and left one well-formed main journal.
+  EXPECT_TRUE(std::filesystem::exists(journal.path()));
+  EXPECT_FALSE(std::filesystem::exists(
+      robust::SweepSupervisor::shard_path(journal.path(), 0)));
+
+  // A resume replays everything from the merged journal: identical bytes,
+  // zero new simulations (the journal was written by worker processes, so
+  // a replayed parent computes no baselines either).
+  sim::SweepRequest again = process_request(3, 2);  // different worker count
+  again.journal_path = journal.path();
+  again.resume = true;
+  sim::BaselineCache baselines(again.base);
+  const std::string resumed_json = sweep_json_of(run_sweep(again, baselines));
+  EXPECT_EQ(first_json, resumed_json);
+  EXPECT_EQ(baselines.computations(), 0u);
+}
+
+TEST(ProcessSweep, ResumeUnionsSurvivingShardsAfterASupervisorCrash) {
+  // Simulate "kill -9 of the supervisor mid-sweep": a completed run's
+  // journal demoted to one worker's shard.  The resume must union the
+  // shard in, replay its cells, run only the rest, and merge everything
+  // back into the main journal.
+  TempFile journal("msim-shard-union");
+  sim::SweepRequest full = process_request(9, 1);
+  full.journal_path = journal.path();
+  const std::string want_json = sweep_json_of(run_with(full));
+
+  std::filesystem::rename(journal.path(),
+                          robust::SweepSupervisor::shard_path(journal.path(), 0));
+  sim::SweepRequest resumed = process_request(9, 3);
+  resumed.journal_path = journal.path();
+  resumed.resume = true;
+  sim::BaselineCache baselines(resumed.base);
+  const std::string got_json = sweep_json_of(run_sweep(resumed, baselines));
+  EXPECT_EQ(want_json, got_json);
+  EXPECT_EQ(baselines.computations(), 0u) << "shard cells were re-simulated";
+  EXPECT_TRUE(std::filesystem::exists(journal.path()));
+  EXPECT_FALSE(std::filesystem::exists(
+      robust::SweepSupervisor::shard_path(journal.path(), 0)));
+}
+
+// ---------------------------------------------------------------------------
+// 5a. Journal torn-tail truncation (the crash window of an append)
+// ---------------------------------------------------------------------------
+
+TEST(JournalTornTail, ResumeTruncatesTheTornRecordSoTheNextAppendIsClean) {
+  TempFile journal("msim-torn-tail");
+  constexpr std::uint64_t kFp = 0xfeed;
+  {
+    persist::SweepJournal j(journal.path(), kFp, /*resume=*/false);
+    j.append("cell-a", {1, 2, 3});
+    j.append("cell-b", {4, 5, 6});
+  }
+  // SIGKILL mid-append: the tail of the file is half a record.
+  const auto full_size = std::filesystem::file_size(journal.path());
+  std::filesystem::resize_file(journal.path(), full_size - 10);
+
+  {
+    persist::SweepJournal j(journal.path(), kFp, /*resume=*/true);
+    EXPECT_EQ(j.loaded_entries(), 1u);
+    EXPECT_NE(j.find("cell-a"), nullptr);
+    EXPECT_EQ(j.find("cell-b"), nullptr) << "the torn record must not replay";
+    // The torn bytes are gone from disk, so this append starts a fresh
+    // line.  Without the truncation it would glue onto the torn tail and a
+    // later load would lose *both* records.
+    j.append("cell-b", {7, 8, 9});
+  }
+  {
+    persist::SweepJournal j(journal.path(), kFp, /*resume=*/true);
+    EXPECT_EQ(j.loaded_entries(), 2u);
+    ASSERT_NE(j.find("cell-b"), nullptr);
+    EXPECT_EQ(*j.find("cell-b"), (std::vector<std::uint8_t>{7, 8, 9}));
+  }
+}
+
+TEST(JournalTornTail, SweepResumeRerunsExactlyTheTornCell) {
+  TempFile journal("msim-torn-sweep");
+  sim::SweepRequest first = small_request(13);
+  first.journal_path = journal.path();
+  const std::string want_json = sweep_json_of(run_with(first));
+
+  // Tear the final record mid-line, as a SIGKILL mid-append would.
+  const auto full_size = std::filesystem::file_size(journal.path());
+  std::filesystem::resize_file(journal.path(), full_size - 25);
+
+  sim::SweepRequest resumed = small_request(13);
+  resumed.journal_path = journal.path();
+  resumed.resume = true;
+  obs::ProgressBus bus;
+  resumed.progress_bus = &bus;
+  sim::BaselineCache baselines(resumed.base);
+  const std::string got_json = sweep_json_of(run_sweep(resumed, baselines));
+
+  EXPECT_EQ(want_json, got_json);
+  // Replayed cells never publish kCellStart; only genuinely re-run cells
+  // do.  Exactly one record was torn, so exactly one cell re-runs.
+  EXPECT_EQ(bus.published(obs::ProgressKind::kCellStart), 1u);
+}
+
+TEST(JournalStatics, ReadCompletedToleratesMissingFilesAndChecksFingerprints) {
+  TempFile journal("msim-read-completed");
+  EXPECT_TRUE(persist::SweepJournal::read_completed(journal.path(), 1).empty());
+  EXPECT_FALSE(std::filesystem::exists(journal.path()))
+      << "a read-only probe must not create the file";
+
+  persist::SweepJournal::write_merged(journal.path(), 1,
+                                      {{"k1", {9}}, {"k2", {8, 7}}});
+  const auto entries = persist::SweepJournal::read_completed(journal.path(), 1);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries.at("k1"), std::vector<std::uint8_t>{9});
+  EXPECT_THROW((void)persist::SweepJournal::read_completed(journal.path(), 2),
+               persist::PersistError);
+}
+
+// ---------------------------------------------------------------------------
+// 5b. Signal hygiene in forked workers
+// ---------------------------------------------------------------------------
+
+TEST(ForkedSignals, ChildResetsDispositionsAndDropsTheParentsPendingFlag) {
+  const persist::SignalGuard guard;
+  ASSERT_EQ(::raise(SIGTERM), 0);  // flag-handler installed: records, no kill
+  ASSERT_NE(persist::signal_pending(), 0);
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    persist::reset_signals_in_forked_child();
+    // The parent's pending flag must not leak into the worker: it would
+    // trigger the parent's cooperative save-and-flush paths down here.
+    if (persist::signal_pending() != 0) _exit(7);
+    // Dispositions are back to default, so SIGTERM now actually kills.
+    (void)::raise(SIGTERM);
+    _exit(8);  // unreachable unless the handler is still installed
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFSIGNALED(status))
+      << "child exited " << (WIFEXITED(status) ? WEXITSTATUS(status) : -1)
+      << " instead of dying by SIGTERM";
+  if (WIFSIGNALED(status)) {
+    EXPECT_EQ(WTERMSIG(status), SIGTERM);
+  }
+  persist::clear_pending_signal();  // do not leak the flag into other tests
+}
+
+}  // namespace
+}  // namespace msim

@@ -44,20 +44,20 @@ def main():
     baseline = load_rows(args.baseline)
     current = load_rows(args.current)
 
-    failed = False
+    regressed = []  # (name, human-readable reason) per failing row
+    floor = 1.0 - args.tolerance
     for name, base_kips in sorted(baseline.items()):
         if name not in current:
             print(f"FAIL {name}: missing from {args.current}")
-            failed = True
+            regressed.append((name, "missing"))
             continue
         cur_kips = current[name]
         ratio = cur_kips / base_kips if base_kips > 0 else float("inf")
-        floor = 1.0 - args.tolerance
         verdict = "FAIL" if ratio < floor else "ok"
         print(f"{verdict:4} {name}: {cur_kips:.0f} KIPS vs baseline "
               f"{base_kips:.0f} ({ratio:.2f}x, floor {floor:.2f}x)")
         if ratio < floor:
-            failed = True
+            regressed.append((name, f"{ratio:.2f}x"))
         elif ratio > 1.0 + args.tolerance:
             print(f"     note: {name} is >{args.tolerance:.0%} above baseline; "
                   f"consider refreshing BENCH_sim_speed.json")
@@ -65,10 +65,16 @@ def main():
     for name in sorted(set(current) - set(baseline)):
         print(f"note {name}: not in baseline (new benchmark?)")
 
-    if failed:
-        print("\nspeed gate FAILED -- see docs/PERFORMANCE.md triage checklist")
+    if regressed:
+        # Name the offenders in the summary: CI folds the per-row output, so
+        # the last line has to carry the whole verdict on its own.
+        rows = ", ".join(f"{name} ({reason})" for name, reason in regressed)
+        print(f"\nspeed gate FAILED, {len(regressed)} row(s) below the "
+              f"{floor:.2f}x floor: {rows} -- see docs/PERFORMANCE.md triage "
+              f"checklist")
         return 1
-    print("\nspeed gate passed")
+    print(f"\nspeed gate passed ({len(baseline)} rows at or above "
+          f"{floor:.2f}x of baseline)")
     return 0
 
 

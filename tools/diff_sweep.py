@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Compare two sweep JSON reports cell by cell.
+
+Usage:
+    diff_sweep.py CLEAN.json OTHER.json [--expect-failed N]
+                  [--expect-failed-mix SCHED:IQ:MIX]... [--require-diag]
+
+Both files use the sweep schema written by `msim_cli --sweep-json` /
+`bench_* json=PATH` (sim::write_sweep_json).  The check enforces the
+chaos-sweep contract from docs/ROBUSTNESS.md:
+
+  * the two grids have the same (scheduler, iq) cells in the same order;
+  * every mix that succeeded in OTHER is *identical* to the same mix in
+    CLEAN -- every field, attempts included.  Faults absorbed by the
+    supervisor must leave no trace on surviving cells;
+  * mixes that failed in OTHER match the expected failure set:
+    --expect-failed N pins the count, and each --expect-failed-mix
+    SCHED:IQ:MIX (e.g. 2op_block_ooo:64:4T-mix3) pins one identity;
+  * with --require-diag, every failed mix carries a diagnostic bundle
+    naming the worker slot that died.
+
+Exit 0 when all checks pass, 1 otherwise (one line per violation).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cells(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        sys.exit(f"error: {path}: no sweep cells")
+    return doc
+
+
+def cell_key(cell):
+    return (cell.get("scheduler"), cell.get("iq_entries"))
+
+
+def mix_id(cell, mix):
+    return f"{cell.get('scheduler')}:{cell.get('iq_entries')}:{mix.get('mix')}"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("clean", help="fault-free reference sweep JSON")
+    parser.add_argument("other", help="sweep JSON to validate (e.g. chaos run)")
+    parser.add_argument("--expect-failed", type=int, default=0, metavar="N",
+                        help="exact number of failed mixes expected in OTHER "
+                             "(default 0: OTHER must equal CLEAN everywhere)")
+    parser.add_argument("--expect-failed-mix", action="append", default=[],
+                        metavar="SCHED:IQ:MIX",
+                        help="identity of one expected failure; repeatable")
+    parser.add_argument("--require-diag", action="store_true",
+                        help="failed mixes must carry a diag bundle naming "
+                             "the worker slot")
+    args = parser.parse_args()
+
+    clean = load_cells(args.clean)
+    other = load_cells(args.other)
+
+    problems = []
+    if len(clean["cells"]) != len(other["cells"]):
+        sys.exit(f"error: grid shape differs: {len(clean['cells'])} cells in "
+                 f"{args.clean} vs {len(other['cells'])} in {args.other}")
+
+    failed = []
+    survivors = 0
+    for c_cell, o_cell in zip(clean["cells"], other["cells"]):
+        if cell_key(c_cell) != cell_key(o_cell):
+            problems.append(f"cell order differs: {cell_key(c_cell)} vs "
+                            f"{cell_key(o_cell)}")
+            continue
+        c_mixes = c_cell.get("mixes", [])
+        o_mixes = o_cell.get("mixes", [])
+        if len(c_mixes) != len(o_mixes):
+            problems.append(f"{cell_key(c_cell)}: mix count differs")
+            continue
+        any_failed = any(not m.get("ok", False) for m in o_mixes)
+        for c_mix, o_mix in zip(c_mixes, o_mixes):
+            if c_mix.get("mix") != o_mix.get("mix"):
+                problems.append(f"{cell_key(c_cell)}: mix order differs: "
+                                f"{c_mix.get('mix')} vs {o_mix.get('mix')}")
+                continue
+            if not o_mix.get("ok", False):
+                failed.append((cell_key(c_cell), o_mix))
+                continue
+            survivors += 1
+            if c_mix != o_mix:
+                drift = [k for k in sorted(set(c_mix) | set(o_mix))
+                         if c_mix.get(k) != o_mix.get(k)]
+                problems.append(
+                    f"survivor {mix_id(c_cell, o_mix)} differs from the "
+                    f"fault-free run in: {', '.join(drift)}")
+        if not any_failed:
+            # Within-cell aggregates are pure functions of this cell's own
+            # mixes; check them so a merge bug in the harmonic means cannot
+            # hide.  The speedup/fairness-gain aggregates are deliberately
+            # excluded: they are paired against the traditional cell of the
+            # same iq, so a failure *there* legitimately shifts them here.
+            for field in ("hmean_ipc", "hmean_fairness",
+                          "mean_all_stall_fraction", "mean_iq_residency"):
+                if c_cell.get(field) != o_cell.get(field):
+                    problems.append(f"{cell_key(c_cell)}: aggregate {field} "
+                                    f"differs with no failed mix")
+
+    if len(failed) != args.expect_failed:
+        names = ", ".join(mix_id({"scheduler": k[0], "iq_entries": k[1]}, m)
+                          for k, m in failed) or "none"
+        problems.append(f"expected exactly {args.expect_failed} failed "
+                        f"mix(es), found {len(failed)}: {names}")
+
+    found_ids = {f"{k[0]}:{k[1]}:{m.get('mix')}" for k, m in failed}
+    for want in args.expect_failed_mix:
+        if want not in found_ids:
+            problems.append(f"expected failed mix {want} did not fail "
+                            f"(failed: {sorted(found_ids) or 'none'})")
+
+    for key, mix in failed:
+        ident = f"{key[0]}:{key[1]}:{mix.get('mix')}"
+        if not mix.get("error"):
+            problems.append(f"failed mix {ident} has no error message")
+        if mix.get("attempts", 0) < 1:
+            problems.append(f"failed mix {ident} reports zero attempts")
+
+    if args.require_diag:
+        # diag bundles live in the top-level failed_cells index.
+        diag_by_mix = {}
+        for f in other.get("failed_cells", []):
+            ident = f"{f.get('scheduler')}:{f.get('iq_entries')}:{f.get('mix')}"
+            diag_by_mix[ident] = f.get("diag", "")
+        for key, mix in failed:
+            ident = f"{key[0]}:{key[1]}:{mix.get('mix')}"
+            diag = diag_by_mix.get(ident, "")
+            if not diag:
+                problems.append(f"failed mix {ident} carries no diag bundle")
+                continue
+            try:
+                bundle = json.loads(diag)
+            except json.JSONDecodeError as e:
+                problems.append(f"failed mix {ident}: diag is not JSON: {e}")
+                continue
+            if "slot" not in bundle:
+                problems.append(f"failed mix {ident}: diag names no worker slot")
+
+    if other.get("failed_count") != len(failed):
+        problems.append(f"failed_count={other.get('failed_count')} but "
+                        f"{len(failed)} mixes are not ok")
+
+    for p in problems:
+        print(f"FAIL {p}")
+    if problems:
+        print(f"\nsweep diff FAILED ({len(problems)} problem(s))")
+        return 1
+    print(f"sweep diff passed: {survivors} surviving mix(es) identical, "
+          f"{len(failed)} expected failure(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
