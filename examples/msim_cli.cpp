@@ -47,8 +47,8 @@
 #include "persist/interval_stream.hpp"
 #include "persist/signal.hpp"
 #include "robust/diagnostic.hpp"
-#include "robust/fault.hpp"
 #include "sim/cli_spec.hpp"
+#include "sim/config_build.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 #include "sim/run.hpp"
@@ -58,71 +58,6 @@
 namespace {
 
 using namespace msim;
-
-core::SchedulerKind parse_sched(const std::string& name) {
-  for (const auto kind :
-       {core::SchedulerKind::kTraditional, core::SchedulerKind::kTwoOpBlock,
-        core::SchedulerKind::kTwoOpBlockOoo,
-        core::SchedulerKind::kTwoOpBlockOooFiltered,
-        core::SchedulerKind::kTagElimination}) {
-    if (name == core::scheduler_kind_name(kind)) return kind;
-  }
-  throw std::invalid_argument("unknown sched: '" + name + "'");
-}
-
-smt::FetchPolicy parse_fetch(const std::string& name) {
-  for (const auto policy :
-       {smt::FetchPolicy::kIcount, smt::FetchPolicy::kRoundRobin,
-        smt::FetchPolicy::kStall, smt::FetchPolicy::kFlush}) {
-    if (name == smt::fetch_policy_name(policy)) return policy;
-  }
-  throw std::invalid_argument("unknown fetch: '" + name + "'");
-}
-
-std::vector<std::string> split_names(const std::string& csv) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  while (start <= csv.size()) {
-    const auto comma = csv.find(',', start);
-    const auto end = comma == std::string::npos ? csv.size() : comma;
-    if (end > start) out.push_back(csv.substr(start, end - start));
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  return out;
-}
-
-/// Folds GNU-style flags into the key=value convention: `--stats-json x`
-/// and `--stats-json=x` become `stats_json=x`; a bare `--dump-config`
-/// becomes `dump_config=1`.  Which flags consume a value comes from
-/// sim::cli_value_flags().
-std::vector<std::string> normalize_args(int argc, char** argv) {
-  const auto value_flags = sim::cli_value_flags();
-  std::vector<std::string> out;
-  for (int i = 1; i < argc; ++i) {
-    std::string a = argv[i];
-    if (a.rfind("--", 0) == 0) {
-      a.erase(0, 2);
-      std::replace(a.begin(), a.end(), '-', '_');
-      if (a.find('=') == std::string::npos) {
-        const bool takes_value =
-            std::find(value_flags.begin(), value_flags.end(), a) !=
-            value_flags.end();
-        if (takes_value) {
-          if (i + 1 >= argc) {
-            throw std::invalid_argument("--" + a + " requires a value");
-          }
-          a += '=';
-          a += argv[++i];
-        } else {
-          a += "=1";
-        }
-      }
-    }
-    out.push_back(std::move(a));
-  }
-  return out;
-}
 
 void cache_config_json(JsonWriter& w, const mem::CacheConfig& c) {
   w.begin_object();
@@ -219,37 +154,7 @@ void maybe_write_chrome_trace(const std::string& path,
 int run_sweep_mode(const KvConfig& cli, sim::RunConfig base, unsigned threads,
                    unsigned jobs, obs::ProgressBus* bus,
                    obs::TimerRegistry& timers) {
-  sim::SweepRequest req;
-  req.thread_count = threads;
-  for (const std::string& name : split_names(
-           cli.get_string("sched", "traditional,2op_block,2op_block_ooo"))) {
-    req.kinds.push_back(parse_sched(name));
-  }
-  for (const std::string& s :
-       split_names(cli.get_string("iq", "32,48,64,96,128"))) {
-    req.iq_sizes.push_back(static_cast<std::uint32_t>(std::stoul(s)));
-  }
-  req.base = std::move(base);
-  req.jobs = jobs;
-  req.isolate_failures = cli.get_bool("isolate", true);
-  req.retries = static_cast<unsigned>(cli.get_uint("retries", 1));
-  // Process isolation (docs/ROBUSTNESS.md): workers= implies the process
-  // backend, so `workers=4` alone does the expected thing.
-  const std::string isolation = cli.get_string("isolation", "");
-  const std::uint64_t workers = cli.get_uint("workers", 0);
-  if (isolation == "process" || (isolation.empty() && workers != 0)) {
-    req.isolation = sim::SweepIsolation::kProcess;
-    req.workers = static_cast<unsigned>(workers);
-  } else if (!isolation.empty() && isolation != "thread") {
-    throw std::invalid_argument("unknown isolation: '" + isolation +
-                                "' (thread | process)");
-  } else if (workers != 0) {
-    throw std::invalid_argument(
-        "workers= selects worker processes and requires isolation=process "
-        "(or drop isolation= and let workers= imply it)");
-  }
-  req.cell_timeout_ms = cli.get_uint("cell_timeout_ms", 0);
-  req.chaos = cli.get_string("chaos", "");
+  sim::SweepRequest req = sim::build_sweep_request(cli, base, threads, jobs);
   // In sweep mode --checkpoint/--resume name the write-ahead cell journal:
   // a killed sweep (exit 128+N) resumes from it, replaying completed cells.
   req.journal_path = cli.get_string("checkpoint", "");
@@ -403,51 +308,18 @@ int run_cli(const KvConfig& cli) {
         "workers (default: hardware concurrency)");
   }
 
-  sim::RunConfig cfg;
-  cfg.benchmarks = split_names(cli.get_string("benchmarks", "gcc"));
-  if (sweep == 0) {
-    cfg.kind = parse_sched(cli.get_string("sched", "traditional"));
-    cfg.iq_entries = static_cast<std::uint32_t>(cli.get_uint("iq", 64));
+  // Machine, horizon, robustness and fault knobs are built by the same
+  // sim::build_run_config both front ends share (sim/config_build.hpp), so
+  // msim_cli and msim_serve cannot drift.  `built` owns the fault injector
+  // cfg.faults may point at, so it must outlive the run.
+  sim::BuiltRun built = sim::build_run_config(cli);
+  sim::RunConfig& cfg = built.config;
+  if (!built.fault_note.empty()) {
+    std::cerr << "fault injection: " << built.fault_note << "\n";
   }
-  cfg.fetch_policy = parse_fetch(cli.get_string("fetch", "icount"));
-  cfg.scan_depth = static_cast<std::uint32_t>(cli.get_uint("scan_depth", 0));
-  cfg.watchdog_timeout =
-      static_cast<std::uint32_t>(cli.get_uint("watchdog_timeout", 450));
-  cfg.oracle_disambiguation = cli.get_bool("oracle_disambiguation", true);
-  cfg.model_wrong_path = cli.get_bool("wrong_path", false);
-  cfg.warmup = cli.get_uint("warmup", 20'000);
-  cfg.horizon = cli.get_uint("horizon", 100'000);
-  cfg.seed = cli.get_uint("seed", 1);
-  cfg.max_cycles = cli.get_uint("max_cycles", 0);
-  const std::string deadlock = cli.get_string("deadlock", "dab");
-  if (deadlock == "dab") {
-    cfg.deadlock = core::DeadlockMode::kAvoidanceBuffer;
-  } else if (deadlock == "dab_shared") {
-    cfg.deadlock = core::DeadlockMode::kAvoidanceBuffer;
-    cfg.dab_exclusive = false;
-  } else if (deadlock == "watchdog") {
-    cfg.deadlock = core::DeadlockMode::kWatchdog;
-  } else {
-    throw std::invalid_argument("unknown deadlock: '" + deadlock + "'");
-  }
-
-  // Robustness knobs (docs/ROBUSTNESS.md).
-  cfg.verify = cli.get_bool("verify", false);
-  cfg.hang_cycles = cli.get_uint("hang_cycles", 500'000);
   // Checkpoint / restore (docs/CHECKPOINT.md).  A SignalGuard is installed
   // in main, so every run and sweep cell polls for SIGINT/SIGTERM.
   cfg.watch_signals = true;
-  const double fault_intensity = cli.get_double("fault_intensity", 0.0);
-  std::optional<robust::FaultInjector> injector;
-  if (fault_intensity > 0.0) {
-    const robust::FaultPlan plan =
-        robust::FaultPlan::random(cli.get_uint("fault_seed", 1),
-                                  cli.get_uint("fault_index", 0),
-                                  fault_intensity);
-    injector.emplace(plan);
-    cfg.faults = &*injector;
-    std::cerr << "fault injection: " << plan.describe() << "\n";
-  }
 
   // Observability surfaces shared by single-run and sweep mode: the
   // progress bus fans events out to the terminal and/or a JSONL log, the
@@ -672,7 +544,8 @@ int main(int argc, char** argv) {
   const persist::SignalGuard signals;
   std::string diag_path = "msim-diagnostic.json";
   try {
-    const std::vector<std::string> args = normalize_args(argc, argv);
+    const std::vector<std::string> args =
+        sim::normalize_cli_args(argc, argv, sim::cli_value_flags());
     const KvConfig cli = KvConfig::parse_strings(args);
     if (cli.get_bool("help", false)) {
       std::cout << sim::cli_usage();

@@ -29,6 +29,17 @@ class Interrupted : public std::runtime_error {
   int signum_;
 };
 
+/// A run or sweep was cancelled through a cooperative per-run cancel flag
+/// (sim::RunConfig::cancel — the serve daemon's per-job cancellation path,
+/// docs/SERVICE.md).  Unlike Interrupted this carries no signal: only the
+/// one run observing its flag stops; the rest of the process is unaffected.
+/// Like Interrupted, resumable state (checkpoint / sweep journal) has
+/// already been flushed by the thrower where it was configured.
+class Cancelled : public std::runtime_error {
+ public:
+  Cancelled() : std::runtime_error("cancelled by request") {}
+};
+
 /// RAII installer for the SIGINT/SIGTERM flag handlers; restores the
 /// previous handlers on destruction.  Install one per process (guards do
 /// not nest meaningfully); the flag is process-wide.

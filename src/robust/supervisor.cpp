@@ -461,6 +461,11 @@ SupervisorReport SweepSupervisor::run(const CellFn& cell_fn) {
           throw persist::Interrupted(signum);
         }
       }
+      if (config_.cancel &&
+          config_.cancel->load(std::memory_order_relaxed)) {
+        kill_all_and_reap();
+        throw persist::Cancelled();
+      }
 
       const Clock::time_point now = Clock::now();
 

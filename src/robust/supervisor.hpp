@@ -26,6 +26,7 @@
 // opaque payload (an encoded MixResult, in practice).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -89,6 +90,12 @@ struct SupervisorConfig {
   /// Poll persist::signal_pending() and convert SIGINT/SIGTERM into
   /// kill-all-workers + persist::Interrupted.
   bool watch_signals = false;
+  /// Cooperative per-sweep cancellation (sim::RunConfig::cancel, the serve
+  /// daemon): when the flag goes true the supervisor SIGKILLs and reaps
+  /// every worker, then throws persist::Cancelled.  Journaled shard cells
+  /// survive on disk, so a resumed sweep replays them.  Not owned, may be
+  /// nullptr.
+  const std::atomic<bool>* cancel = nullptr;
   obs::ProgressBus* progress_bus = nullptr;  ///< optional, not owned
   /// Human-readable cell key; doubles as the shard-journal entry key, so it
   /// must match the key the caller uses for journal replay.

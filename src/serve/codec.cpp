@@ -1,0 +1,80 @@
+#include "serve/codec.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <string>
+
+#include "serve/http.hpp"
+#include "sim/cli_spec.hpp"
+
+namespace msim::serve {
+
+namespace {
+
+/// Shortest round-trip text for a JSON number, matching what a user would
+/// have typed on the CLI: integral values print without a decimal point.
+std::string number_text(double value) {
+  if (std::floor(value) == value && std::abs(value) <= 9.007199254740992e15) {
+    const auto n = static_cast<long long>(value);
+    return std::to_string(n);
+  }
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc{}) {
+    throw HttpError(400, "unrepresentable number in config");
+  }
+  return std::string(buf, end);
+}
+
+}  // namespace
+
+KvConfig kv_from_json(const JsonValue& object) {
+  if (!object.is_object()) {
+    throw HttpError(400, "\"config\" must be a JSON object of scalar knobs");
+  }
+  KvConfig kv;
+  for (const auto& [key, value] : object.as_object()) {
+    switch (value.type()) {
+      case JsonValue::Type::kString:
+        kv.set(key, value.as_string());
+        break;
+      case JsonValue::Type::kBool:
+        kv.set(key, value.as_bool() ? "1" : "0");
+        break;
+      case JsonValue::Type::kNumber:
+        kv.set(key, number_text(value.as_number()));
+        break;
+      default:
+        throw HttpError(400, "config." + key +
+                                 " must be a scalar (string, number or "
+                                 "boolean); nested values are not knobs");
+    }
+  }
+  return kv;
+}
+
+void validate_request_keys(const KvConfig& kv) {
+  const auto accepted = sim::serve_request_keys();
+  const auto rejected = sim::serve_rejected_keys();
+  for (const auto& [key, value] : kv.entries()) {
+    if (std::find(accepted.begin(), accepted.end(), key) != accepted.end()) {
+      continue;
+    }
+    const auto it =
+        std::find_if(rejected.begin(), rejected.end(),
+                     [&key = key](const sim::RejectedKey& r) {
+                       return r.key == key;
+                     });
+    if (it != rejected.end()) {
+      throw HttpError(400, "config." + key +
+                               " is not accepted over the wire: " +
+                               std::string(it->reason));
+    }
+    throw HttpError(400, "unknown config key '" + key +
+                             "' (accepted keys are the msim_cli simulation "
+                             "knobs; see docs/SERVICE.md)");
+  }
+}
+
+}  // namespace msim::serve

@@ -1,0 +1,30 @@
+// Request codec: a job's JSON "config" object -> the same KvConfig the CLI
+// builds from its command line, plus validation of the keys against the
+// serve request surface (sim/cli_spec.hpp).
+//
+// The wire accepts exactly the knobs msim_cli accepts, minus the ones that
+// make no sense on a shared daemon (local output paths, CLI-only modes);
+// serve_request_keys()/serve_rejected_keys() partition the CLI key set and
+// every rejection is served back with its documented reason, so a client
+// pasting a working msim_cli invocation learns precisely which knob to
+// drop (docs/SERVICE.md).
+#pragma once
+
+#include "common/config.hpp"
+#include "common/json.hpp"
+
+namespace msim::serve {
+
+/// Converts a parsed JSON object of scalars into a KvConfig with the same
+/// value spellings the CLI would have received: strings verbatim, booleans
+/// as "1"/"0", numbers in shortest round-trip form (integral values
+/// without a decimal point, so `"iq": 64` becomes iq=64).  Throws
+/// HttpError(400) for nested objects/arrays/null values.
+[[nodiscard]] KvConfig kv_from_json(const JsonValue& object);
+
+/// Rejects keys outside sim::serve_request_keys() with HttpError(400):
+/// knobs on the rejected list quote their documented reason, unknown keys
+/// point at docs/SERVICE.md.
+void validate_request_keys(const KvConfig& kv);
+
+}  // namespace msim::serve

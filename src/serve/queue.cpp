@@ -1,0 +1,216 @@
+#include "serve/queue.hpp"
+
+#include <chrono>
+
+#include "serve/http.hpp"
+
+namespace msim::serve {
+
+std::string_view job_state_name(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+void EventLog::append(std::string line) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    if (lines_.size() >= kMaxLines) {
+      if (truncated_) return;
+      truncated_ = true;
+      lines_.push_back(
+          R"({"kind":"events_truncated","detail":"event cap reached; further events dropped"})");
+    } else {
+      lines_.push_back(std::move(line));
+    }
+  }
+  cv_.notify_all();
+}
+
+void EventLog::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+EventLog::Fetch EventLog::fetch(std::size_t index, int timeout_ms,
+                                std::string& line) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+               [&] { return closed_ || index < lines_.size(); });
+  if (index < lines_.size()) {
+    line = lines_[index];
+    return Fetch::kLine;
+  }
+  return closed_ ? Fetch::kClosed : Fetch::kTimeout;
+}
+
+std::size_t EventLog::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return lines_.size();
+}
+
+bool EventLog::closed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::uint64_t JobQueue::allocate_id() {
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void JobQueue::enqueue(std::shared_ptr<Job> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (draining_ || stopped_) {
+      throw HttpError(503, "server is draining; not accepting new jobs");
+    }
+    if (ready_.size() >= depth_) {
+      throw HttpError(429, "job queue is full (" + std::to_string(depth_) +
+                               " queued); retry after a job finishes or "
+                               "raise --queue-depth");
+    }
+    job->state = JobState::kQueued;
+    ++accepted_;
+    jobs_.emplace(job->id, job);
+    ready_.emplace(std::make_pair(-job->priority, job->id), job);
+  }
+  cv_.notify_one();
+}
+
+std::shared_ptr<Job> JobQueue::next_runnable() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return stopped_ || draining_ || !ready_.empty(); });
+  if (stopped_ || ready_.empty()) return nullptr;
+  auto it = ready_.begin();
+  std::shared_ptr<Job> job = it->second;
+  ready_.erase(it);
+  job->state = JobState::kRunning;
+  ++running_;
+  return job;
+}
+
+std::shared_ptr<Job> JobQueue::find(std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second;
+}
+
+JobSnapshot JobQueue::snapshot(const Job& job) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return JobSnapshot{job.state, job.error, !job.result.empty()};
+}
+
+std::string JobQueue::result_bytes(const Job& job) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return job.result;
+}
+
+void JobQueue::finish(Job& job, JobState state, std::string result,
+                      std::string error) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    job.state = state;
+    job.result = std::move(result);
+    job.error = std::move(error);
+    --running_;
+    switch (state) {
+      case JobState::kDone: ++done_; break;
+      case JobState::kFailed: ++failed_; break;
+      case JobState::kCancelled: ++cancelled_; break;
+      default: break;
+    }
+  }
+  job.events.close();
+  cv_.notify_all();
+}
+
+bool JobQueue::cancel(std::uint64_t id) {
+  std::shared_ptr<Job> to_close;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    Job& job = *it->second;
+    switch (job.state) {
+      case JobState::kQueued:
+        ready_.erase(std::make_pair(-job.priority, job.id));
+        job.state = JobState::kCancelled;
+        job.error = "cancelled while queued";
+        ++cancelled_;
+        to_close = it->second;
+        break;
+      case JobState::kRunning:
+        job.cancel.store(true, std::memory_order_relaxed);
+        break;
+      default:
+        break;  // already terminal: cancel is an idempotent no-op
+    }
+  }
+  if (to_close) to_close->events.close();
+  return true;
+}
+
+void JobQueue::drain(bool cancel_running) {
+  std::vector<std::shared_ptr<Job>> to_close;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+    for (auto& [key, job] : ready_) {
+      job->state = JobState::kCancelled;
+      job->error = "cancelled: server draining";
+      ++cancelled_;
+      to_close.push_back(job);
+    }
+    ready_.clear();
+    if (cancel_running) {
+      for (auto& [id, job] : jobs_) {
+        if (job->state == JobState::kRunning) {
+          job->cancel.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+  for (const auto& job : to_close) job->events.close();
+  cv_.notify_all();
+}
+
+bool JobQueue::draining() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+bool JobQueue::idle() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return ready_.empty() && running_ == 0;
+}
+
+void JobQueue::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  cv_.notify_all();
+}
+
+QueueStats JobQueue::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  QueueStats s;
+  s.submitted = accepted_;
+  s.done = done_;
+  s.failed = failed_;
+  s.cancelled = cancelled_;
+  s.queued = ready_.size();
+  s.running = running_;
+  return s;
+}
+
+}  // namespace msim::serve

@@ -1,0 +1,172 @@
+// The daemon's work queue: bounded, prioritized, cancellable.
+//
+// Submissions enter a priority queue (higher priority first, FIFO within a
+// priority) with a hard depth bound -- a full queue rejects with 429
+// instead of buffering unboundedly.  Executor threads pull jobs with
+// next_runnable(); every state transition happens under the queue's one
+// mutex, so status snapshots are always consistent.  Cancellation is
+// two-faced: a queued job is removed and marked kCancelled immediately,
+// a running job gets its cooperative cancel flag raised
+// (sim::RunConfig::cancel) and stops at the simulator's next poll
+// boundary -- its sweep journal stays resumable (docs/SERVICE.md).
+//
+// Each job owns an EventLog: the runner appends formatted progress lines
+// (obs::JsonlProgressSink::format) and any number of streaming readers
+// replay-then-follow it, so a client can attach to a job's event stream
+// before, during, or after the run.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace msim::serve {
+
+enum class JobState : std::uint8_t {
+  kQueued = 0,
+  kRunning,
+  kDone,
+  kFailed,
+  kCancelled,
+};
+
+[[nodiscard]] std::string_view job_state_name(JobState state) noexcept;
+
+/// Append-only, thread-safe line log with blocking readers.  Closed when
+/// the producing job finishes; readers then drain the remaining lines and
+/// see kClosed.  Capped at kMaxLines to bound daemon memory -- overflow
+/// drops further lines after a single truncation marker.
+class EventLog {
+ public:
+  static constexpr std::size_t kMaxLines = 65'536;
+
+  enum class Fetch : std::uint8_t { kLine, kClosed, kTimeout };
+
+  void append(std::string line);
+  void close();
+
+  /// Fetches the line at `index` into `line`, waiting up to `timeout_ms`:
+  /// kLine on success, kClosed when the log ended before `index`,
+  /// kTimeout when the line may still arrive.
+  Fetch fetch(std::size_t index, int timeout_ms, std::string& line);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool closed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::string> lines_;
+  bool closed_ = false;
+  bool truncated_ = false;
+};
+
+/// One submitted experiment.  `kv`, `is_sweep`, `journal_path` and
+/// `priority` are immutable after enqueue; `state`/`result`/`error` are
+/// guarded by the owning JobQueue's mutex (read them through snapshot());
+/// `cancel` is the cooperative flag the simulator polls; `events` has its
+/// own lock.
+struct Job {
+  std::uint64_t id = 0;
+  int priority = 0;
+  KvConfig kv;
+  bool is_sweep = false;
+  std::string journal_path;  ///< server-assigned; "" = unjournaled
+  std::atomic<bool> cancel{false};
+  EventLog events;
+
+  JobState state = JobState::kQueued;
+  std::string result;  ///< exact bytes served by GET .../result (kDone)
+  std::string error;   ///< failure text (kFailed / kCancelled)
+};
+
+/// Consistent view of a job's mutable fields.
+struct JobSnapshot {
+  JobState state = JobState::kQueued;
+  std::string error;
+  bool has_result = false;
+};
+
+/// Aggregate queue counters for GET /v1/stats.
+struct QueueStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t done = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::size_t queued = 0;
+  std::size_t running = 0;
+};
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t depth) : depth_(depth) {}
+
+  /// The next job id; ids are dense and start at 1.
+  [[nodiscard]] std::uint64_t allocate_id();
+
+  /// Enqueues a fully populated job.  Throws HttpError(429) when `depth`
+  /// jobs are already queued and HttpError(503) once draining.
+  void enqueue(std::shared_ptr<Job> job);
+
+  /// Blocks until a job is runnable; nullptr once stop() was called or
+  /// draining started and the queue is empty (the executor should exit).
+  /// The returned job is already marked kRunning.
+  [[nodiscard]] std::shared_ptr<Job> next_runnable();
+
+  [[nodiscard]] std::shared_ptr<Job> find(std::uint64_t id) const;
+
+  [[nodiscard]] JobSnapshot snapshot(const Job& job) const;
+
+  /// Copy of a finished job's result bytes (empty unless kDone).
+  [[nodiscard]] std::string result_bytes(const Job& job) const;
+
+  /// Terminal transition; also closes the job's event log.
+  void finish(Job& job, JobState state, std::string result,
+              std::string error);
+
+  /// Queued -> kCancelled (dequeued, event log closed); running -> cancel
+  /// flag raised.  False when the id is unknown.
+  bool cancel(std::uint64_t id);
+
+  /// Stops accepting work (enqueue -> 503) and cancels every queued job;
+  /// running jobs keep going (pass cancel_running to stop them too).
+  void drain(bool cancel_running);
+
+  [[nodiscard]] bool draining() const;
+
+  /// True when nothing is queued or running.
+  [[nodiscard]] bool idle() const;
+
+  /// Wakes every executor for shutdown; next_runnable() returns nullptr.
+  void stop();
+
+  [[nodiscard]] QueueStats stats() const;
+
+ private:
+  std::size_t depth_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<std::uint64_t> next_id_{1};
+  /// Runnable jobs keyed (-priority, id): begin() is the highest priority,
+  /// oldest submission.
+  std::map<std::pair<int, std::uint64_t>, std::shared_ptr<Job>> ready_;
+  std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::size_t running_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t done_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  bool draining_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace msim::serve

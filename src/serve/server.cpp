@@ -1,0 +1,231 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "obs/progress.hpp"
+#include "persist/signal.hpp"
+#include "sim/report.hpp"
+#include "sim/run.hpp"
+
+namespace msim::serve {
+
+namespace {
+
+/// Bridges a job's progress bus onto its EventLog: one deterministic JSONL
+/// line per event (obs::JsonlProgressSink::format), which the events
+/// endpoint replays and follows.
+class EventLogSink final : public obs::ProgressSink {
+ public:
+  explicit EventLogSink(EventLog& log) : log_(log) {}
+  void on_event(const obs::ProgressEvent& event) override {
+    log_.append(obs::JsonlProgressSink::format(event));
+  }
+
+ private:
+  EventLog& log_;
+};
+
+}  // namespace
+
+sim::BaselineCache& BaselineCachePool::get(const KvConfig& kv) {
+  sim::BuiltRun built = sim::build_run_config(kv);
+  sim::RunConfig& canon = built.config;
+  // BaselineCache overrides benchmarks/kind/iq per (benchmark, iq) key, so
+  // canonicalize them out of the pool key; null the per-job surfaces a
+  // shared cache must not capture.
+  canon.benchmarks.clear();
+  canon.kind = core::SchedulerKind::kTraditional;
+  canon.iq_entries = 0;
+  canon.progress_bus = nullptr;
+  canon.cancel = nullptr;
+  canon.watch_signals = false;
+  std::string key = std::to_string(canon.fingerprint());
+  key += '|';
+  key += kv.get_string("fault_intensity", "0");
+  key += ',';
+  key += kv.get_string("fault_seed", "1");
+  key += ',';
+  key += kv.get_string("fault_index", "0");
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.canonical = std::move(built);
+    entry.cache =
+        std::make_unique<sim::BaselineCache>(entry.canonical.config);
+    it = entries_.emplace(std::move(key), std::move(entry)).first;
+  }
+  return *it->second.cache;
+}
+
+std::size_t BaselineCachePool::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+ExperimentServer::ExperimentServer(ServerConfig config)
+    : config_(std::move(config)), queue_(config_.queue_depth) {}
+
+ExperimentServer::~ExperimentServer() { stop(); }
+
+void ExperimentServer::start() {
+  listener_ = std::make_unique<Listener>(config_.host, config_.port);
+  port_ = listener_->port();
+  listen_thread_ = std::thread(&ExperimentServer::listen_loop, this);
+  executors_.reserve(config_.max_inflight);
+  for (unsigned i = 0; i < config_.max_inflight; ++i) {
+    executors_.emplace_back(&ExperimentServer::executor_loop, this);
+  }
+}
+
+void ExperimentServer::request_shutdown(bool cancel_running) {
+  shutdown_.store(true, std::memory_order_release);
+  queue_.drain(cancel_running);
+}
+
+bool ExperimentServer::finished() const {
+  return shutdown_requested() && queue_.idle();
+}
+
+void ExperimentServer::stop() {
+  if (stopping_.exchange(true)) return;
+  if (listener_) listener_->close();
+  if (listen_thread_.joinable()) listen_thread_.join();
+  queue_.stop();
+  for (std::thread& t : executors_) {
+    if (t.joinable()) t.join();
+  }
+  executors_.clear();
+  // Sessions poll stopping_ between bounded reads; wait them out.
+  while (sessions_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+void ExperimentServer::listen_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Socket sock = listener_->accept(/*timeout_ms=*/200);
+    if (!sock.valid()) continue;
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    sessions_.fetch_add(1, std::memory_order_acq_rel);
+    std::thread([this, s = std::move(sock)]() mutable {
+      session(std::move(s));
+      sessions_.fetch_sub(1, std::memory_order_acq_rel);
+    }).detach();
+  }
+}
+
+void ExperimentServer::session(Socket sock) {
+  HttpRequestParser parser(16 * 1024, config_.max_body_bytes);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Read one full request in bounded slices so stop() never waits long.
+    int waited_ms = 0;
+    bool fatal = false;
+    try {
+      while (!parser.complete()) {
+        if (stopping_.load(std::memory_order_acquire)) return;
+        std::string bytes;
+        constexpr int kSliceMs = 200;
+        const IoStatus status = sock.read_some(bytes, 4096, kSliceMs);
+        if (status == IoStatus::kEof || status == IoStatus::kError) return;
+        if (status == IoStatus::kTimeout) {
+          waited_ms += kSliceMs;
+          if (waited_ms >= config_.io_timeout_ms) {
+            if (parser.idle()) return;  // idle keep-alive: just drop
+            (void)sock.write_all(
+                format_response(408, "application/json",
+                                error_body(408,
+                                           "timed out waiting for the rest "
+                                           "of the request"),
+                                /*keep_alive=*/false),
+                config_.io_timeout_ms);
+            return;
+          }
+          continue;
+        }
+        waited_ms = 0;
+        parser.consume(bytes);
+      }
+    } catch (const HttpError& e) {
+      (void)sock.write_all(
+          format_response(e.status(), "application/json",
+                          error_body(e.status(), e.what()),
+                          /*keep_alive=*/false),
+          config_.io_timeout_ms);
+      return;
+    }
+    HttpRequest request = parser.take();
+    const bool close_after = request.wants_close();
+    try {
+      fatal = !handle_request(sock, request);
+    } catch (const HttpError& e) {
+      (void)respond(sock, e.status(), error_body(e.status(), e.what()),
+                    /*keep_alive=*/false);
+      fatal = true;
+    } catch (const std::exception& e) {
+      (void)respond(sock, 500, error_body(500, e.what()),
+                    /*keep_alive=*/false);
+      fatal = true;
+    }
+    if (fatal || close_after) return;
+  }
+}
+
+void ExperimentServer::executor_loop() {
+  while (std::shared_ptr<Job> job = queue_.next_runnable()) {
+    run_job(job);
+  }
+}
+
+void ExperimentServer::run_job(const std::shared_ptr<Job>& job) {
+  obs::ProgressBus bus;
+  EventLogSink sink(job->events);
+  bus.subscribe(&sink);
+
+  JobState final_state = JobState::kDone;
+  std::string result;
+  std::string error;
+  try {
+    sim::BuiltRun built = sim::build_run_config(job->kv);
+    sim::RunConfig& cfg = built.config;
+    cfg.progress_bus = &bus;
+    cfg.cancel = &job->cancel;
+    if (!job->is_sweep) {
+      const sim::RunResult r = sim::run_simulation(cfg);
+      std::ostringstream out;
+      sim::write_run_json(out, cfg, r);
+      result = out.str();
+    } else {
+      const auto threads =
+          static_cast<unsigned>(job->kv.get_uint("sweep", 0));
+      const auto jobs = static_cast<unsigned>(job->kv.get_uint("jobs", 1));
+      sim::SweepRequest req =
+          sim::build_sweep_request(job->kv, cfg, threads, jobs);
+      req.journal_path = job->journal_path;
+      req.progress_bus = &bus;
+      const std::vector<sim::SweepCell> cells =
+          sim::run_sweep(req, baselines_.get(job->kv));
+      std::ostringstream out;
+      sim::write_sweep_json(out, cells);
+      result = out.str();
+      // Per-cell failures (crash isolation) degrade the grid, they do not
+      // fail the job: the served JSON records them per mix exactly as the
+      // offline engine would.
+    }
+  } catch (const persist::Cancelled&) {
+    final_state = JobState::kCancelled;
+    error = job->journal_path.empty()
+                ? "cancelled while running"
+                : "cancelled while running; journal '" + job->journal_path +
+                      "' holds the completed cells (resumable offline with "
+                      "msim_cli --resume)";
+  } catch (const std::exception& e) {
+    final_state = JobState::kFailed;
+    error = e.what();
+  }
+  queue_.finish(*job, final_state, std::move(result), std::move(error));
+}
+
+}  // namespace msim::serve

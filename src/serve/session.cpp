@@ -1,0 +1,289 @@
+// HTTP routing for ExperimentServer: one function per endpoint.  The wire
+// schema (URL shapes, status codes, body formats) is documented in
+// docs/SERVICE.md -- keep the two in sync.
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/json.hpp"
+#include "serve/codec.hpp"
+#include "serve/server.hpp"
+#include "sim/cli_spec.hpp"
+
+namespace msim::serve {
+
+namespace {
+
+/// "/v1/jobs/7/result" -> {"v1", "jobs", "7", "result"}.
+std::vector<std::string> split_path(std::string_view target) {
+  const std::size_t query = target.find('?');
+  if (query != std::string_view::npos) target = target.substr(0, query);
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= target.size()) {
+    const std::size_t slash = target.find('/', start);
+    const std::size_t end =
+        slash == std::string_view::npos ? target.size() : slash;
+    if (end > start) out.emplace_back(target.substr(start, end - start));
+    if (slash == std::string_view::npos) break;
+    start = slash + 1;
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> parse_id(const std::string& s) {
+  if (s.empty() || !std::all_of(s.begin(), s.end(), [](unsigned char c) {
+        return std::isdigit(c);
+      })) {
+    return std::nullopt;
+  }
+  return std::stoull(s);
+}
+
+[[noreturn]] void method_not_allowed(const std::string& method,
+                                     std::string_view allowed) {
+  throw HttpError(405, "method " + method + " not allowed here (use " +
+                           std::string(allowed) + ")");
+}
+
+}  // namespace
+
+bool ExperimentServer::respond(Socket& sock, int status, std::string_view body,
+                               bool keep_alive) {
+  return sock.write_all(
+      format_response(status, "application/json", body, keep_alive),
+      config_.io_timeout_ms);
+}
+
+bool ExperimentServer::handle_request(Socket& sock,
+                                      const HttpRequest& request) {
+  const std::vector<std::string> path = split_path(request.target);
+
+  if (path.size() == 1 && path[0] == "healthz") {
+    if (request.method != "GET") method_not_allowed(request.method, "GET");
+    return respond(sock, 200, "{\"ok\":true}\n", /*keep_alive=*/true);
+  }
+  if (path.size() == 2 && path[0] == "v1" && path[1] == "stats") {
+    if (request.method != "GET") method_not_allowed(request.method, "GET");
+    return handle_stats(sock);
+  }
+  if (path.size() == 2 && path[0] == "v1" && path[1] == "shutdown") {
+    if (request.method != "POST") method_not_allowed(request.method, "POST");
+    request_shutdown(/*cancel_running=*/false);
+    return respond(sock, 200, "{\"draining\":true}\n", /*keep_alive=*/true);
+  }
+  if (path.size() == 2 && path[0] == "v1" && path[1] == "jobs") {
+    if (request.method != "POST") method_not_allowed(request.method, "POST");
+    return handle_submit(sock, request);
+  }
+  if ((path.size() == 3 || path.size() == 4) && path[0] == "v1" &&
+      path[1] == "jobs") {
+    const std::optional<std::uint64_t> id = parse_id(path[2]);
+    if (!id) {
+      throw HttpError(400, "job id must be a decimal integer, got '" +
+                               path[2] + "'");
+    }
+    const std::shared_ptr<Job> job = queue_.find(*id);
+    if (!job) {
+      throw HttpError(404, "no job " + path[2] +
+                               " (ids are returned by POST /v1/jobs)");
+    }
+    if (path.size() == 3) {
+      if (request.method != "GET") method_not_allowed(request.method, "GET");
+      return handle_job_get(sock, *job);
+    }
+    if (path[3] == "result") {
+      if (request.method != "GET") method_not_allowed(request.method, "GET");
+      return handle_result(sock, *job);
+    }
+    if (path[3] == "events") {
+      if (request.method != "GET") method_not_allowed(request.method, "GET");
+      return handle_events(sock, *job);
+    }
+    if (path[3] == "cancel") {
+      if (request.method != "POST") {
+        method_not_allowed(request.method, "POST");
+      }
+      return handle_cancel(sock, *id);
+    }
+  }
+  throw HttpError(404, "no such endpoint: " + request.method + " " +
+                           request.target + " (see docs/SERVICE.md)");
+}
+
+bool ExperimentServer::handle_submit(Socket& sock,
+                                     const HttpRequest& request) {
+  if (queue_.draining()) {
+    throw HttpError(503, "server is draining; not accepting new jobs");
+  }
+  JsonValue doc = [&] {
+    try {
+      return JsonValue::parse(request.body);
+    } catch (const std::exception& e) {
+      throw HttpError(400, std::string("request body is not valid JSON: ") +
+                               e.what());
+    }
+  }();
+  if (!doc.is_object()) {
+    throw HttpError(400,
+                    "request body must be a JSON object: "
+                    "{\"config\": {...}, \"priority\": N}");
+  }
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key != "config" && key != "priority") {
+      throw HttpError(400, "unknown request field \"" + key +
+                               "\" (accepted: \"config\", \"priority\")");
+    }
+  }
+  if (!doc.contains("config")) {
+    throw HttpError(400, "missing \"config\": the simulation knobs object");
+  }
+  int priority = 0;
+  if (doc.contains("priority")) {
+    const JsonValue& p = doc.at("priority");
+    if (p.type() != JsonValue::Type::kNumber) {
+      throw HttpError(400, "\"priority\" must be an integer");
+    }
+    priority = static_cast<int>(p.as_number());
+  }
+
+  KvConfig kv = kv_from_json(doc.at("config"));
+  validate_request_keys(kv);
+
+  // Build (and for single runs validate) the config now, so a broken knob
+  // is a synchronous 400 with the builder's message instead of a job that
+  // fails later.
+  const auto sweep = static_cast<unsigned>(kv.get_uint("sweep", 0));
+  try {
+    sim::BuiltRun probe = sim::build_run_config(kv);
+    if (sweep == 0) {
+      probe.config.validate();
+    } else {
+      if (sweep < 2 || sweep > 4) {
+        throw std::invalid_argument(
+            "sweep=" + std::to_string(sweep) +
+            " is invalid: the figure sweeps cover thread counts 2, 3 and 4");
+      }
+      const std::uint64_t jobs = kv.get_uint("jobs", 1);
+      if (jobs == 0) {
+        throw std::invalid_argument("jobs=0 is invalid: use jobs>=1");
+      }
+      (void)sim::build_sweep_request(kv, probe.config,
+                                     /*thread_count=*/sweep,
+                                     static_cast<unsigned>(jobs));
+    }
+  } catch (const HttpError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw HttpError(400, std::string("invalid config: ") + e.what());
+  }
+
+  auto job = std::make_shared<Job>();
+  job->id = queue_.allocate_id();
+  job->priority = priority;
+  job->kv = std::move(kv);
+  job->is_sweep = sweep != 0;
+  if (job->is_sweep && !config_.journal_dir.empty()) {
+    job->journal_path =
+        config_.journal_dir + "/job" + std::to_string(job->id) + ".jsonl";
+  }
+  queue_.enqueue(job);  // HttpError(429) when full
+
+  std::ostringstream body;
+  body << "{\"id\":" << job->id << ",\"state\":\"queued\"}\n";
+  return respond(sock, 202, body.str(), /*keep_alive=*/true);
+}
+
+std::string ExperimentServer::job_status_json(const Job& job) const {
+  const JobSnapshot snap = queue_.snapshot(job);
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_object();
+  w.kv("id", job.id);
+  w.kv("state", job_state_name(snap.state));
+  w.kv("sweep", job.is_sweep);
+  w.kv("priority", std::int64_t{job.priority});
+  w.kv("events", static_cast<std::uint64_t>(job.events.size()));
+  if (!snap.error.empty()) w.kv("error", snap.error);
+  w.end_object();
+  os << '\n';
+  return os.str();
+}
+
+bool ExperimentServer::handle_job_get(Socket& sock, const Job& job) {
+  return respond(sock, 200, job_status_json(job), /*keep_alive=*/true);
+}
+
+bool ExperimentServer::handle_result(Socket& sock, const Job& job) {
+  const JobSnapshot snap = queue_.snapshot(job);
+  if (snap.state != JobState::kDone) {
+    std::string message = "job " + std::to_string(job.id) +
+                          " has no result: state is " +
+                          std::string(job_state_name(snap.state));
+    if (!snap.error.empty()) message += " (" + snap.error + ")";
+    throw HttpError(409, message);
+  }
+  // The stored bytes are exactly what sim::write_run_json /
+  // sim::write_sweep_json produced -- served untouched, so a client-side
+  // `cmp` against the offline engine's file passes.
+  return respond(sock, 200, queue_.result_bytes(job), /*keep_alive=*/true);
+}
+
+bool ExperimentServer::handle_cancel(Socket& sock, std::uint64_t id) {
+  (void)queue_.cancel(id);  // the id was resolved by the router
+  const std::shared_ptr<Job> job = queue_.find(id);
+  return respond(sock, 200, job_status_json(*job), /*keep_alive=*/true);
+}
+
+bool ExperimentServer::handle_events(Socket& sock, Job& job) {
+  if (!sock.write_all(format_stream_head(200, "application/x-ndjson"),
+                      config_.io_timeout_ms)) {
+    return false;
+  }
+  std::size_t index = 0;
+  while (true) {
+    std::string line;
+    const EventLog::Fetch fetched =
+        job.events.fetch(index, /*timeout_ms=*/200, line);
+    if (fetched == EventLog::Fetch::kClosed) break;
+    if (fetched == EventLog::Fetch::kTimeout) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      continue;
+    }
+    ++index;
+    line += '\n';
+    if (!sock.write_all(format_chunk(line), config_.io_timeout_ms)) {
+      return false;  // client gone or too slow: drop, the job runs on
+    }
+  }
+  (void)sock.write_all(std::string(kLastChunk), config_.io_timeout_ms);
+  return false;  // chunked streams always close the connection
+}
+
+bool ExperimentServer::handle_stats(Socket& sock) {
+  const QueueStats qs = queue_.stats();
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_object();
+  w.key("jobs");
+  w.begin_object();
+  w.kv("submitted", qs.submitted);
+  w.kv("queued", static_cast<std::uint64_t>(qs.queued));
+  w.kv("running", static_cast<std::uint64_t>(qs.running));
+  w.kv("done", qs.done);
+  w.kv("failed", qs.failed);
+  w.kv("cancelled", qs.cancelled);
+  w.end_object();
+  w.kv("connections", connections());
+  w.kv("baseline_caches", static_cast<std::uint64_t>(baselines_.size()));
+  w.kv("queue_depth", static_cast<std::uint64_t>(config_.queue_depth));
+  w.kv("max_inflight", std::uint64_t{config_.max_inflight});
+  w.kv("draining", queue_.draining());
+  w.end_object();
+  os << '\n';
+  return respond(sock, 200, os.str(), /*keep_alive=*/true);
+}
+
+}  // namespace msim::serve

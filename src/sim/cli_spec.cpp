@@ -118,6 +118,101 @@ constexpr std::string_view kValueFlags[] = {
     "checkpoint_every", "resume",    "interval",     "interval_json",
     "progress_json", "chrome_trace", "sampled_json"};
 
+// ---------------------------------------------------------------------------
+// msim_serve: daemon command line + network request surface.
+
+constexpr const char* kServeUsage =
+    R"(usage: msim_serve [key=value | --flag value]...
+
+Experiment daemon: accepts simulation jobs as JSON over a minimal HTTP/1.1
+API and serves results byte-identical to the offline msim_cli engine.  The
+wire schema, queue semantics and ops runbook live in docs/SERVICE.md.
+
+Daemon knobs:
+  --port N              TCP port to listen on (0 = ephemeral; the chosen
+                        port is printed as `listening on HOST:PORT`)  [0]
+  --host ADDR           bind address                          [127.0.0.1]
+  --queue-depth N       max queued (not yet running) jobs; a full queue
+                        rejects submissions with 429              [64]
+  --max-inflight N      jobs executed concurrently                 [2]
+  --journal-dir DIR     per-job sweep journals DIR/job<id>.jsonl, so a
+                        cancelled or crashed sweep is resumable    [""]
+  --io-timeout-ms N     per-socket read/write inactivity budget; slow or
+                        stalled clients get 408 / are dropped    [10000]
+  --help                print this text
+
+Wire API (one-line summary; see docs/SERVICE.md):
+  GET  /healthz                 liveness probe
+  GET  /v1/stats                daemon counters as JSON
+  POST /v1/jobs                 submit {"config":{...}} -> 202 {"id":N}
+  GET  /v1/jobs/ID              job status JSON
+  GET  /v1/jobs/ID/result      finished job's report (byte-identical to
+                                msim_cli --stats-json / --sweep-json)
+  GET  /v1/jobs/ID/events      progress stream, chunked JSONL
+  POST /v1/jobs/ID/cancel      cooperative cancel (journal stays resumable)
+  POST /v1/shutdown             graceful drain + exit 0
+
+Exit codes: 0 clean shutdown (POST /v1/shutdown); 2 bad usage or bind
+failure; 128+N killed by signal N after a graceful drain (SIGINT=130,
+SIGTERM=143; a second signal cancels running jobs instead of waiting).
+)";
+
+constexpr std::string_view kServeKnownKeys[] = {
+    "port", "host", "queue_depth", "max_inflight", "journal_dir",
+    "io_timeout_ms", "help"};
+
+constexpr std::string_view kServeValueFlags[] = {
+    "port", "host", "queue_depth", "max_inflight", "journal_dir",
+    "io_timeout_ms"};
+
+// Simulation knobs a job's JSON "config" may carry.  Must stay a strict
+// subset of kKnownKeys with identical spellings; config construction is
+// shared with msim_cli (sim/config_build.hpp).
+constexpr std::string_view kServeRequestKeys[] = {
+    "benchmarks", "sched", "fetch", "deadlock", "iq", "scan_depth",
+    "watchdog_timeout", "oracle_disambiguation", "wrong_path", "warmup",
+    "horizon", "seed", "max_cycles", "verify", "hang_cycles",
+    "fault_intensity", "fault_seed", "fault_index", "sweep", "jobs",
+    "isolate", "retries", "isolation", "workers", "cell_timeout_ms",
+    "chaos", "interval"};
+
+// CLI knobs the network API refuses, each with the reason echoed in the
+// 400 body.  kServeRequestKeys + kServeRejectedKeys == kKnownKeys exactly
+// (tests/test_serve_wire.cpp enforces the partition).
+constexpr RejectedKey kServeRejectedKeys[] = {
+    {"mode", "mode=sampled is CLI-only; served jobs run the exact engine"},
+    {"region", "sampled-mode knob; mode=sampled is CLI-only"},
+    {"detail_warmup", "sampled-mode knob; mode=sampled is CLI-only"},
+    {"pilot", "sampled-mode knob; mode=sampled is CLI-only"},
+    {"sampled_json", "server-local output path; fetch results over the API"},
+    {"stats_json",
+     "server-local output path; GET /v1/jobs/<id>/result serves the same "
+     "bytes"},
+    {"sweep_json",
+     "server-local output path; GET /v1/jobs/<id>/result serves the same "
+     "bytes"},
+    {"interval_json", "server-local output path; single-run CLI streaming "
+                      "only"},
+    {"trace_out", "server-local output path; trace files are CLI-only"},
+    {"trace_format", "trace files are CLI-only"},
+    {"trace_capacity", "trace files are CLI-only"},
+    {"progress",
+     "terminal progress is CLI-only; stream GET /v1/jobs/<id>/events"},
+    {"progress_json",
+     "server-local output path; stream GET /v1/jobs/<id>/events"},
+    {"chrome_trace", "server-local output path; host-time tracing is "
+                     "CLI-only"},
+    {"dump_config", "prints to the server's stdout; use msim_cli"},
+    {"diag", "server-local output path; failures are reported in the job "
+             "status"},
+    {"checkpoint",
+     "journal paths are assigned server-side (--journal-dir); clients never "
+     "name server files"},
+    {"checkpoint_every", "single-run checkpointing is CLI-only"},
+    {"checkpoint_exit", "test knob that exits the process; CLI-only"},
+    {"resume", "journal paths are assigned server-side (--journal-dir)"},
+    {"help", "CLI flag, not a simulation knob"}};
+
 }  // namespace
 
 std::string_view cli_usage() { return kUsage; }
@@ -125,5 +220,23 @@ std::string_view cli_usage() { return kUsage; }
 std::span<const std::string_view> cli_known_keys() { return kKnownKeys; }
 
 std::span<const std::string_view> cli_value_flags() { return kValueFlags; }
+
+std::string_view serve_usage() { return kServeUsage; }
+
+std::span<const std::string_view> serve_known_keys() {
+  return kServeKnownKeys;
+}
+
+std::span<const std::string_view> serve_value_flags() {
+  return kServeValueFlags;
+}
+
+std::span<const std::string_view> serve_request_keys() {
+  return kServeRequestKeys;
+}
+
+std::span<const RejectedKey> serve_rejected_keys() {
+  return kServeRejectedKeys;
+}
 
 }  // namespace msim::sim

@@ -1,10 +1,21 @@
-// Single source of truth for the msim_cli command-line surface: the --help
-// text, the set of accepted keys, and which GNU-style --flags take a value.
+// Single source of truth for the msim_cli and msim_serve surfaces: the
+// --help texts, the sets of accepted keys, and which GNU-style --flags take
+// a value.
 //
-// msim_cli consumes these for parsing and help; tests cross-check them
-// against each other (every accepted key must be documented in the usage
-// text and vice versa), so adding a knob in one place but not the other
-// fails CI instead of silently shipping an undocumented flag.
+// msim_cli consumes the cli_* functions for parsing and help; tests
+// cross-check them against each other (every accepted key must be
+// documented in the usage text and vice versa), so adding a knob in one
+// place but not the other fails CI instead of silently shipping an
+// undocumented flag.
+//
+// The serve_* functions define the msim_serve daemon the same way, plus
+// the *request* surface: which simulation knobs a job's JSON config may
+// carry over the wire.  serve_request_keys() and serve_rejected_keys()
+// partition cli_known_keys() exactly -- every CLI knob is either accepted
+// in a request or rejected with a documented reason (local-output paths,
+// single-process modes, CLI-only flags).  tests/test_serve_wire.cpp
+// enforces the partition, so a knob added to the CLI cannot silently
+// drift into (or out of) the network API.
 #pragma once
 
 #include <span>
@@ -23,5 +34,33 @@ namespace msim::sim {
 /// becomes stats_json=x); all other --flags are booleans ("--progress"
 /// becomes progress=1).  Normalized names, underscores.
 [[nodiscard]] std::span<const std::string_view> cli_value_flags();
+
+/// msim_serve's own --help text (daemon knobs + wire API summary; the
+/// authoritative wire reference is docs/SERVICE.md).
+[[nodiscard]] std::string_view serve_usage();
+
+/// Every key=value key the msim_serve *daemon command line* accepts
+/// (port, queue sizing, journal directory...), normalized.
+[[nodiscard]] std::span<const std::string_view> serve_known_keys();
+
+/// msim_serve --flag spellings that consume a following value.
+[[nodiscard]] std::span<const std::string_view> serve_value_flags();
+
+/// The simulation knobs a POST /v1/jobs request's "config" object may
+/// carry.  Spelling, parsing and defaults are identical to the msim_cli
+/// keys of the same name (both front ends build configs through
+/// sim/config_build.hpp).
+[[nodiscard]] std::span<const std::string_view> serve_request_keys();
+
+/// A CLI knob the network API refuses, with the one-line reason served
+/// back in the 400 body (and documented in docs/SERVICE.md).
+struct RejectedKey {
+  std::string_view key;
+  std::string_view reason;
+};
+
+/// CLI knobs rejected in requests.  Together with serve_request_keys()
+/// this covers cli_known_keys() exactly, with no overlap.
+[[nodiscard]] std::span<const RejectedKey> serve_rejected_keys();
 
 }  // namespace msim::sim

@@ -434,6 +434,10 @@ std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& bas
         // An interrupt is a request to stop, not a cell failure: never
         // retried, never recorded — the cell reruns on resume.
         throw;
+      } catch (const persist::Cancelled&) {
+        // Same contract for per-job cancellation (the serve daemon): the
+        // sweep stops after the journal recorded every completed cell.
+        throw;
       } catch (const std::exception& e) {
         last_error = e.what();
         if (bus && attempt <= request.retries) {
@@ -583,6 +587,10 @@ std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& bas
     RunConfig worker_base = request.base;
     worker_base.progress_bus = nullptr;
     worker_base.watch_signals = false;
+    // The cancel flag lives in the parent's memory: a forked worker's copy
+    // is frozen at fork time, so cancellation is the supervisor's job (it
+    // polls the flag and SIGKILLs the workers).
+    worker_base.cancel = nullptr;
     auto cell_fn = [&](std::size_t i) -> robust::CellOutcome {
       const GridPoint& p = grid[i];
       MixResult r;
@@ -624,6 +632,7 @@ std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& bas
     sc.journal_fingerprint = fingerprint;
     sc.completed = completed_indices;
     sc.watch_signals = request.base.watch_signals;
+    sc.cancel = request.base.cancel;
     sc.progress_bus = bus;
     sc.cell_label = key_of;
     robust::SweepSupervisor supervisor(std::move(sc));
@@ -705,17 +714,21 @@ std::vector<SweepCell> run_sweep(const SweepRequest& request, BaselineCache& bas
     // reach the journal; an interrupt outranks other failures because it is
     // the reason the caller is exiting.
     std::exception_ptr interrupted;
+    std::exception_ptr cancelled;
     std::exception_ptr first_error;
     for (std::future<void>& f : pending) {
       try {
         f.get();
       } catch (const persist::Interrupted&) {
         if (!interrupted) interrupted = std::current_exception();
+      } catch (const persist::Cancelled&) {
+        if (!cancelled) cancelled = std::current_exception();
       } catch (...) {
         if (!first_error) first_error = std::current_exception();
       }
     }
     if (interrupted) std::rethrow_exception(interrupted);
+    if (cancelled) std::rethrow_exception(cancelled);
     if (first_error) std::rethrow_exception(first_error);
   }
   check_guard.reset();

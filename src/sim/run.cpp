@@ -155,6 +155,10 @@ void run_checkpointed(const RunConfig& config, smt::Pipeline& pipe,
         throw persist::Interrupted(sig);
       }
     }
+    if (config.cancel && config.cancel->load(std::memory_order_relaxed)) {
+      if (!config.checkpoint_path.empty()) save();
+      throw persist::Cancelled();
+    }
   };
 
   auto run_phase = [&](std::uint64_t target) {
@@ -180,7 +184,8 @@ void run_checkpointed(const RunConfig& config, smt::Pipeline& pipe,
       if (config.checkpoint_exit_cycles > abs) {
         chunk = std::min(chunk, config.checkpoint_exit_cycles - abs);
       }
-      if (config.watch_signals && config.checkpoint_every == 0) {
+      if ((config.watch_signals || config.cancel != nullptr) &&
+          config.checkpoint_every == 0) {
         chunk = std::min(chunk, kSignalPollCycles);
       }
       pipe.run(target, chunk == kNoCap ? 0 : chunk);
@@ -271,7 +276,7 @@ RunResult run_simulation(const RunConfig& config) {
   const bool checkpointing = !config.checkpoint_path.empty() ||
                              !config.resume_path.empty() ||
                              config.checkpoint_exit_cycles != 0 ||
-                             config.watch_signals;
+                             config.watch_signals || config.cancel != nullptr;
   auto publish_abort = [&](const std::string& what) {
     if (bus) {
       obs::ProgressEvent ev(obs::ProgressKind::kRunFinish);

@@ -3,6 +3,7 @@
 // experiments need.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -96,6 +97,13 @@ struct RunConfig {
   /// save a final checkpoint (when checkpoint_path is set) and throw
   /// persist::Interrupted.  The caller installs persist::SignalGuard.
   bool watch_signals = false;
+  /// Cooperative per-run cancellation (the serve daemon's per-job cancel,
+  /// docs/SERVICE.md): polled at the same chunk boundaries as
+  /// watch_signals; once the flag is true the run saves a final checkpoint
+  /// (when checkpoint_path is set) and throws persist::Cancelled.  Unlike
+  /// the process-wide signal flag, this stops exactly one run.  Not owned,
+  /// may be nullptr; never part of fingerprint().
+  const std::atomic<bool>* cancel = nullptr;
 
   /// Builds the Table-1 machine with this run's scheduler settings applied.
   [[nodiscard]] smt::MachineConfig machine() const;

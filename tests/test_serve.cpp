@@ -1,0 +1,439 @@
+// End-to-end coverage of the msim_serve daemon over real TCP sockets: the
+// byte-identity contract against the offline engine, every documented
+// error status, queue backpressure, cancellation (including mid-sweep with
+// a resumable journal), slow/truncated clients, and graceful drain.
+// docs/SERVICE.md documents the behaviours exercised here.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/config.hpp"
+#include "common/json.hpp"
+#include "serve/http.hpp"
+#include "serve/server.hpp"
+#include "sim/config_build.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "sim/run.hpp"
+
+namespace msim {
+namespace {
+
+using serve::ExperimentServer;
+using serve::Listener;
+using serve::ServerConfig;
+using serve::Socket;
+
+struct HttpResult {
+  int status = 0;
+  std::string body;  ///< bytes after the blank line (raw for chunked)
+  std::string raw;
+};
+
+/// One request/response exchange.  Sends Connection: close and reads to
+/// EOF, so `body` is complete for both fixed and chunked responses.
+HttpResult http(std::uint16_t port, const std::string& method,
+                const std::string& target, const std::string& body = "") {
+  Socket sock = Listener::connect("127.0.0.1", port, /*timeout_ms=*/5000);
+  EXPECT_TRUE(sock.valid());
+  std::string req = method + " " + target + " HTTP/1.1\r\n";
+  req += "Host: localhost\r\nConnection: close\r\n";
+  if (!body.empty()) {
+    req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  req += "\r\n" + body;
+  EXPECT_TRUE(sock.write_all(req, 5000));
+
+  HttpResult out;
+  // Generous overall budget: jobs are tiny but CI machines are slow.
+  for (int spins = 0; spins < 600; ++spins) {
+    const serve::IoStatus status = sock.read_some(out.raw, 65536, 200);
+    if (status == serve::IoStatus::kEof) break;
+    if (status == serve::IoStatus::kError) break;
+  }
+  if (out.raw.size() > 12) out.status = std::stoi(out.raw.substr(9, 3));
+  const std::size_t split = out.raw.find("\r\n\r\n");
+  if (split != std::string::npos) out.body = out.raw.substr(split + 4);
+  return out;
+}
+
+std::unique_ptr<ExperimentServer> start_server(ServerConfig config = {}) {
+  auto server = std::make_unique<ExperimentServer>(config);
+  server->start();
+  return server;
+}
+
+/// Submits {"config": <config_json>} and returns the job id.
+std::uint64_t submit(std::uint16_t port, const std::string& config_json,
+                     int expected_status = 202) {
+  const HttpResult r =
+      http(port, "POST", "/v1/jobs", "{\"config\":" + config_json + "}");
+  EXPECT_EQ(r.status, expected_status) << r.body;
+  if (r.status != 202) return 0;
+  return static_cast<std::uint64_t>(
+      JsonValue::parse(r.body).at("id").as_number());
+}
+
+JsonValue job_status(std::uint16_t port, std::uint64_t id) {
+  const HttpResult r =
+      http(port, "GET", "/v1/jobs/" + std::to_string(id));
+  EXPECT_EQ(r.status, 200) << r.body;
+  return JsonValue::parse(r.body);
+}
+
+std::string wait_state(std::uint16_t port, std::uint64_t id,
+                       const std::vector<std::string>& terminal) {
+  for (int spins = 0; spins < 1200; ++spins) {
+    const std::string state =
+        job_status(port, id).at("state").as_string();
+    for (const std::string& t : terminal) {
+      if (state == t) return state;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return "timeout";
+}
+
+KvConfig make_kv(
+    std::initializer_list<std::pair<const char*, const char*>> pairs) {
+  KvConfig kv;
+  for (const auto& [k, v] : pairs) kv.set(k, v);
+  return kv;
+}
+
+/// What msim_cli --stats-json would write for this config.
+std::string offline_run_json(const KvConfig& kv) {
+  sim::BuiltRun built = sim::build_run_config(kv);
+  const sim::RunResult result = sim::run_simulation(built.config);
+  std::ostringstream os;
+  sim::write_run_json(os, built.config, result);
+  return os.str();
+}
+
+/// What msim_cli --sweep-json would write, at `jobs` concurrency.
+std::string offline_sweep_json(const KvConfig& kv, unsigned jobs,
+                               const std::string& journal = "",
+                               bool resume = false) {
+  sim::BuiltRun built = sim::build_run_config(kv);
+  sim::SweepRequest req = sim::build_sweep_request(
+      kv, built.config,
+      static_cast<unsigned>(kv.get_uint("sweep", 2)), jobs);
+  req.journal_path = journal;
+  req.resume = resume;
+  sim::BaselineCache baselines(built.config);
+  const std::vector<sim::SweepCell> cells = sim::run_sweep(req, baselines);
+  std::ostringstream os;
+  sim::write_sweep_json(os, cells);
+  return os.str();
+}
+
+std::string temp_dir(const std::string& stem) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       (stem + "-" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::create_directories(path);
+  return path;
+}
+
+// A config whose single run takes long enough to cancel but finishes fast
+// when left alone is hard to pin down on arbitrary CI machines, so "long"
+// jobs here use an enormous horizon and are always cancelled.
+constexpr const char* kLongRun =
+    R"({"benchmarks":"gcc","warmup":0,"horizon":500000000})";
+
+TEST(Serve, HealthzAndStatsRespond) {
+  const auto server = start_server();
+  const HttpResult health = http(server->port(), "GET", "/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "{\"ok\":true}\n");
+
+  const HttpResult stats = http(server->port(), "GET", "/v1/stats");
+  EXPECT_EQ(stats.status, 200);
+  const JsonValue doc = JsonValue::parse(stats.body);
+  EXPECT_EQ(doc.at("jobs").at("submitted").as_number(), 0.0);
+  EXPECT_FALSE(doc.at("draining").as_bool());
+}
+
+TEST(Serve, SingleRunIsByteIdenticalToTheOfflineEngine) {
+  const auto server = start_server();
+  const std::uint64_t id = submit(
+      server->port(),
+      R"({"benchmarks":"gcc,gzip","warmup":1000,"horizon":4000,"seed":7})");
+  ASSERT_EQ(wait_state(server->port(), id, {"done", "failed"}), "done");
+
+  const HttpResult result =
+      http(server->port(), "GET", "/v1/jobs/" + std::to_string(id) + "/result");
+  EXPECT_EQ(result.status, 200);
+  const std::string offline = offline_run_json(make_kv({{"benchmarks",
+                                                         "gcc,gzip"},
+                                                        {"warmup", "1000"},
+                                                        {"horizon", "4000"},
+                                                        {"seed", "7"}}));
+  EXPECT_EQ(result.body, offline)
+      << "served bytes must match msim_cli --stats-json exactly";
+}
+
+TEST(Serve, SweepIsByteIdenticalAtAnyConcurrency) {
+  ServerConfig config;
+  config.max_inflight = 2;
+  const auto server = start_server(config);
+  const std::string cfg =
+      R"({"sweep":2,"sched":"2op_block_ooo","iq":"32,64",)"
+      R"("warmup":200,"horizon":1000,"jobs":2})";
+  // Two identical jobs in flight at once: they share one pooled baseline
+  // cache and must serve identical bytes.
+  const std::uint64_t a = submit(server->port(), cfg);
+  const std::uint64_t b = submit(server->port(), cfg);
+  ASSERT_EQ(wait_state(server->port(), a, {"done", "failed"}), "done");
+  ASSERT_EQ(wait_state(server->port(), b, {"done", "failed"}), "done");
+
+  const std::string ra =
+      http(server->port(), "GET", "/v1/jobs/" + std::to_string(a) + "/result")
+          .body;
+  const std::string rb =
+      http(server->port(), "GET", "/v1/jobs/" + std::to_string(b) + "/result")
+          .body;
+  EXPECT_EQ(ra, rb);
+
+  // The offline engine at a *different* worker count (serial here, jobs=2
+  // on the server) produces the same bytes.
+  const KvConfig kv = make_kv({{"sweep", "2"},
+                               {"sched", "2op_block_ooo"},
+                               {"iq", "32,64"},
+                               {"warmup", "200"},
+                               {"horizon", "1000"},
+                               {"jobs", "2"}});
+  EXPECT_EQ(ra, offline_sweep_json(kv, /*jobs=*/1));
+
+  const JsonValue stats = JsonValue::parse(
+      http(server->port(), "GET", "/v1/stats").body);
+  EXPECT_EQ(stats.at("baseline_caches").as_number(), 1.0)
+      << "identical configs must share one pooled baseline cache";
+
+  // Events replay after completion: the stream ends with the terminating
+  // chunk and contains the sweep lifecycle.
+  const HttpResult events =
+      http(server->port(), "GET", "/v1/jobs/" + std::to_string(a) + "/events");
+  EXPECT_EQ(events.status, 200);
+  EXPECT_NE(events.raw.find("Transfer-Encoding: chunked"), std::string::npos);
+  EXPECT_NE(events.body.find("sweep_start"), std::string::npos);
+  EXPECT_NE(events.body.find("sweep_finish"), std::string::npos);
+  EXPECT_GE(events.body.size(), 5u);
+  EXPECT_EQ(events.body.substr(events.body.size() - 5), "0\r\n\r\n");
+}
+
+TEST(Serve, BadSubmissionsGetActionable400s) {
+  const auto server = start_server();
+  const auto post = [&](const std::string& body) {
+    return http(server->port(), "POST", "/v1/jobs", body);
+  };
+
+  HttpResult r = post("{not json");
+  EXPECT_EQ(r.status, 400);
+  EXPECT_NE(r.body.find("not valid JSON"), std::string::npos);
+
+  r = post("[1,2]");
+  EXPECT_EQ(r.status, 400);
+
+  r = post(R"({"priority":1})");
+  EXPECT_EQ(r.status, 400);
+  EXPECT_NE(r.body.find("config"), std::string::npos);
+
+  r = post(R"({"config":{},"extra":1})");
+  EXPECT_EQ(r.status, 400);
+  EXPECT_NE(r.body.find("extra"), std::string::npos);
+
+  r = post(R"({"config":{"iqq":64}})");  // unknown knob: named back
+  EXPECT_EQ(r.status, 400);
+  EXPECT_NE(r.body.find("iqq"), std::string::npos);
+
+  // A server-incompatible CLI knob is rejected with its documented reason.
+  r = post(R"({"config":{"stats_json":"/tmp/x.json"}})");
+  EXPECT_EQ(r.status, 400);
+  EXPECT_NE(r.body.find("/v1/jobs/<id>/result"), std::string::npos);
+
+  r = post(R"({"config":{"sched":"bogus"}})");  // builder's own message
+  EXPECT_EQ(r.status, 400);
+  EXPECT_NE(r.body.find("bogus"), std::string::npos);
+
+  r = post(R"({"config":{"sweep":7}})");
+  EXPECT_EQ(r.status, 400);
+  EXPECT_NE(r.body.find("sweep"), std::string::npos);
+}
+
+TEST(Serve, RoutingErrorsUseTheRightStatusCodes) {
+  const auto server = start_server();
+  EXPECT_EQ(http(server->port(), "GET", "/nope").status, 404);
+  EXPECT_EQ(http(server->port(), "GET", "/v1/jobs/999").status, 404);
+  EXPECT_EQ(http(server->port(), "GET", "/v1/jobs/abc").status, 400);
+  EXPECT_EQ(http(server->port(), "DELETE", "/healthz").status, 405);
+  EXPECT_EQ(http(server->port(), "GET", "/v1/shutdown").status, 405);
+  const HttpResult parse_err = http(server->port(), "BAD REQUEST", "LINE");
+  EXPECT_EQ(parse_err.status, 400);
+}
+
+TEST(Serve, QueueOverflowRejectsWith429AndResultBeforeDoneIs409) {
+  ServerConfig config;
+  config.queue_depth = 1;
+  config.max_inflight = 1;
+  const auto server = start_server(config);
+
+  const std::uint64_t running = submit(server->port(), kLongRun);
+  ASSERT_EQ(wait_state(server->port(), running, {"running"}), "running");
+  const std::uint64_t queued = submit(server->port(), kLongRun);
+
+  // Queue full: backpressure, not buffering.
+  const HttpResult overflow = http(server->port(), "POST", "/v1/jobs",
+                                   std::string("{\"config\":") + kLongRun +
+                                       "}");
+  EXPECT_EQ(overflow.status, 429);
+  EXPECT_NE(overflow.body.find("queue"), std::string::npos);
+
+  // A job that has not finished serves 409 from .../result.
+  const HttpResult early = http(
+      server->port(), "GET", "/v1/jobs/" + std::to_string(queued) + "/result");
+  EXPECT_EQ(early.status, 409);
+  EXPECT_NE(early.body.find("queued"), std::string::npos);
+
+  // Cancelling the queued job is immediate; the running one is cooperative.
+  EXPECT_EQ(http(server->port(), "POST",
+                 "/v1/jobs/" + std::to_string(queued) + "/cancel")
+                .status,
+            200);
+  EXPECT_EQ(job_status(server->port(), queued).at("state").as_string(),
+            "cancelled");
+  EXPECT_EQ(http(server->port(), "POST",
+                 "/v1/jobs/" + std::to_string(running) + "/cancel")
+                .status,
+            200);
+  EXPECT_EQ(wait_state(server->port(), running, {"cancelled", "failed"}),
+            "cancelled");
+  const HttpResult after = http(
+      server->port(), "GET",
+      "/v1/jobs/" + std::to_string(running) + "/result");
+  EXPECT_EQ(after.status, 409);
+  EXPECT_NE(after.body.find("cancelled"), std::string::npos);
+}
+
+TEST(Serve, CancelMidSweepLeavesTheJournalResumable) {
+  const std::string dir = temp_dir("msim-serve-journal");
+  ServerConfig config;
+  config.journal_dir = dir;
+  const auto server = start_server(config);
+
+  // Big enough that cancellation lands mid-grid on any machine.
+  const std::string cfg =
+      R"({"sweep":2,"iq":"32,48,64","warmup":2000,"horizon":30000})";
+  const std::uint64_t id = submit(server->port(), cfg);
+
+  // Wait until at least one cell finished (so the journal has content),
+  // then cancel.
+  for (int spins = 0; spins < 1200; ++spins) {
+    const JsonValue status = job_status(server->port(), id);
+    if (status.at("state").as_string() != "queued" &&
+        status.at("events").as_number() >= 3.0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(http(server->port(), "POST",
+                 "/v1/jobs/" + std::to_string(id) + "/cancel")
+                .status,
+            200);
+  const std::string state =
+      wait_state(server->port(), id, {"cancelled", "done"});
+
+  const std::string journal = dir + "/job" + std::to_string(id) + ".jsonl";
+  const KvConfig kv = make_kv({{"sweep", "2"},
+                               {"iq", "32,48,64"},
+                               {"warmup", "2000"},
+                               {"horizon", "30000"}});
+  if (state == "cancelled") {
+    const JsonValue status = job_status(server->port(), id);
+    EXPECT_NE(status.at("error").as_string().find("resumable"),
+              std::string::npos);
+    ASSERT_TRUE(std::filesystem::exists(journal))
+        << "a cancelled sweep must leave its journal behind";
+    // Resuming the server-side journal offline completes the grid and
+    // produces the same bytes as a fresh offline sweep.
+    const std::string resumed =
+        offline_sweep_json(kv, /*jobs=*/1, journal, /*resume=*/true);
+    EXPECT_EQ(resumed, offline_sweep_json(kv, /*jobs=*/1));
+  } else {
+    // The grid beat the cancel on a fast machine: the served result must
+    // still match the offline engine.
+    const std::string served = http(server->port(), "GET",
+                                    "/v1/jobs/" + std::to_string(id) +
+                                        "/result")
+                                   .body;
+    EXPECT_EQ(served, offline_sweep_json(kv, /*jobs=*/1));
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(Serve, SlowAndTruncatedClientsCannotPinTheDaemon) {
+  ServerConfig config;
+  config.io_timeout_ms = 600;
+  const auto server = start_server(config);
+
+  // A stalled mid-request client gets 408 once the inactivity budget is
+  // spent.
+  {
+    Socket sock = Listener::connect("127.0.0.1", server->port(), 5000);
+    ASSERT_TRUE(sock.valid());
+    ASSERT_TRUE(sock.write_all(
+        "POST /v1/jobs HTTP/1.1\r\nContent-Length: 60\r\n\r\n{\"conf", 5000));
+    std::string raw;
+    for (int spins = 0; spins < 50; ++spins) {
+      if (sock.read_some(raw, 4096, 200) == serve::IoStatus::kEof) break;
+    }
+    EXPECT_NE(raw.find("408"), std::string::npos) << raw;
+  }
+
+  // A truncated frame (client hangs up mid-request) is dropped silently...
+  {
+    Socket sock = Listener::connect("127.0.0.1", server->port(), 5000);
+    ASSERT_TRUE(sock.valid());
+    ASSERT_TRUE(sock.write_all("GET /healthz HT", 5000));
+    sock.close();
+  }
+  // ...and the daemon keeps serving.
+  EXPECT_EQ(http(server->port(), "GET", "/healthz").status, 200);
+}
+
+TEST(Serve, ShutdownDrainsAndRejectsNewWork) {
+  const auto server = start_server();
+  const std::uint64_t id = submit(
+      server->port(), R"({"benchmarks":"gcc","warmup":100,"horizon":500})");
+
+  const HttpResult shutdown = http(server->port(), "POST", "/v1/shutdown");
+  EXPECT_EQ(shutdown.status, 200);
+  EXPECT_EQ(shutdown.body, "{\"draining\":true}\n");
+
+  // New submissions are refused while draining...
+  submit(server->port(),
+         R"({"benchmarks":"gcc","warmup":100,"horizon":500})",
+         /*expected_status=*/503);
+
+  // ...but the accepted job finishes (or was cancelled while queued) and
+  // the drain converges.
+  const std::string state =
+      wait_state(server->port(), id, {"done", "cancelled", "failed"});
+  EXPECT_TRUE(state == "done" || state == "cancelled") << state;
+  for (int spins = 0; spins < 100 && !server->finished(); ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(server->finished());
+}
+
+}  // namespace
+}  // namespace msim

@@ -1,0 +1,362 @@
+// Wire-layer units of the msim_serve daemon: HTTP framing, the JSON->
+// KvConfig codec, the request-key partition against the CLI surface, the
+// event log, and the bounded priority queue.  End-to-end socket coverage
+// lives in test_serve.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "serve/codec.hpp"
+#include "serve/http.hpp"
+#include "serve/queue.hpp"
+#include "sim/cli_spec.hpp"
+
+namespace msim::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// HTTP framing
+
+TEST(HttpParser, ParsesSimpleGet) {
+  HttpRequestParser p;
+  EXPECT_TRUE(p.consume("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"));
+  const HttpRequest req = p.take();
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.target, "/healthz");
+  EXPECT_EQ(req.headers.at("host"), "x");
+  EXPECT_TRUE(req.body.empty());
+  EXPECT_FALSE(p.complete());
+}
+
+TEST(HttpParser, ParsesPostBodyFedByteByByte) {
+  const std::string raw =
+      "POST /v1/jobs HTTP/1.1\r\nContent-Length: 13\r\n\r\n{\"config\":{}}";
+  HttpRequestParser p;
+  bool complete = false;
+  for (const char c : raw) complete = p.consume(std::string_view(&c, 1));
+  ASSERT_TRUE(complete);
+  const HttpRequest req = p.take();
+  EXPECT_EQ(req.method, "POST");
+  EXPECT_EQ(req.body, "{\"config\":{}}");
+}
+
+TEST(HttpParser, KeepsPipelinedBytesForTheNextRequest) {
+  HttpRequestParser p;
+  ASSERT_TRUE(
+      p.consume("GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n"));
+  EXPECT_EQ(p.take().target, "/a");
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.take().target, "/b");
+}
+
+TEST(HttpParser, RejectsMalformedRequestLine) {
+  HttpRequestParser p;
+  try {
+    p.consume("NONSENSE\r\n\r\n");
+    FAIL() << "expected HttpError";
+  } catch (const HttpError& e) {
+    EXPECT_EQ(e.status(), 400);
+    EXPECT_NE(std::string(e.what()).find("request line"), std::string::npos);
+  }
+}
+
+TEST(HttpParser, RejectsMalformedHeaderAndContentLength) {
+  {
+    HttpRequestParser p;
+    EXPECT_THROW(p.consume("GET / HTTP/1.1\r\nbogus header\r\n\r\n"),
+                 HttpError);
+  }
+  {
+    HttpRequestParser p;
+    try {
+      p.consume("GET / HTTP/1.1\r\nContent-Length: ten\r\n\r\n");
+      FAIL() << "expected HttpError";
+    } catch (const HttpError& e) {
+      EXPECT_EQ(e.status(), 400);
+    }
+  }
+}
+
+TEST(HttpParser, RejectsOversizedBodyDeclarationWith413) {
+  HttpRequestParser p(/*max_head_bytes=*/1024, /*max_body_bytes=*/64);
+  try {
+    p.consume("POST / HTTP/1.1\r\nContent-Length: 65\r\n\r\n");
+    FAIL() << "expected HttpError";
+  } catch (const HttpError& e) {
+    EXPECT_EQ(e.status(), 413);
+  }
+}
+
+TEST(HttpParser, RejectsOversizedHeadWith413) {
+  HttpRequestParser p(/*max_head_bytes=*/64, /*max_body_bytes=*/64);
+  const std::string junk(200, 'x');
+  EXPECT_THROW(p.consume("GET / HTTP/1.1\r\nX: " + junk), HttpError);
+}
+
+TEST(HttpParser, RejectsChunkedRequestBodies) {
+  HttpRequestParser p;
+  try {
+    p.consume("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+    FAIL() << "expected HttpError";
+  } catch (const HttpError& e) {
+    EXPECT_EQ(e.status(), 400);
+    EXPECT_NE(std::string(e.what()).find("Content-Length"),
+              std::string::npos);
+  }
+}
+
+TEST(HttpFormat, ResponseAndChunkFraming) {
+  const std::string resp =
+      format_response(200, "application/json", "{}", /*keep_alive=*/true);
+  EXPECT_EQ(resp.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(resp.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_NE(resp.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_EQ(resp.substr(resp.size() - 2), "{}");
+
+  EXPECT_EQ(format_chunk("hello"), "5\r\nhello\r\n");
+  const std::string head = format_stream_head(200, "application/x-ndjson");
+  EXPECT_NE(head.find("Transfer-Encoding: chunked\r\n"), std::string::npos);
+
+  const std::string err = error_body(429, "queue full");
+  const JsonValue doc = JsonValue::parse(err);
+  EXPECT_EQ(doc.at("error").at("status").as_number(), 429.0);
+  EXPECT_EQ(doc.at("error").at("message").as_string(), "queue full");
+}
+
+// ---------------------------------------------------------------------------
+// JSON -> KvConfig codec
+
+TEST(Codec, ScalarsBecomeCliSpellings) {
+  const JsonValue doc = JsonValue::parse(
+      R"({"benchmarks":"gcc,gzip","iq":64,"verify":true,)"
+      R"("fault_intensity":0.25,"wrong_path":false})");
+  const KvConfig kv = kv_from_json(doc);
+  EXPECT_EQ(kv.get_string("benchmarks", ""), "gcc,gzip");
+  EXPECT_EQ(kv.get_string("iq", ""), "64");  // integral: no decimal point
+  EXPECT_EQ(kv.get_string("verify", ""), "1");
+  EXPECT_EQ(kv.get_string("wrong_path", ""), "0");
+  EXPECT_EQ(kv.get_double("fault_intensity", 0.0), 0.25);
+}
+
+TEST(Codec, RejectsNestedValuesWithTheOffendingKey) {
+  const JsonValue doc = JsonValue::parse(R"({"iq":{"nested":1}})");
+  try {
+    (void)kv_from_json(doc);
+    FAIL() << "expected HttpError";
+  } catch (const HttpError& e) {
+    EXPECT_EQ(e.status(), 400);
+    EXPECT_NE(std::string(e.what()).find("config.iq"), std::string::npos);
+  }
+  EXPECT_THROW((void)kv_from_json(JsonValue::parse(R"({"iq":null})")),
+               HttpError);
+  EXPECT_THROW((void)kv_from_json(JsonValue::parse(R"({"iq":[1,2]})")),
+               HttpError);
+}
+
+TEST(Codec, AcceptsEveryRequestKeyRejectsTheRest) {
+  KvConfig ok;
+  ok.set("sweep", "2");
+  ok.set("iq", "32,64");
+  ok.set("workers", "2");
+  EXPECT_NO_THROW(validate_request_keys(ok));
+
+  KvConfig rejected;
+  rejected.set("stats_json", "/tmp/x.json");
+  try {
+    validate_request_keys(rejected);
+    FAIL() << "expected HttpError";
+  } catch (const HttpError& e) {
+    EXPECT_EQ(e.status(), 400);
+    // The documented reason from serve_rejected_keys() is echoed.
+    EXPECT_NE(std::string(e.what()).find("/v1/jobs/<id>/result"),
+              std::string::npos);
+  }
+
+  KvConfig unknown;
+  unknown.set("iqq", "64");
+  try {
+    validate_request_keys(unknown);
+    FAIL() << "expected HttpError";
+  } catch (const HttpError& e) {
+    EXPECT_EQ(e.status(), 400);
+    EXPECT_NE(std::string(e.what()).find("iqq"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The serve surface cannot drift from the CLI surface (the same pattern as
+// the cli_usage cross-checks in test_intervals.cpp).
+
+TEST(ServeSpec, RequestAndRejectedKeysPartitionTheCliKeys) {
+  std::set<std::string_view> cli(sim::cli_known_keys().begin(),
+                                 sim::cli_known_keys().end());
+  std::set<std::string_view> request(sim::serve_request_keys().begin(),
+                                     sim::serve_request_keys().end());
+  std::set<std::string_view> rejected;
+  for (const sim::RejectedKey& r : sim::serve_rejected_keys()) {
+    EXPECT_FALSE(r.reason.empty()) << r.key;
+    rejected.insert(r.key);
+  }
+  // Disjoint...
+  for (const auto& k : request) {
+    EXPECT_FALSE(rejected.contains(k)) << k << " is both accepted and rejected";
+  }
+  // ...and together exactly the CLI key set.
+  std::set<std::string_view> united = request;
+  united.insert(rejected.begin(), rejected.end());
+  EXPECT_EQ(united, cli)
+      << "serve_request_keys + serve_rejected_keys must cover "
+         "cli_known_keys exactly: a new CLI knob needs a wire decision";
+}
+
+TEST(ServeSpec, DaemonKeysAreDocumentedInServeUsage) {
+  const std::string_view usage = sim::serve_usage();
+  for (const std::string_view key : sim::serve_known_keys()) {
+    if (key == "help") continue;  // spelled --help in the text
+    std::string flag = "--" + std::string(key);
+    std::replace(flag.begin(), flag.end(), '_', '-');
+    EXPECT_NE(usage.find(flag), std::string_view::npos)
+        << flag << " missing from serve_usage()";
+  }
+  for (const std::string_view flag : sim::serve_value_flags()) {
+    EXPECT_NE(std::find(sim::serve_known_keys().begin(),
+                        sim::serve_known_keys().end(), flag),
+              sim::serve_known_keys().end())
+        << flag << " takes a value but is not a known key";
+  }
+}
+
+TEST(ServeSpec, RequestKeysAreValidCliKeys) {
+  const auto cli = sim::cli_known_keys();
+  for (const std::string_view key : sim::serve_request_keys()) {
+    EXPECT_NE(std::find(cli.begin(), cli.end(), key), cli.end())
+        << key << " accepted over the wire but unknown to msim_cli";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EventLog
+
+TEST(EventLog, ReplayThenFollowThenClose) {
+  EventLog log;
+  log.append("a");
+  log.append("b");
+  std::string line;
+  EXPECT_EQ(log.fetch(0, 10, line), EventLog::Fetch::kLine);
+  EXPECT_EQ(line, "a");
+  EXPECT_EQ(log.fetch(1, 10, line), EventLog::Fetch::kLine);
+  EXPECT_EQ(line, "b");
+  EXPECT_EQ(log.fetch(2, 10, line), EventLog::Fetch::kTimeout);
+
+  std::thread writer([&] {
+    log.append("c");
+    log.close();
+  });
+  EXPECT_EQ(log.fetch(2, 5000, line), EventLog::Fetch::kLine);
+  EXPECT_EQ(line, "c");
+  EXPECT_EQ(log.fetch(3, 5000, line), EventLog::Fetch::kClosed);
+  writer.join();
+  log.append("after close is dropped");
+  EXPECT_EQ(log.size(), 3u);
+}
+
+TEST(EventLog, OverflowDropsWithOneTruncationMarker) {
+  EventLog log;
+  for (std::size_t i = 0; i < EventLog::kMaxLines + 100; ++i) {
+    log.append("x");
+  }
+  EXPECT_EQ(log.size(), EventLog::kMaxLines + 1);
+  std::string line;
+  ASSERT_EQ(log.fetch(EventLog::kMaxLines, 10, line), EventLog::Fetch::kLine);
+  EXPECT_NE(line.find("events_truncated"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// JobQueue
+
+std::shared_ptr<Job> make_job(JobQueue& q, int priority) {
+  auto job = std::make_shared<Job>();
+  job->id = q.allocate_id();
+  job->priority = priority;
+  q.enqueue(job);
+  return job;
+}
+
+TEST(JobQueue, PriorityFirstFifoWithin) {
+  JobQueue q(16);
+  const auto low = make_job(q, 0);
+  const auto high = make_job(q, 5);
+  const auto low2 = make_job(q, 0);
+  EXPECT_EQ(q.next_runnable()->id, high->id);
+  EXPECT_EQ(q.next_runnable()->id, low->id);
+  EXPECT_EQ(q.next_runnable()->id, low2->id);
+}
+
+TEST(JobQueue, DepthBoundRejectsWith429) {
+  JobQueue q(2);
+  (void)make_job(q, 0);
+  (void)make_job(q, 0);
+  try {
+    (void)make_job(q, 0);
+    FAIL() << "expected HttpError";
+  } catch (const HttpError& e) {
+    EXPECT_EQ(e.status(), 429);
+    EXPECT_NE(std::string(e.what()).find("queue-depth"), std::string::npos);
+  }
+}
+
+TEST(JobQueue, CancelQueuedIsImmediateCancelRunningRaisesTheFlag) {
+  JobQueue q(16);
+  const auto a = make_job(q, 0);
+  const auto b = make_job(q, 0);
+  EXPECT_TRUE(q.cancel(b->id));
+  EXPECT_EQ(q.snapshot(*b).state, JobState::kCancelled);
+  EXPECT_TRUE(b->events.closed());
+
+  const auto running = q.next_runnable();
+  ASSERT_EQ(running->id, a->id);
+  EXPECT_TRUE(q.cancel(a->id));
+  EXPECT_EQ(q.snapshot(*a).state, JobState::kRunning);
+  EXPECT_TRUE(a->cancel.load());
+  q.finish(*a, JobState::kCancelled, "", "cancelled while running");
+  EXPECT_EQ(q.snapshot(*a).state, JobState::kCancelled);
+
+  EXPECT_FALSE(q.cancel(999));
+}
+
+TEST(JobQueue, DrainCancelsQueuedAndRejectsNewSubmissions) {
+  JobQueue q(16);
+  const auto queued = make_job(q, 0);
+  q.drain(/*cancel_running=*/false);
+  EXPECT_EQ(q.snapshot(*queued).state, JobState::kCancelled);
+  EXPECT_TRUE(q.draining());
+  EXPECT_TRUE(q.idle());
+  try {
+    (void)make_job(q, 0);
+    FAIL() << "expected HttpError";
+  } catch (const HttpError& e) {
+    EXPECT_EQ(e.status(), 503);
+  }
+  EXPECT_EQ(q.next_runnable(), nullptr);  // draining + empty: executors exit
+}
+
+TEST(JobQueue, StatsCountStates) {
+  JobQueue q(16);
+  const auto a = make_job(q, 0);
+  (void)make_job(q, 0);
+  (void)q.next_runnable();
+  q.finish(*a, JobState::kDone, "{}", "");
+  const QueueStats s = q.stats();
+  EXPECT_EQ(s.submitted, 2u);
+  EXPECT_EQ(s.done, 1u);
+  EXPECT_EQ(s.queued, 1u);
+  EXPECT_EQ(s.running, 0u);
+}
+
+}  // namespace
+}  // namespace msim::serve
