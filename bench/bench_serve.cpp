@@ -11,20 +11,29 @@
 //   ./bench_serve clients=32 quick=1
 //   ./bench_serve json=bench_serve.json   # machine-readable summary
 //
+// With restart=1 the load runs against a --journal-dir-backed daemon,
+// which is then torn down and restarted: the scenario times the recovery
+// (ledger replay + result reload) and byte-checks a re-served result, so
+// regressions in startup recovery show up in the latency JSON.
+//
 // Knobs: clients=N requests=N (per client) sweep=2|3|4 iq=LIST warmup=N
-// horizon=N max_inflight=N queue_depth=N quick=1 json=PATH.  Exit codes
-// follow the bench protocol (bench_common.hpp): 0 ok, 2 bad usage; any
-// failed or non-identical request makes the bench exit 1.
+// horizon=N max_inflight=N queue_depth=N restart=1 quick=1 json=PATH.
+// Exit codes follow the bench protocol (bench_common.hpp): 0 ok, 2 bad
+// usage; any failed or non-identical request makes the bench exit 1.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "bench_common.hpp"
 #include "common/json.hpp"
@@ -47,6 +56,7 @@ struct Options {
   std::uint64_t horizon = 800;
   unsigned max_inflight = 0;  ///< 0 = hardware concurrency
   std::size_t queue_depth = 0;  ///< 0 = clients * requests (never 429)
+  bool restart = false;  ///< measure ledger-replay recovery after the load
   std::string json_path;
 };
 
@@ -54,13 +64,14 @@ Options parse(int argc, char** argv) {
   const msim::KvConfig cli =
       msim::KvConfig::parse({argv + 1, static_cast<std::size_t>(argc - 1)});
   static constexpr std::string_view kKnown[] = {
-      "clients", "requests",     "sweep",       "iq",   "warmup",
-      "horizon", "max_inflight", "queue_depth", "json", "quick"};
+      "clients", "requests",     "sweep",       "iq",      "warmup",
+      "horizon", "max_inflight", "queue_depth", "restart", "json",
+      "quick"};
   if (const auto unknown = cli.unknown_keys(kKnown); !unknown.empty()) {
     std::string msg = "unknown option(s):";
     for (const std::string& k : unknown) msg += " " + k;
     msg += " (known: clients requests sweep iq warmup horizon max_inflight "
-           "queue_depth json quick; see EXPERIMENTS.md)";
+           "queue_depth restart json quick; see EXPERIMENTS.md)";
     throw std::invalid_argument(msg);
   }
   Options opts;
@@ -73,6 +84,7 @@ Options parse(int argc, char** argv) {
   opts.max_inflight =
       static_cast<unsigned>(cli.get_uint("max_inflight", 0));
   opts.queue_depth = cli.get_uint("queue_depth", 0);
+  opts.restart = cli.get_bool("restart", false);
   opts.json_path = cli.get_string("json", "");
   if (cli.get_bool("quick", false)) {
     opts.clients = std::max(1u, opts.clients / 4);
@@ -157,20 +169,32 @@ int main(int argc, char** argv) {
         opts.queue_depth != 0
             ? opts.queue_depth
             : static_cast<std::size_t>(opts.clients) * opts.requests;
-    serve::ExperimentServer server(server_config);
-    server.start();
-    const std::uint16_t port = server.port();
+    if (opts.restart) {
+      // restart=1: journal every job so the post-load restart has a real
+      // ledger (one record chain + result file per request) to replay.
+      server_config.journal_dir =
+          (std::filesystem::temp_directory_path() /
+           ("msim-bench-serve-" + std::to_string(::getpid())))
+              .string();
+      std::filesystem::remove_all(server_config.journal_dir);
+      std::filesystem::create_directories(server_config.journal_dir);
+    }
+    auto server = std::make_unique<serve::ExperimentServer>(server_config);
+    server->start();
+    const std::uint16_t port = server->port();
 
     std::cout << "# clients=" << opts.clients << " requests=" << opts.requests
               << " sweep=" << opts.sweep << " iq=" << opts.iq
               << " warmup=" << opts.warmup << " horizon=" << opts.horizon
               << " max_inflight=" << server_config.max_inflight
-              << " queue_depth=" << server_config.queue_depth << "\n";
+              << " queue_depth=" << server_config.queue_depth
+              << " restart=" << (opts.restart ? 1 : 0) << "\n";
 
     std::mutex mu;
     std::vector<double> latencies_ms;
     std::atomic<std::uint64_t> failed{0};
     std::atomic<std::uint64_t> mismatched{0};
+    std::atomic<std::uint64_t> last_done_id{0};  ///< re-served after restart
 
     const auto wall_start = std::chrono::steady_clock::now();
     std::vector<std::thread> clients;
@@ -208,6 +232,7 @@ int main(int argc, char** argv) {
             continue;
           }
           if (result.body != reference) mismatched.fetch_add(1);
+          last_done_id.store(std::stoull(id));
           const double ms =
               std::chrono::duration<double, std::milli>(
                   std::chrono::steady_clock::now() - start)
@@ -221,7 +246,40 @@ int main(int argc, char** argv) {
     const double wall_s = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - wall_start)
                               .count();
-    server.stop();
+    server->stop();
+
+    // restart=1: tear the daemon down and time a fresh incarnation's
+    // recovery -- ledger replay, result reload, queue rebuild -- then
+    // byte-check one re-served result against the reference.
+    double recovery_ms = 0.0;
+    std::uint64_t recovered_jobs = 0;
+    bool reserved_identical = true;
+    if (opts.restart) {
+      server.reset();  // only the --journal-dir ledger survives
+      const auto recover_start = std::chrono::steady_clock::now();
+      server = std::make_unique<serve::ExperimentServer>(server_config);
+      server->start();
+      recovery_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - recover_start)
+                        .count();
+      recovered_jobs = server->recovery().replayed;
+      const std::uint64_t id = last_done_id.load();
+      if (id != 0) {
+        const Reply reserved = http(
+            server->port(), "GET",
+            "/v1/jobs/" + std::to_string(id) + "/result");
+        reserved_identical =
+            reserved.status == 200 && reserved.body == reference;
+      }
+      server->stop();
+      server.reset();
+      std::error_code ec;
+      std::filesystem::remove_all(server_config.journal_dir, ec);
+      std::cout << "restart: recovered " << recovered_jobs << " job(s) in "
+                << recovery_ms << " ms, re-served result "
+                << (reserved_identical ? "byte-identical" : "MISMATCHED")
+                << "\n";
+    }
 
     std::sort(latencies_ms.begin(), latencies_ms.end());
     const std::uint64_t total =
@@ -272,11 +330,22 @@ int main(int argc, char** argv) {
       w.kv("queue_depth",
            static_cast<std::uint64_t>(server_config.queue_depth));
       w.end_object();
+      if (opts.restart) {
+        w.key("restart");
+        w.begin_object();
+        w.kv("recovery_ms", recovery_ms);
+        w.kv("recovered_jobs", recovered_jobs);
+        w.kv("reserved_identical", reserved_identical);
+        w.end_object();
+      }
       w.end_object();
       os << '\n';
       persist::write_text_atomic(opts.json_path, os.str());
       std::cout << "wrote " << opts.json_path << "\n";
     }
-    return (failed.load() == 0 && mismatched.load() == 0) ? 0 : 1;
+    return (failed.load() == 0 && mismatched.load() == 0 &&
+            reserved_identical)
+               ? 0
+               : 1;
   });
 }

@@ -1,6 +1,6 @@
 #include "serve/queue.hpp"
 
-#include <chrono>
+#include <algorithm>
 
 #include "serve/http.hpp"
 
@@ -13,6 +13,7 @@ std::string_view job_state_name(JobState state) noexcept {
     case JobState::kDone: return "done";
     case JobState::kFailed: return "failed";
     case JobState::kCancelled: return "cancelled";
+    case JobState::kExpired: return "expired";
   }
   return "unknown";
 }
@@ -63,13 +64,29 @@ bool EventLog::closed() const {
   return closed_;
 }
 
+void JobQueue::set_next_id(std::uint64_t next_id) {
+  std::uint64_t current = next_id_.load(std::memory_order_relaxed);
+  while (current < next_id &&
+         !next_id_.compare_exchange_weak(current, next_id,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
 std::uint64_t JobQueue::allocate_id() {
   return next_id_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void JobQueue::enqueue(std::shared_ptr<Job> job) {
+void JobQueue::fire_hook(const Job& job, JobState state) const {
+  if (hook_) hook_(job, state);
+}
+
+std::shared_ptr<Job> JobQueue::enqueue(std::shared_ptr<Job> job) {
   {
     const std::lock_guard<std::mutex> lock(mu_);
+    if (!job->idempotency_key.empty()) {
+      const auto it = by_key_.find(job->idempotency_key);
+      if (it != by_key_.end()) return it->second;  // dedupe: nothing enqueued
+    }
     if (draining_ || stopped_) {
       throw HttpError(503, "server is draining; not accepting new jobs");
     }
@@ -79,23 +96,116 @@ void JobQueue::enqueue(std::shared_ptr<Job> job) {
                                "raise --queue-depth");
     }
     job->state = JobState::kQueued;
+    if (job->ttl_ms != 0) {
+      job->deadline = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(job->ttl_ms);
+    }
     ++accepted_;
     jobs_.emplace(job->id, job);
+    if (!job->idempotency_key.empty()) by_key_.emplace(job->idempotency_key, job);
     ready_.emplace(std::make_pair(-job->priority, job->id), job);
   }
   cv_.notify_one();
+  fire_hook(*job, JobState::kQueued);
+  return job;
+}
+
+void JobQueue::restore(std::shared_ptr<Job> job) {
+  bool terminal = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++accepted_;
+    jobs_.emplace(job->id, job);
+    if (!job->idempotency_key.empty()) {
+      by_key_.emplace(job->idempotency_key, job);
+    }
+    switch (job->state) {
+      case JobState::kDone: ++done_; terminal = true; break;
+      case JobState::kFailed: ++failed_; terminal = true; break;
+      case JobState::kCancelled: ++cancelled_; terminal = true; break;
+      case JobState::kExpired: ++expired_; terminal = true; break;
+      default:
+        // Re-enqueued past the depth bound on purpose: the job was already
+        // accepted by the previous incarnation.  The TTL clock restarts at
+        // recovery (wall time while the daemon was down is not counted).
+        job->state = JobState::kQueued;
+        if (job->ttl_ms != 0) {
+          job->deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(job->ttl_ms);
+        }
+        ready_.emplace(std::make_pair(-job->priority, job->id), job);
+        break;
+    }
+  }
+  if (terminal) {
+    job->events.close();
+  } else {
+    cv_.notify_one();
+  }
 }
 
 std::shared_ptr<Job> JobQueue::next_runnable() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return stopped_ || draining_ || !ready_.empty(); });
-  if (stopped_ || ready_.empty()) return nullptr;
-  auto it = ready_.begin();
-  std::shared_ptr<Job> job = it->second;
-  ready_.erase(it);
-  job->state = JobState::kRunning;
-  ++running_;
-  return job;
+  while (true) {
+    std::shared_ptr<Job> job;
+    std::vector<std::shared_ptr<Job>> expired;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Bounded wait so queued TTLs are enforced even when no submission
+      // or shutdown wakes the executors.
+      cv_.wait_for(lock, std::chrono::milliseconds(200), [&] {
+        return stopped_ || draining_ || !ready_.empty();
+      });
+      expired = collect_expired_locked(std::chrono::steady_clock::now());
+      if (stopped_ || (draining_ && ready_.empty())) {
+        lock.unlock();
+        for (const auto& e : expired) e->events.close();
+        for (const auto& e : expired) fire_hook(*e, JobState::kExpired);
+        return nullptr;
+      }
+      if (!ready_.empty()) {
+        auto it = ready_.begin();
+        job = it->second;
+        ready_.erase(it);
+        job->state = JobState::kRunning;
+        ++running_;
+      }
+    }
+    for (const auto& e : expired) e->events.close();
+    for (const auto& e : expired) fire_hook(*e, JobState::kExpired);
+    if (job) {
+      fire_hook(*job, JobState::kRunning);
+      return job;
+    }
+  }
+}
+
+std::vector<std::shared_ptr<Job>> JobQueue::collect_expired_locked(
+    std::chrono::steady_clock::time_point now) {
+  std::vector<std::shared_ptr<Job>> expired;
+  for (auto it = ready_.begin(); it != ready_.end();) {
+    Job& job = *it->second;
+    if (job.ttl_ms != 0 && job.deadline <= now) {
+      job.state = JobState::kExpired;
+      job.error = "expired: queued longer than ttl_ms=" +
+                  std::to_string(job.ttl_ms);
+      ++expired_;
+      expired.push_back(it->second);
+      it = ready_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+void JobQueue::expire_overdue() {
+  std::vector<std::shared_ptr<Job>> expired;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    expired = collect_expired_locked(std::chrono::steady_clock::now());
+  }
+  for (const auto& e : expired) e->events.close();
+  for (const auto& e : expired) fire_hook(*e, JobState::kExpired);
 }
 
 std::shared_ptr<Job> JobQueue::find(std::uint64_t id) const {
@@ -131,6 +241,7 @@ void JobQueue::finish(Job& job, JobState state, std::string result,
   }
   job.events.close();
   cv_.notify_all();
+  fire_hook(job, state);
 }
 
 bool JobQueue::cancel(std::uint64_t id) {
@@ -155,7 +266,10 @@ bool JobQueue::cancel(std::uint64_t id) {
         break;  // already terminal: cancel is an idempotent no-op
     }
   }
-  if (to_close) to_close->events.close();
+  if (to_close) {
+    to_close->events.close();
+    fire_hook(*to_close, JobState::kCancelled);
+  }
   return true;
 }
 
@@ -180,6 +294,7 @@ void JobQueue::drain(bool cancel_running) {
     }
   }
   for (const auto& job : to_close) job->events.close();
+  for (const auto& job : to_close) fire_hook(*job, JobState::kCancelled);
   cv_.notify_all();
 }
 
@@ -208,6 +323,7 @@ QueueStats JobQueue::stats() const {
   s.done = done_;
   s.failed = failed_;
   s.cancelled = cancelled_;
+  s.expired = expired_;
   s.queued = ready_.size();
   s.running = running_;
   return s;

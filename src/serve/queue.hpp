@@ -10,6 +10,16 @@
 // (sim::RunConfig::cancel) and stops at the simulator's next poll
 // boundary -- its sweep journal stays resumable (docs/SERVICE.md).
 //
+// Durability hooks (docs/SERVICE.md "Durability & recovery"): a
+// transition hook observes every state change *outside* the queue mutex,
+// so the server can append fsync'd ledger records without serializing
+// status reads behind disk writes.  Jobs may carry an idempotency key
+// (enqueue dedupes a resubmission to the existing job) and a TTL
+// (queued-too-long jobs transition to the terminal kExpired state instead
+// of running stale).  restore() re-inserts jobs replayed from the ledger
+// after a restart without firing hooks -- the compacted ledger already
+// holds their records.
+//
 // Each job owns an EventLog: the runner appends formatted progress lines
 // (obs::JsonlProgressSink::format) and any number of streaming readers
 // replay-then-follow it, so a client can attach to a job's event stream
@@ -17,8 +27,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -37,6 +49,7 @@ enum class JobState : std::uint8_t {
   kDone,
   kFailed,
   kCancelled,
+  kExpired,
 };
 
 [[nodiscard]] std::string_view job_state_name(JobState state) noexcept;
@@ -70,23 +83,29 @@ class EventLog {
   bool truncated_ = false;
 };
 
-/// One submitted experiment.  `kv`, `is_sweep`, `journal_path` and
-/// `priority` are immutable after enqueue; `state`/`result`/`error` are
-/// guarded by the owning JobQueue's mutex (read them through snapshot());
-/// `cancel` is the cooperative flag the simulator polls; `events` has its
-/// own lock.
+/// One submitted experiment.  `kv`, `is_sweep`, `journal_path`,
+/// `priority`, `idempotency_key`, `ttl_ms`, `resume_sweep` and
+/// `result_path` are immutable after enqueue; `state`/`result`/`error`
+/// are guarded by the owning JobQueue's mutex (read them through
+/// snapshot()); `cancel` is the cooperative flag the simulator polls;
+/// `events` has its own lock.
 struct Job {
   std::uint64_t id = 0;
   int priority = 0;
   KvConfig kv;
   bool is_sweep = false;
   std::string journal_path;  ///< server-assigned; "" = unjournaled
+  std::string idempotency_key;  ///< "" = no dedupe
+  std::uint64_t ttl_ms = 0;     ///< max time queued; 0 = forever
+  std::chrono::steady_clock::time_point deadline{};  ///< set when ttl_ms != 0
+  bool resume_sweep = false;  ///< recovered job: resume from its journal
+  std::string result_path;    ///< ledger-backed result file; "" = memory only
   std::atomic<bool> cancel{false};
   EventLog events;
 
   JobState state = JobState::kQueued;
   std::string result;  ///< exact bytes served by GET .../result (kDone)
-  std::string error;   ///< failure text (kFailed / kCancelled)
+  std::string error;   ///< failure text (kFailed / kCancelled / kExpired)
 };
 
 /// Consistent view of a job's mutable fields.
@@ -102,25 +121,53 @@ struct QueueStats {
   std::uint64_t done = 0;
   std::uint64_t failed = 0;
   std::uint64_t cancelled = 0;
+  std::uint64_t expired = 0;
   std::size_t queued = 0;
   std::size_t running = 0;
 };
 
 class JobQueue {
  public:
+  /// Observes every state change: kQueued on accept, kRunning on
+  /// dispatch, then exactly one terminal state.  Always invoked outside
+  /// the queue mutex (it may fsync); transitions of *different* jobs may
+  /// therefore reach the hook slightly out of submission order.
+  using TransitionHook = std::function<void(const Job&, JobState)>;
+
   explicit JobQueue(std::size_t depth) : depth_(depth) {}
+
+  /// Installs the transition hook.  Call before any executor starts.
+  void set_transition_hook(TransitionHook hook) { hook_ = std::move(hook); }
+
+  /// Raises the id floor (ledger recovery: never reissue a replayed id).
+  void set_next_id(std::uint64_t next_id);
 
   /// The next job id; ids are dense and start at 1.
   [[nodiscard]] std::uint64_t allocate_id();
 
-  /// Enqueues a fully populated job.  Throws HttpError(429) when `depth`
-  /// jobs are already queued and HttpError(503) once draining.
-  void enqueue(std::shared_ptr<Job> job);
+  /// Enqueues a fully populated job and returns it -- unless the job
+  /// carries an idempotency key already registered, in which case the
+  /// *existing* job is returned and nothing is enqueued (the dedupe
+  /// contract; compare the returned pointer).  Throws HttpError(429) when
+  /// `depth` jobs are already queued and HttpError(503) once draining.
+  [[nodiscard]] std::shared_ptr<Job> enqueue(std::shared_ptr<Job> job);
+
+  /// Re-inserts a job replayed from the ledger: terminal jobs (state
+  /// pre-set, result loaded) are registered finished; anything else is
+  /// re-enqueued bypassing the depth bound (it was already accepted).
+  /// Fires no hooks -- the compacted ledger already records these jobs.
+  void restore(std::shared_ptr<Job> job);
 
   /// Blocks until a job is runnable; nullptr once stop() was called or
   /// draining started and the queue is empty (the executor should exit).
-  /// The returned job is already marked kRunning.
+  /// The returned job is already marked kRunning.  Jobs whose TTL lapsed
+  /// while queued are expired instead of dispatched.
   [[nodiscard]] std::shared_ptr<Job> next_runnable();
+
+  /// Expires every queued job whose deadline passed (also done lazily by
+  /// next_runnable; status endpoints call this so expiry is observable
+  /// even while all executors are busy).
+  void expire_overdue();
 
   [[nodiscard]] std::shared_ptr<Job> find(std::uint64_t id) const;
 
@@ -152,19 +199,30 @@ class JobQueue {
   [[nodiscard]] QueueStats stats() const;
 
  private:
+  /// Removes overdue jobs from ready_ and marks them kExpired; the caller
+  /// holds mu_ and must fire hooks / close event logs for the returned
+  /// jobs after unlocking.
+  std::vector<std::shared_ptr<Job>> collect_expired_locked(
+      std::chrono::steady_clock::time_point now);
+
+  void fire_hook(const Job& job, JobState state) const;
+
   std::size_t depth_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::atomic<std::uint64_t> next_id_{1};
+  TransitionHook hook_;
   /// Runnable jobs keyed (-priority, id): begin() is the highest priority,
   /// oldest submission.
   std::map<std::pair<int, std::uint64_t>, std::shared_ptr<Job>> ready_;
   std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::map<std::string, std::shared_ptr<Job>, std::less<>> by_key_;
   std::size_t running_ = 0;
   std::uint64_t accepted_ = 0;
   std::uint64_t done_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t cancelled_ = 0;
+  std::uint64_t expired_ = 0;
   bool draining_ = false;
   bool stopped_ = false;
 };

@@ -1,12 +1,15 @@
 #include "serve/server.hpp"
 
 #include <chrono>
+#include <iostream>
 #include <sstream>
 
 #include "obs/progress.hpp"
+#include "persist/atomic_file.hpp"
 #include "persist/signal.hpp"
 #include "sim/report.hpp"
 #include "sim/run.hpp"
+#include "sim/sampled.hpp"
 
 namespace msim::serve {
 
@@ -68,9 +71,89 @@ std::size_t BaselineCachePool::size() const {
 ExperimentServer::ExperimentServer(ServerConfig config)
     : config_(std::move(config)), queue_(config_.queue_depth) {}
 
+void ExperimentServer::recover_from_ledger() {
+  recovery_.enabled = true;
+  queue_.set_next_id(ledger_->next_id());
+  for (const LedgerJob& rec : ledger_->recovered()) {
+    ++recovery_.replayed;
+    auto job = std::make_shared<Job>();
+    job->id = rec.id;
+    job->priority = rec.priority;
+    job->kv = rec.kv;
+    job->is_sweep = rec.sweep;
+    job->idempotency_key = rec.idempotency_key;
+    job->ttl_ms = rec.ttl_ms;
+    if (job->is_sweep) {
+      job->journal_path = config_.journal_dir + "/job" +
+                          std::to_string(job->id) + ".jsonl";
+    }
+    job->result_path = JobLedger::result_path(config_.journal_dir, job->id);
+    if (rec.terminal) {
+      job->state = rec.state;
+      job->error = rec.error;
+      if (rec.state == JobState::kDone) {
+        // Load eagerly so GET .../result keeps its contract (the stored
+        // bytes, verbatim) without touching the disk per request.
+        try {
+          job->result = persist::read_file(rec.result_path);
+        } catch (const std::exception& e) {
+          job->state = JobState::kFailed;
+          job->error = std::string("recovered job's result file is "
+                                   "unreadable: ") + e.what();
+        }
+      }
+      ++recovery_.completed;
+    } else {
+      // Queued or interrupted mid-run: both re-run.  A sweep resumes from
+      // its journal (completed cells replay byte-identically; only
+      // in-flight cells are recomputed), a single run or sampled estimate
+      // simply re-runs -- deterministically, to the same bytes.
+      job->resume_sweep = job->is_sweep;
+      if (rec.started && job->is_sweep) ++recovery_.resumed_sweeps;
+      ++recovery_.requeued;
+    }
+    queue_.restore(std::move(job));
+  }
+}
+
 ExperimentServer::~ExperimentServer() { stop(); }
 
 void ExperimentServer::start() {
+  if (!config_.journal_dir.empty()) {
+    // Replay + compact the job ledger before anything can bind the port or
+    // pull work: a newer-format ledger throws here (msim_serve exits 2)
+    // and a recovered pending job is back in the ready queue -- in its
+    // original priority/FIFO slot, since ids are preserved and the queue
+    // orders by (-priority, id) -- before the first executor starts.
+    ledger_ = std::make_unique<JobLedger>(config_.journal_dir);
+    recover_from_ledger();
+    queue_.set_transition_hook([this](const Job& job, JobState state) {
+      // Ledger appends must never take the daemon down mid-flight: a
+      // failed fsync loses durability for this transition (recovery
+      // re-runs the job, deterministically), which beats crashing the
+      // executors.
+      try {
+        switch (state) {
+          case JobState::kQueued: ledger_->record_accepted(job); break;
+          case JobState::kRunning: ledger_->record_running(job.id); break;
+          case JobState::kDone:
+            ledger_->record_done(job.id, job.result_path);
+            break;
+          case JobState::kFailed:
+            ledger_->record_failed(job.id, job.error);
+            break;
+          case JobState::kCancelled:
+            ledger_->record_cancelled(job.id, job.error);
+            break;
+          case JobState::kExpired:
+            ledger_->record_expired(job.id, job.error);
+            break;
+        }
+      } catch (const std::exception& e) {
+        std::cerr << "msim_serve: ledger append failed: " << e.what() << "\n";
+      }
+    });
+  }
   listener_ = std::make_unique<Listener>(config_.host, config_.port);
   port_ = listener_->port();
   listen_thread_ = std::thread(&ExperimentServer::listen_loop, this);
@@ -192,7 +275,23 @@ void ExperimentServer::run_job(const std::shared_ptr<Job>& job) {
     sim::RunConfig& cfg = built.config;
     cfg.progress_bus = &bus;
     cfg.cancel = &job->cancel;
-    if (!job->is_sweep) {
+    if (!job->is_sweep &&
+        job->kv.get_string("mode", "exact") == "sampled") {
+      // mode=sampled over the wire: the same engine and the same report
+      // writer msim_cli --sampled-json uses, so the served bytes equal the
+      // offline file exactly (write_sampled_json embeds no job count; the
+      // estimate is bit-identical at any jobs= value).
+      sim::SampledConfig scfg;
+      scfg.region_length = job->kv.get_uint("region", scfg.region_length);
+      scfg.detail_warmup =
+          job->kv.get_uint("detail_warmup", scfg.detail_warmup);
+      scfg.pilot = job->kv.get_uint("pilot", scfg.pilot);
+      scfg.jobs = static_cast<unsigned>(job->kv.get_uint("jobs", 1));
+      const sim::SampledResult r = sim::run_sampled(cfg, scfg);
+      std::ostringstream out;
+      sim::write_sampled_json(out, cfg, scfg, r);
+      result = out.str();
+    } else if (!job->is_sweep) {
       const sim::RunResult r = sim::run_simulation(cfg);
       std::ostringstream out;
       sim::write_run_json(out, cfg, r);
@@ -204,6 +303,10 @@ void ExperimentServer::run_job(const std::shared_ptr<Job>& job) {
       sim::SweepRequest req =
           sim::build_sweep_request(job->kv, cfg, threads, jobs);
       req.journal_path = job->journal_path;
+      // A job recovered mid-sweep resumes from its own journal: completed
+      // cells (main journal + any process-isolation shards, unioned by
+      // run_sweep) replay byte-identically, the rest are computed.
+      req.resume = job->resume_sweep && !job->journal_path.empty();
       req.progress_bus = &bus;
       const std::vector<sim::SweepCell> cells =
           sim::run_sweep(req, baselines_.get(job->kv));
@@ -224,6 +327,18 @@ void ExperimentServer::run_job(const std::shared_ptr<Job>& job) {
   } catch (const std::exception& e) {
     final_state = JobState::kFailed;
     error = e.what();
+  }
+  if (final_state == JobState::kDone && !job->result_path.empty()) {
+    // Persist the result bytes *before* the finish hook appends the `done`
+    // ledger record: a crash between the two re-runs the job on recovery
+    // (deterministically, to the same bytes) instead of recording a result
+    // that does not exist.
+    try {
+      persist::write_text_atomic(job->result_path, result);
+    } catch (const std::exception& e) {
+      std::cerr << "msim_serve: cannot persist result for job " << job->id
+                << ": " << e.what() << "\n";
+    }
   }
   queue_.finish(*job, final_state, std::move(result), std::move(error));
 }

@@ -17,6 +17,16 @@
 // appends to its own journal shard under --journal-dir, and a cancelled
 // job leaves its journal resumable by an offline `msim_cli --resume`.
 //
+// Durability (docs/SERVICE.md "Durability & recovery"): with
+// --journal-dir set, every accepted job and every lifecycle transition is
+// appended -- one fsync'd line at a time -- to the serve::JobLedger in
+// that directory.  start() replays the ledger before accepting traffic:
+// done jobs re-serve their stored result bytes verbatim, pending jobs
+// re-enter the queue in their original priority/FIFO order, and a sweep
+// that was running when the daemon died resumes from its own sweep
+// journal (main + process-isolation shards), so a kill -9 costs only the
+// in-flight cells.
+//
 // Determinism contract: every simulation byte a client receives is
 // produced by sim::write_run_json / sim::write_sweep_json from a config
 // built by sim::build_run_config -- the daemon adds no fields, no
@@ -33,6 +43,7 @@
 #include <vector>
 
 #include "serve/http.hpp"
+#include "serve/ledger.hpp"
 #include "serve/queue.hpp"
 #include "sim/config_build.hpp"
 #include "sim/experiment.hpp"
@@ -44,9 +55,11 @@ struct ServerConfig {
   std::uint16_t port = 0;  ///< 0 = ephemeral; read back with port()
   std::size_t queue_depth = 64;
   unsigned max_inflight = 2;  ///< executor threads (concurrent jobs)
-  /// Directory for per-sweep-job journals DIR/job<id>.jsonl ("" = no
-  /// journaling).  Paths are always assigned server-side; clients never
-  /// name files on the server.
+  /// Durability root ("" = in-memory only): holds the crash-recovering
+  /// job ledger DIR/ledger.jsonl, per-sweep-job journals
+  /// DIR/job<id>.jsonl and done jobs' result files
+  /// DIR/job<id>.result.json.  Paths are always assigned server-side;
+  /// clients never name files on the server.
   std::string journal_dir;
   int io_timeout_ms = 10'000;  ///< per-socket inactivity budget
   std::size_t max_body_bytes = 1u << 20;
@@ -73,6 +86,15 @@ class BaselineCachePool {
   };
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
+};
+
+/// What start()'s ledger replay found, reported by GET /v1/healthz.
+struct RecoveryStats {
+  bool enabled = false;       ///< a --journal-dir ledger was replayed
+  std::uint64_t replayed = 0;  ///< jobs in the ledger
+  std::uint64_t completed = 0; ///< terminal jobs restored verbatim
+  std::uint64_t requeued = 0;  ///< pending jobs re-enqueued
+  std::uint64_t resumed_sweeps = 0;  ///< requeued sweeps resuming a journal
 };
 
 class ExperimentServer {
@@ -112,7 +134,12 @@ class ExperimentServer {
 
   [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
 
+  [[nodiscard]] const RecoveryStats& recovery() const noexcept {
+    return recovery_;
+  }
+
  private:
+  void recover_from_ledger();
   void listen_loop();
   void executor_loop();
   void run_job(const std::shared_ptr<Job>& job);
@@ -129,10 +156,13 @@ class ExperimentServer {
   bool handle_cancel(Socket& sock, std::uint64_t id);
   bool handle_events(Socket& sock, Job& job);
   bool handle_stats(Socket& sock);
+  bool handle_readiness(Socket& sock);
   [[nodiscard]] std::string job_status_json(const Job& job) const;
 
   ServerConfig config_;
   JobQueue queue_;
+  std::unique_ptr<JobLedger> ledger_;
+  RecoveryStats recovery_;
   BaselineCachePool baselines_;
   std::unique_ptr<Listener> listener_;
   std::uint16_t port_ = 0;

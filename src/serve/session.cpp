@@ -11,6 +11,7 @@
 #include "serve/codec.hpp"
 #include "serve/server.hpp"
 #include "sim/cli_spec.hpp"
+#include "sim/sampled.hpp"
 
 namespace msim::serve {
 
@@ -64,6 +65,10 @@ bool ExperimentServer::handle_request(Socket& sock,
   if (path.size() == 1 && path[0] == "healthz") {
     if (request.method != "GET") method_not_allowed(request.method, "GET");
     return respond(sock, 200, "{\"ok\":true}\n", /*keep_alive=*/true);
+  }
+  if (path.size() == 2 && path[0] == "v1" && path[1] == "healthz") {
+    if (request.method != "GET") method_not_allowed(request.method, "GET");
+    return handle_readiness(sock);
   }
   if (path.size() == 2 && path[0] == "v1" && path[1] == "stats") {
     if (request.method != "GET") method_not_allowed(request.method, "GET");
@@ -132,9 +137,11 @@ bool ExperimentServer::handle_submit(Socket& sock,
                     "{\"config\": {...}, \"priority\": N}");
   }
   for (const auto& [key, value] : doc.as_object()) {
-    if (key != "config" && key != "priority") {
+    if (key != "config" && key != "priority" && key != "idempotency_key" &&
+        key != "ttl_ms") {
       throw HttpError(400, "unknown request field \"" + key +
-                               "\" (accepted: \"config\", \"priority\")");
+                               "\" (accepted: \"config\", \"priority\", "
+                               "\"idempotency_key\", \"ttl_ms\")");
     }
   }
   if (!doc.contains("config")) {
@@ -148,6 +155,24 @@ bool ExperimentServer::handle_submit(Socket& sock,
     }
     priority = static_cast<int>(p.as_number());
   }
+  std::string idempotency_key;
+  if (doc.contains("idempotency_key")) {
+    const JsonValue& k = doc.at("idempotency_key");
+    if (k.type() != JsonValue::Type::kString || k.as_string().empty()) {
+      throw HttpError(400, "\"idempotency_key\" must be a non-empty string");
+    }
+    idempotency_key = k.as_string();
+  }
+  std::uint64_t ttl_ms = 0;
+  if (doc.contains("ttl_ms")) {
+    const JsonValue& t = doc.at("ttl_ms");
+    if (t.type() != JsonValue::Type::kNumber || t.as_number() < 1) {
+      throw HttpError(400,
+                      "\"ttl_ms\" must be a positive integer (milliseconds "
+                      "the job may wait in the queue before expiring)");
+    }
+    ttl_ms = static_cast<std::uint64_t>(t.as_number());
+  }
 
   KvConfig kv = kv_from_json(doc.at("config"));
   validate_request_keys(kv);
@@ -156,9 +181,24 @@ bool ExperimentServer::handle_submit(Socket& sock,
   // is a synchronous 400 with the builder's message instead of a job that
   // fails later.
   const auto sweep = static_cast<unsigned>(kv.get_uint("sweep", 0));
+  const std::string mode = kv.get_string("mode", "exact");
+  if (mode != "exact" && mode != "sampled") {
+    throw HttpError(400, "unknown mode: '" + mode + "' (exact | sampled)");
+  }
   try {
     sim::BuiltRun probe = sim::build_run_config(kv);
-    if (sweep == 0) {
+    if (mode == "sampled") {
+      if (sweep != 0) {
+        throw std::invalid_argument(
+            "mode=sampled is single-run only; sweep cells are exact by "
+            "design");
+      }
+      sim::SampledConfig scfg;
+      scfg.region_length = kv.get_uint("region", scfg.region_length);
+      scfg.detail_warmup = kv.get_uint("detail_warmup", scfg.detail_warmup);
+      scfg.pilot = kv.get_uint("pilot", scfg.pilot);
+      scfg.validate(probe.config);
+    } else if (sweep == 0) {
       probe.config.validate();
     } else {
       if (sweep < 2 || sweep > 4) {
@@ -185,13 +225,27 @@ bool ExperimentServer::handle_submit(Socket& sock,
   job->priority = priority;
   job->kv = std::move(kv);
   job->is_sweep = sweep != 0;
-  if (job->is_sweep && !config_.journal_dir.empty()) {
-    job->journal_path =
-        config_.journal_dir + "/job" + std::to_string(job->id) + ".jsonl";
+  job->idempotency_key = idempotency_key;
+  job->ttl_ms = ttl_ms;
+  if (!config_.journal_dir.empty()) {
+    if (job->is_sweep) {
+      job->journal_path =
+          config_.journal_dir + "/job" + std::to_string(job->id) + ".jsonl";
+    }
+    job->result_path = JobLedger::result_path(config_.journal_dir, job->id);
   }
-  queue_.enqueue(job);  // HttpError(429) when full
+  // HttpError(429) when full; returns the already-registered job when the
+  // idempotency key was seen before (dedupe happens atomically under the
+  // queue mutex, so two racing resubmissions still yield one job).
+  const std::shared_ptr<Job> accepted = queue_.enqueue(job);
 
   std::ostringstream body;
+  if (accepted != job) {
+    const JobSnapshot snap = queue_.snapshot(*accepted);
+    body << "{\"id\":" << accepted->id << ",\"state\":\""
+         << job_state_name(snap.state) << "\",\"deduplicated\":true}\n";
+    return respond(sock, 200, body.str(), /*keep_alive=*/true);
+  }
   body << "{\"id\":" << job->id << ",\"state\":\"queued\"}\n";
   return respond(sock, 202, body.str(), /*keep_alive=*/true);
 }
@@ -213,10 +267,14 @@ std::string ExperimentServer::job_status_json(const Job& job) const {
 }
 
 bool ExperimentServer::handle_job_get(Socket& sock, const Job& job) {
+  // Lazy TTL enforcement: expiry is observable from status reads even
+  // while every executor is busy with long sweeps.
+  queue_.expire_overdue();
   return respond(sock, 200, job_status_json(job), /*keep_alive=*/true);
 }
 
 bool ExperimentServer::handle_result(Socket& sock, const Job& job) {
+  queue_.expire_overdue();
   const JobSnapshot snap = queue_.snapshot(job);
   if (snap.state != JobState::kDone) {
     std::string message = "job " + std::to_string(job.id) +
@@ -262,7 +320,39 @@ bool ExperimentServer::handle_events(Socket& sock, Job& job) {
   return false;  // chunked streams always close the connection
 }
 
+bool ExperimentServer::handle_readiness(Socket& sock) {
+  // Readiness (vs the byte-stable /healthz liveness probe): recovery is
+  // synchronous in start(), so a daemon answering here has already
+  // replayed its ledger -- the counters say what that replay found.
+  queue_.expire_overdue();
+  const QueueStats qs = queue_.stats();
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_object();
+  w.kv("ok", true);
+  w.kv("ready", true);
+  w.key("recovery");
+  w.begin_object();
+  w.kv("enabled", recovery_.enabled);
+  w.kv("replayed", recovery_.replayed);
+  w.kv("completed", recovery_.completed);
+  w.kv("requeued", recovery_.requeued);
+  w.kv("resumed_sweeps", recovery_.resumed_sweeps);
+  w.end_object();
+  w.key("queue");
+  w.begin_object();
+  w.kv("queued", static_cast<std::uint64_t>(qs.queued));
+  w.kv("running", static_cast<std::uint64_t>(qs.running));
+  w.kv("depth", static_cast<std::uint64_t>(config_.queue_depth));
+  w.kv("draining", queue_.draining());
+  w.end_object();
+  w.end_object();
+  os << '\n';
+  return respond(sock, 200, os.str(), /*keep_alive=*/true);
+}
+
 bool ExperimentServer::handle_stats(Socket& sock) {
+  queue_.expire_overdue();
   const QueueStats qs = queue_.stats();
   std::ostringstream os;
   JsonWriter w(os, 0);
@@ -275,6 +365,7 @@ bool ExperimentServer::handle_stats(Socket& sock) {
   w.kv("done", qs.done);
   w.kv("failed", qs.failed);
   w.kv("cancelled", qs.cancelled);
+  w.kv("expired", qs.expired);
   w.end_object();
   w.kv("connections", connections());
   w.kv("baseline_caches", static_cast<std::uint64_t>(baselines_.size()));

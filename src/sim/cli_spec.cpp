@@ -135,16 +135,25 @@ Daemon knobs:
   --queue-depth N       max queued (not yet running) jobs; a full queue
                         rejects submissions with 429              [64]
   --max-inflight N      jobs executed concurrently                 [2]
-  --journal-dir DIR     per-job sweep journals DIR/job<id>.jsonl, so a
-                        cancelled or crashed sweep is resumable    [""]
+  --journal-dir DIR     durability root: the crash-recovering job ledger
+                        DIR/ledger.jsonl, per-job sweep journals
+                        DIR/job<id>.jsonl and result files
+                        DIR/job<id>.result.json.  On restart the ledger is
+                        replayed: done jobs re-serve byte-identically,
+                        pending jobs re-enqueue, interrupted sweeps resume
+                        from their journals                        [""]
   --io-timeout-ms N     per-socket read/write inactivity budget; slow or
                         stalled clients get 408 / are dropped    [10000]
   --help                print this text
 
 Wire API (one-line summary; see docs/SERVICE.md):
-  GET  /healthz                 liveness probe
+  GET  /healthz                 liveness probe (byte-stable {"ok":true})
+  GET  /v1/healthz              readiness + ledger recovery progress JSON
   GET  /v1/stats                daemon counters as JSON
-  POST /v1/jobs                 submit {"config":{...}} -> 202 {"id":N}
+  POST /v1/jobs                 submit {"config":{...}} -> 202 {"id":N};
+                                optional "priority", "idempotency_key"
+                                (dedupes resubmissions) and "ttl_ms"
+                                (queued longer than this -> expired)
   GET  /v1/jobs/ID              job status JSON
   GET  /v1/jobs/ID/result      finished job's report (byte-identical to
                                 msim_cli --stats-json / --sweep-json)
@@ -174,17 +183,15 @@ constexpr std::string_view kServeRequestKeys[] = {
     "horizon", "seed", "max_cycles", "verify", "hang_cycles",
     "fault_intensity", "fault_seed", "fault_index", "sweep", "jobs",
     "isolate", "retries", "isolation", "workers", "cell_timeout_ms",
-    "chaos", "interval"};
+    "chaos", "interval", "mode", "region", "detail_warmup", "pilot"};
 
 // CLI knobs the network API refuses, each with the reason echoed in the
 // 400 body.  kServeRequestKeys + kServeRejectedKeys == kKnownKeys exactly
 // (tests/test_serve_wire.cpp enforces the partition).
 constexpr RejectedKey kServeRejectedKeys[] = {
-    {"mode", "mode=sampled is CLI-only; served jobs run the exact engine"},
-    {"region", "sampled-mode knob; mode=sampled is CLI-only"},
-    {"detail_warmup", "sampled-mode knob; mode=sampled is CLI-only"},
-    {"pilot", "sampled-mode knob; mode=sampled is CLI-only"},
-    {"sampled_json", "server-local output path; fetch results over the API"},
+    {"sampled_json",
+     "server-local output path; GET /v1/jobs/<id>/result serves the same "
+     "bytes"},
     {"stats_json",
      "server-local output path; GET /v1/jobs/<id>/result serves the same "
      "bytes"},

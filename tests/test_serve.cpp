@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -17,11 +18,13 @@
 #include "common/config.hpp"
 #include "common/json.hpp"
 #include "serve/http.hpp"
+#include "serve/ledger.hpp"
 #include "serve/server.hpp"
 #include "sim/config_build.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 #include "sim/run.hpp"
+#include "sim/sampled.hpp"
 
 namespace msim {
 namespace {
@@ -408,6 +411,248 @@ TEST(Serve, SlowAndTruncatedClientsCannotPinTheDaemon) {
   }
   // ...and the daemon keeps serving.
   EXPECT_EQ(http(server->port(), "GET", "/healthz").status, 200);
+}
+
+// ---------------------------------------------------------------------------
+// Durability & recovery (docs/SERVICE.md "Durability & recovery"): the
+// crash-recovering job ledger, idempotent resubmission, TTL expiry, the
+// readiness endpoint and mode=sampled over the wire.
+
+/// Exactly what msim_cli --sampled-json writes for this config.
+std::string offline_sampled_json(const KvConfig& kv) {
+  sim::BuiltRun built = sim::build_run_config(kv);
+  sim::SampledConfig scfg;
+  scfg.region_length = kv.get_uint("region", scfg.region_length);
+  scfg.detail_warmup = kv.get_uint("detail_warmup", scfg.detail_warmup);
+  scfg.pilot = kv.get_uint("pilot", scfg.pilot);
+  scfg.jobs = static_cast<unsigned>(kv.get_uint("jobs", 1));
+  const sim::SampledResult r = sim::run_sampled(built.config, scfg);
+  std::ostringstream os;
+  sim::write_sampled_json(os, built.config, scfg, r);
+  return os.str();
+}
+
+TEST(Serve, RestartReservesCompletedJobsAndNeverReissuesIds) {
+  const std::string dir = temp_dir("msim-serve-restart");
+  ServerConfig config;
+  config.journal_dir = dir;
+  const char* cfg = R"({"benchmarks":"gcc,gzip","warmup":500,"horizon":2000,"seed":3})";
+
+  std::uint64_t id = 0;
+  std::string first_bytes;
+  {
+    const auto server = start_server(config);
+    id = submit(server->port(), cfg);
+    ASSERT_EQ(wait_state(server->port(), id, {"done", "failed"}), "done");
+    first_bytes = http(server->port(), "GET",
+                       "/v1/jobs/" + std::to_string(id) + "/result")
+                      .body;
+    ASSERT_FALSE(first_bytes.empty());
+  }  // daemon gone; only the --journal-dir ledger survives
+
+  const auto server = start_server(config);
+  // The readiness endpoint reports what the ledger replay found.
+  const HttpResult hz = http(server->port(), "GET", "/v1/healthz");
+  ASSERT_EQ(hz.status, 200);
+  const JsonValue doc = JsonValue::parse(hz.body);
+  EXPECT_TRUE(doc.at("ready").as_bool());
+  EXPECT_TRUE(doc.at("recovery").at("enabled").as_bool());
+  EXPECT_EQ(doc.at("recovery").at("replayed").as_number(), 1.0);
+  EXPECT_EQ(doc.at("recovery").at("completed").as_number(), 1.0);
+  EXPECT_EQ(doc.at("queue").at("depth").as_number(),
+            static_cast<double>(config.queue_depth));
+
+  // The completed job re-serves its stored bytes verbatim...
+  const HttpResult again = http(
+      server->port(), "GET", "/v1/jobs/" + std::to_string(id) + "/result");
+  EXPECT_EQ(again.status, 200);
+  EXPECT_EQ(again.body, first_bytes)
+      << "a restart must not change a served result by one byte";
+  EXPECT_EQ(job_status(server->port(), id).at("state").as_string(), "done");
+
+  // ...and the persisted id counter means the recovered daemon never hands
+  // the replayed job's id to a new submission.
+  const std::uint64_t fresh = submit(server->port(), cfg);
+  EXPECT_GT(fresh, id);
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(Serve, RestartResumesAnInterruptedSweepServerSide) {
+  const std::string dir = temp_dir("msim-serve-resume");
+  const KvConfig kv = make_kv({{"sweep", "2"},
+                               {"iq", "32,48"},
+                               {"warmup", "200"},
+                               {"horizon", "1000"}});
+  const std::string offline = offline_sweep_json(kv, /*jobs=*/1);
+
+  // Fabricate the exact on-disk state a kill -9 mid-sweep leaves behind:
+  // a ledger whose job 3 is `accepted`+`running` with no terminal record,
+  // and a partial sweep journal holding only the first completed cell.
+  const std::string journal = dir + "/job3.jsonl";
+  (void)offline_sweep_json(kv, /*jobs=*/1, journal);  // full journal...
+  {
+    std::ifstream in(journal);
+    std::string line, partial;
+    for (int kept = 0; kept < 2 && std::getline(in, line); ++kept) {
+      partial += line + "\n";  // ...cut to header + first cell
+    }
+    in.close();
+    std::ofstream out(journal, std::ios::trunc);
+    out << partial;
+  }
+  {
+    serve::JobLedger ledger(dir);
+    serve::Job job;
+    job.id = 3;
+    job.kv = kv;
+    job.is_sweep = true;
+    ledger.record_accepted(job);
+    ledger.record_running(3);
+  }
+
+  ServerConfig config;
+  config.journal_dir = dir;
+  const auto server = start_server(config);
+  const JsonValue hz =
+      JsonValue::parse(http(server->port(), "GET", "/v1/healthz").body);
+  EXPECT_EQ(hz.at("recovery").at("requeued").as_number(), 1.0);
+  EXPECT_EQ(hz.at("recovery").at("resumed_sweeps").as_number(), 1.0);
+
+  // The recovered job finishes server-side -- completed cells replayed
+  // from the journal, the rest computed -- and serves bytes cmp-identical
+  // to an uninterrupted offline run.
+  ASSERT_EQ(wait_state(server->port(), 3, {"done", "failed"}), "done");
+  const std::string served =
+      http(server->port(), "GET", "/v1/jobs/3/result").body;
+  EXPECT_EQ(served, offline);
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(Serve, IdempotentResubmissionDedupesAcrossRestart) {
+  const std::string dir = temp_dir("msim-serve-idem");
+  ServerConfig config;
+  config.journal_dir = dir;
+  const std::string body =
+      R"({"config":{"benchmarks":"gcc","warmup":100,"horizon":500},)"
+      R"("idempotency_key":"grid-7"})";
+
+  std::uint64_t id = 0;
+  {
+    const auto server = start_server(config);
+    const HttpResult first = http(server->port(), "POST", "/v1/jobs", body);
+    ASSERT_EQ(first.status, 202) << first.body;
+    id = static_cast<std::uint64_t>(
+        JsonValue::parse(first.body).at("id").as_number());
+    ASSERT_EQ(wait_state(server->port(), id, {"done", "failed"}), "done");
+
+    // Resubmission (e.g. after a dropped connection) dedupes to the
+    // existing job -- 200, not 202, and no second execution.
+    const HttpResult dup = http(server->port(), "POST", "/v1/jobs", body);
+    EXPECT_EQ(dup.status, 200) << dup.body;
+    const JsonValue doc = JsonValue::parse(dup.body);
+    EXPECT_EQ(doc.at("id").as_number(), static_cast<double>(id));
+    EXPECT_TRUE(doc.at("deduplicated").as_bool());
+    const JsonValue stats =
+        JsonValue::parse(http(server->port(), "GET", "/v1/stats").body);
+    EXPECT_EQ(stats.at("jobs").at("submitted").as_number(), 1.0);
+  }
+
+  // The key survives the restart through the ledger: resubmitting against
+  // the recovered daemon still returns the original job.
+  const auto server = start_server(config);
+  const HttpResult dup = http(server->port(), "POST", "/v1/jobs", body);
+  EXPECT_EQ(dup.status, 200) << dup.body;
+  EXPECT_EQ(JsonValue::parse(dup.body).at("id").as_number(),
+            static_cast<double>(id));
+
+  // Malformed idempotency keys are rejected up front.
+  const HttpResult bad = http(
+      server->port(), "POST", "/v1/jobs",
+      R"({"config":{"horizon":500},"idempotency_key":""})");
+  EXPECT_EQ(bad.status, 400);
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(Serve, TtlExpiresAQueuedJobWithA409Result) {
+  ServerConfig config;
+  config.max_inflight = 1;
+  const auto server = start_server(config);
+
+  // Pin the lone executor, then queue a job that may only wait 100 ms.
+  const std::uint64_t running = submit(server->port(), kLongRun);
+  ASSERT_EQ(wait_state(server->port(), running, {"running"}), "running");
+  const HttpResult queued = http(
+      server->port(), "POST", "/v1/jobs",
+      std::string(R"({"config":)") + kLongRun + R"(,"ttl_ms":100})");
+  ASSERT_EQ(queued.status, 202) << queued.body;
+  const auto id = static_cast<std::uint64_t>(
+      JsonValue::parse(queued.body).at("id").as_number());
+
+  // Status polling observes the expiry (reads enforce TTLs lazily even
+  // while every executor is busy).
+  EXPECT_EQ(wait_state(server->port(), id, {"expired"}), "expired");
+  const JsonValue status = job_status(server->port(), id);
+  EXPECT_NE(status.at("error").as_string().find("ttl_ms"),
+            std::string::npos);
+  const HttpResult result = http(
+      server->port(), "GET", "/v1/jobs/" + std::to_string(id) + "/result");
+  EXPECT_EQ(result.status, 409);
+  EXPECT_NE(result.body.find("expired"), std::string::npos);
+  const JsonValue stats =
+      JsonValue::parse(http(server->port(), "GET", "/v1/stats").body);
+  EXPECT_EQ(stats.at("jobs").at("expired").as_number(), 1.0);
+
+  // A ttl_ms that is not a positive integer is a 400.
+  EXPECT_EQ(http(server->port(), "POST", "/v1/jobs",
+                 R"({"config":{"horizon":500},"ttl_ms":0})")
+                .status,
+            400);
+
+  EXPECT_EQ(http(server->port(), "POST",
+                 "/v1/jobs/" + std::to_string(running) + "/cancel")
+                .status,
+            200);
+  (void)wait_state(server->port(), running, {"cancelled", "failed"});
+}
+
+TEST(Serve, SampledModeServesCliIdenticalBytes) {
+  const auto server = start_server();
+  const std::uint64_t id = submit(
+      server->port(),
+      R"({"mode":"sampled","benchmarks":"gcc,gzip","warmup":0,)"
+      R"("horizon":30000,"seed":2,"region":10000,"detail_warmup":10000})");
+  ASSERT_EQ(wait_state(server->port(), id, {"done", "failed"}), "done");
+  const std::string served =
+      http(server->port(), "GET", "/v1/jobs/" + std::to_string(id) + "/result")
+          .body;
+  const std::string offline = offline_sampled_json(
+      make_kv({{"mode", "sampled"},
+               {"benchmarks", "gcc,gzip"},
+               {"warmup", "0"},
+               {"horizon", "30000"},
+               {"seed", "2"},
+               {"region", "10000"},
+               {"detail_warmup", "10000"}}));
+  EXPECT_EQ(served, offline)
+      << "served bytes must match msim_cli --sampled-json exactly";
+
+  // Sampled-mode knob combinations the engine rejects surface as 400s at
+  // submission time, not as failed jobs.
+  const HttpResult bad = http(
+      server->port(), "POST", "/v1/jobs",
+      R"({"config":{"mode":"sampled","sweep":2,"horizon":30000}})");
+  EXPECT_EQ(bad.status, 400);
+  EXPECT_NE(bad.body.find("sampled"), std::string::npos);
+  EXPECT_EQ(http(server->port(), "POST", "/v1/jobs",
+                 R"({"config":{"mode":"bogus","horizon":500}})")
+                .status,
+            400);
 }
 
 TEST(Serve, ShutdownDrainsAndRejectsNewWork) {

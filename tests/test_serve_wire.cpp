@@ -1,18 +1,28 @@
 // Wire-layer units of the msim_serve daemon: HTTP framing, the JSON->
 // KvConfig codec, the request-key partition against the CLI surface, the
-// event log, and the bounded priority queue.  End-to-end socket coverage
-// lives in test_serve.cpp.
+// event log, the bounded priority queue (idempotency keys, TTL expiry)
+// and the crash-recovering job ledger (torn tails, format versioning,
+// restart-safe ids, recovery ordering).  End-to-end socket coverage lives
+// in test_serve.cpp.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
+#include "common/archive.hpp"
 #include "common/json.hpp"
+#include "persist/atomic_file.hpp"
 #include "serve/codec.hpp"
 #include "serve/http.hpp"
+#include "serve/ledger.hpp"
 #include "serve/queue.hpp"
 #include "sim/cli_spec.hpp"
 
@@ -283,8 +293,7 @@ std::shared_ptr<Job> make_job(JobQueue& q, int priority) {
   auto job = std::make_shared<Job>();
   job->id = q.allocate_id();
   job->priority = priority;
-  q.enqueue(job);
-  return job;
+  return q.enqueue(std::move(job));
 }
 
 TEST(JobQueue, PriorityFirstFifoWithin) {
@@ -356,6 +365,305 @@ TEST(JobQueue, StatsCountStates) {
   EXPECT_EQ(s.done, 1u);
   EXPECT_EQ(s.queued, 1u);
   EXPECT_EQ(s.running, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Idempotency keys and TTL expiry
+
+TEST(JobQueue, IdempotencyKeyDedupesToTheExistingJob) {
+  JobQueue q(16);
+  auto first = std::make_shared<Job>();
+  first->id = q.allocate_id();
+  first->idempotency_key = "campaign-42";
+  ASSERT_EQ(q.enqueue(first), first);
+
+  // A resubmission with the same key returns the *original* job -- nothing
+  // is enqueued, so the resubmitted job object is discarded.
+  auto dup = std::make_shared<Job>();
+  dup->id = q.allocate_id();
+  dup->idempotency_key = "campaign-42";
+  EXPECT_EQ(q.enqueue(dup), first);
+  EXPECT_EQ(q.stats().submitted, 1u);
+  EXPECT_EQ(q.stats().queued, 1u);
+
+  // The dedupe holds after the job finished: the client still gets the
+  // terminal job back, never a second execution.
+  (void)q.next_runnable();
+  q.finish(*first, JobState::kDone, "{}", "");
+  auto late = std::make_shared<Job>();
+  late->id = q.allocate_id();
+  late->idempotency_key = "campaign-42";
+  EXPECT_EQ(q.enqueue(late), first);
+  EXPECT_EQ(q.stats().submitted, 1u);
+
+  // A different key is a different job.
+  auto other = std::make_shared<Job>();
+  other->id = q.allocate_id();
+  other->idempotency_key = "campaign-43";
+  EXPECT_EQ(q.enqueue(other), other);
+  EXPECT_EQ(q.stats().submitted, 2u);
+}
+
+TEST(JobQueue, TtlExpiresQueuedJobsTerminally) {
+  JobQueue q(16);
+  std::vector<std::pair<std::uint64_t, JobState>> transitions;
+  q.set_transition_hook([&](const Job& job, JobState state) {
+    transitions.emplace_back(job.id, state);
+  });
+  auto job = std::make_shared<Job>();
+  job->id = q.allocate_id();
+  job->ttl_ms = 1;
+  ASSERT_EQ(q.enqueue(job), job);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.expire_overdue();
+
+  EXPECT_EQ(q.snapshot(*job).state, JobState::kExpired);
+  EXPECT_NE(q.snapshot(*job).error.find("ttl_ms=1"), std::string::npos);
+  EXPECT_TRUE(job->events.closed());
+  EXPECT_EQ(q.stats().expired, 1u);
+  EXPECT_EQ(q.stats().queued, 0u);
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0], std::make_pair(job->id, JobState::kQueued));
+  EXPECT_EQ(transitions[1], std::make_pair(job->id, JobState::kExpired));
+
+  // An expired job is terminal: cancel is an idempotent no-op.
+  EXPECT_TRUE(q.cancel(job->id));
+  EXPECT_EQ(q.snapshot(*job).state, JobState::kExpired);
+
+  // No TTL means no deadline: a fresh job without ttl_ms never expires.
+  auto forever = std::make_shared<Job>();
+  forever->id = q.allocate_id();
+  ASSERT_EQ(q.enqueue(forever), forever);
+  q.expire_overdue();
+  EXPECT_EQ(q.snapshot(*forever).state, JobState::kQueued);
+}
+
+TEST(JobQueue, TransitionHookSeesTheFullLifecycle) {
+  JobQueue q(16);
+  std::vector<JobState> states;
+  q.set_transition_hook(
+      [&](const Job&, JobState state) { states.push_back(state); });
+  const auto job = make_job(q, 0);
+  (void)q.next_runnable();
+  q.finish(*job, JobState::kDone, "{}", "");
+  ASSERT_EQ(states.size(), 3u);
+  EXPECT_EQ(states[0], JobState::kQueued);
+  EXPECT_EQ(states[1], JobState::kRunning);
+  EXPECT_EQ(states[2], JobState::kDone);
+}
+
+TEST(JobQueue, RestorePreservesPriorityFifoAndFiresNoHooks) {
+  JobQueue q(2);  // depth 2: restore must bypass the bound
+  std::size_t hook_calls = 0;
+  q.set_transition_hook([&](const Job&, JobState) { ++hook_calls; });
+  q.set_next_id(9);
+
+  // Replayed out of submission order, with one terminal job in between --
+  // exactly what a ledger replay hands the queue.
+  const auto restored = [&](std::uint64_t id, int priority, JobState state) {
+    auto job = std::make_shared<Job>();
+    job->id = id;
+    job->priority = priority;
+    job->state = state;
+    if (state == JobState::kDone) job->result = "{}";
+    q.restore(job);
+    return job;
+  };
+  const auto low_late = restored(5, 0, JobState::kQueued);
+  const auto done = restored(2, 9, JobState::kDone);
+  const auto high = restored(4, 3, JobState::kQueued);
+  const auto low_early = restored(3, 0, JobState::kQueued);
+
+  EXPECT_EQ(hook_calls, 0u) << "the compacted ledger already has these";
+  EXPECT_TRUE(done->events.closed());
+  EXPECT_EQ(q.snapshot(*done).state, JobState::kDone);
+  EXPECT_EQ(q.stats().done, 1u);
+
+  // Dispatch order: highest priority first, then FIFO by original id --
+  // the restart must not reshuffle the queue.
+  EXPECT_EQ(q.next_runnable()->id, high->id);
+  EXPECT_EQ(q.next_runnable()->id, low_early->id);
+  EXPECT_EQ(q.next_runnable()->id, low_late->id);
+
+  // set_next_id floors allocation above every replayed id: no reissue.
+  EXPECT_EQ(q.allocate_id(), 9u);
+  q.set_next_id(4);  // lowering is ignored
+  EXPECT_EQ(q.allocate_id(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// JobLedger
+
+std::string ledger_dir(const std::string& stem) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       (stem + "-" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(path);
+  std::filesystem::create_directories(path);
+  return path;
+}
+
+/// Job is pinned in place (atomics, event-log mutex), so the helper
+/// appends the `accepted` record directly instead of returning one.
+void record_accepted_job(JobLedger& ledger, std::uint64_t id, int priority,
+                         bool sweep, const std::string& key = "",
+                         std::uint64_t ttl_ms = 0) {
+  Job job;
+  job.id = id;
+  job.priority = priority;
+  job.is_sweep = sweep;
+  job.idempotency_key = key;
+  job.ttl_ms = ttl_ms;
+  job.kv.set("sweep", sweep ? "2" : "0");
+  job.kv.set("horizon", "1000");
+  ledger.record_accepted(job);
+}
+
+TEST(JobLedger, LifecycleRoundTripsAcrossReopen) {
+  const std::string dir = ledger_dir("msim-ledger-roundtrip");
+  {
+    JobLedger ledger(dir);
+    EXPECT_TRUE(ledger.recovered().empty());
+    EXPECT_EQ(ledger.next_id(), 1u);
+    record_accepted_job(ledger, 1, 2, false);
+    ledger.record_running(1);
+    ledger.record_done(1, JobLedger::result_path(dir, 1));
+    record_accepted_job(ledger, 2, 0, true);
+    ledger.record_running(2);  // interrupted: no terminal record
+    record_accepted_job(ledger, 3, 7, false);  // never started
+  }
+  JobLedger reopened(dir);
+  EXPECT_EQ(reopened.next_id(), 4u) << "ids must never be reissued";
+  ASSERT_EQ(reopened.recovered().size(), 3u);
+
+  const LedgerJob& done = reopened.recovered()[0];
+  EXPECT_EQ(done.id, 1u);
+  EXPECT_EQ(done.priority, 2);
+  EXPECT_TRUE(done.terminal);
+  EXPECT_EQ(done.state, JobState::kDone);
+  EXPECT_EQ(done.result_path, JobLedger::result_path(dir, 1));
+
+  const LedgerJob& interrupted = reopened.recovered()[1];
+  EXPECT_FALSE(interrupted.terminal);
+  EXPECT_TRUE(interrupted.started);
+  EXPECT_TRUE(interrupted.sweep);
+  EXPECT_EQ(interrupted.kv.get_string("horizon", ""), "1000");
+
+  const LedgerJob& queued = reopened.recovered()[2];
+  EXPECT_FALSE(queued.started);
+  EXPECT_EQ(queued.priority, 7);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(JobLedger, TornTailIsTruncatedOnReplay) {
+  const std::string dir = ledger_dir("msim-ledger-torn");
+  {
+    JobLedger ledger(dir);
+    record_accepted_job(ledger, 1, 0, false);
+    record_accepted_job(ledger, 2, 0, false);
+    ledger.record_done(1, JobLedger::result_path(dir, 1));
+  }
+  // A kill -9 mid-append can at worst leave a partial final line; every
+  // complete record before it must survive the replay.
+  {
+    std::ofstream out(dir + "/ledger.jsonl", std::ios::app);
+    out << "{\"record\":\"done\",\"id\":2,\"resu";  // torn: no close, no \n
+  }
+  {
+    JobLedger ledger(dir);
+    ASSERT_EQ(ledger.recovered().size(), 2u);
+    EXPECT_TRUE(ledger.recovered()[0].terminal);
+    EXPECT_FALSE(ledger.recovered()[1].terminal)
+        << "the torn `done` for job 2 must not count";
+  }
+  // The compaction rewrote the file: a third open sees a clean ledger with
+  // no torn bytes (every line parses).
+  std::ifstream in(dir + "/ledger.jsonl");
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_NO_THROW((void)JsonValue::parse(line)) << line;
+  }
+  EXPECT_GE(lines, 3u);  // header + 2 accepted (+ job 1's done)
+  std::filesystem::remove_all(dir);
+}
+
+TEST(JobLedger, CorruptMidFileRecordKeepsThePrefix) {
+  const std::string dir = ledger_dir("msim-ledger-corrupt");
+  {
+    JobLedger ledger(dir);
+    record_accepted_job(ledger, 1, 0, false);
+  }
+  {
+    std::ofstream out(dir + "/ledger.jsonl", std::ios::app);
+    out << "NOT JSON AT ALL\n";
+    out << "{\"record\":\"accepted\",\"id\":9,\"priority\":0,\"sweep\":false,"
+           "\"config\":{}}\n";
+  }
+  JobLedger ledger(dir);
+  // Replay stops at the first malformed line: job 9 (after the corruption)
+  // is not trusted, job 1 (before it) is.
+  ASSERT_EQ(ledger.recovered().size(), 1u);
+  EXPECT_EQ(ledger.recovered()[0].id, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(JobLedger, NewerFormatVersionIsRejectedActionably) {
+  const std::string dir = ledger_dir("msim-ledger-newer");
+  persist::write_text_atomic(
+      dir + "/ledger.jsonl",
+      "{\"msim_job_ledger\": 99, \"next_id\": 5}\n");
+  try {
+    JobLedger ledger(dir);
+    FAIL() << "expected PersistError";
+  } catch (const persist::PersistError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("99"), std::string::npos) << what;
+    EXPECT_NE(what.find("newer"), std::string::npos) << what;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(JobLedger, NonLedgerFileIsRejected) {
+  const std::string dir = ledger_dir("msim-ledger-notledger");
+  persist::write_text_atomic(dir + "/ledger.jsonl", "hello world\n");
+  EXPECT_THROW(JobLedger{dir}, persist::PersistError);
+  persist::write_text_atomic(dir + "/ledger.jsonl", "{\"other\": 1}\n");
+  EXPECT_THROW(JobLedger{dir}, persist::PersistError);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(JobLedger, CompactionDropsNothingAndBoundsTheFile) {
+  const std::string dir = ledger_dir("msim-ledger-compact");
+  {
+    JobLedger ledger(dir);
+    record_accepted_job(ledger, 1, 1, false, "key-1", 60'000);
+    ledger.record_running(1);
+    ledger.record_failed(1, "boom");
+    // Churn: repeated running/terminal pairs for one more job would grow
+    // an append-only file forever; compaction keeps it bounded.
+    record_accepted_job(ledger, 2, 0, false);
+    ledger.record_running(2);
+    ledger.record_cancelled(2, "client asked");
+  }
+  const auto size_after_first =
+      std::filesystem::file_size(dir + "/ledger.jsonl");
+  {
+    JobLedger ledger(dir);
+    ASSERT_EQ(ledger.recovered().size(), 2u);
+    const LedgerJob& failed = ledger.recovered()[0];
+    EXPECT_EQ(failed.state, JobState::kFailed);
+    EXPECT_EQ(failed.error, "boom");
+    EXPECT_EQ(failed.idempotency_key, "key-1");
+    EXPECT_EQ(failed.ttl_ms, 60'000u);
+    EXPECT_EQ(ledger.recovered()[1].state, JobState::kCancelled);
+  }
+  // Compaction drops the `running` records; reopening never grows the file.
+  EXPECT_LE(std::filesystem::file_size(dir + "/ledger.jsonl"),
+            size_after_first);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -5,6 +5,13 @@ Usage:
     diff_sweep.py CLEAN.json OTHER.json [--expect-failed N]
                   [--expect-failed-mix SCHED:IQ:MIX]... [--require-diag]
 
+Either positional argument may also be a ledger spec `ledger:DIR:JOBID`:
+DIR is an msim_serve --journal-dir, and the spec resolves to the result
+file DIR/ledger.jsonl records for the `done` job JOBID -- after checking
+the ledger really marks that job done and the recorded file exists.  This
+lets CI diff a daemon's ledger-stored bytes without re-fetching them over
+the wire (docs/SERVICE.md, "Durability & recovery").
+
 Both files use the sweep schema written by `msim_cli --sweep-json` /
 `bench_* json=PATH` (sim::write_sweep_json).  The check enforces the
 chaos-sweep contract from docs/ROBUSTNESS.md:
@@ -24,7 +31,52 @@ Exit 0 when all checks pass, 1 otherwise (one line per violation).
 
 import argparse
 import json
+import os
 import sys
+
+
+def resolve_path(spec):
+    """Resolves `ledger:DIR:JOBID` to the job's recorded result file.
+
+    Plain paths pass through untouched.  The resolver replays the ledger
+    the same way the daemon does -- last record for the id wins -- and
+    refuses jobs the ledger does not mark `done`.
+    """
+    if not spec.startswith("ledger:"):
+        return spec
+    try:
+        _, ledger_dir, job_id = spec.split(":", 2)
+        job_id = int(job_id)
+    except ValueError:
+        sys.exit(f"error: bad ledger spec '{spec}' (want ledger:DIR:JOBID)")
+    ledger_path = os.path.join(ledger_dir, "ledger.jsonl")
+    state, result_path = None, None
+    try:
+        with open(ledger_path, "r", encoding="utf-8") as f:
+            header = json.loads(f.readline())
+            if "msim_job_ledger" not in header:
+                sys.exit(f"error: {ledger_path} is not a msim job ledger")
+            for line in f:
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn tail: trust the prefix, like the daemon
+                if rec.get("id") != job_id:
+                    continue
+                state = rec.get("record", state)
+                if state == "done":
+                    result_path = rec.get("result_path")
+    except OSError as e:
+        sys.exit(f"error: cannot read {ledger_path}: {e}")
+    if state is None:
+        sys.exit(f"error: job {job_id} does not appear in {ledger_path}")
+    if state != "done" or not result_path:
+        sys.exit(f"error: job {job_id} is '{state}' in {ledger_path}, "
+                 f"not done; no result bytes to diff")
+    if not os.path.exists(result_path):
+        sys.exit(f"error: ledger records {result_path} for job {job_id} "
+                 f"but the file is missing")
+    return result_path
 
 
 def load_cells(path):
@@ -47,8 +99,10 @@ def mix_id(cell, mix):
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("clean", help="fault-free reference sweep JSON")
-    parser.add_argument("other", help="sweep JSON to validate (e.g. chaos run)")
+    parser.add_argument("clean", help="fault-free reference sweep JSON, or "
+                                      "ledger:DIR:JOBID")
+    parser.add_argument("other", help="sweep JSON to validate (e.g. chaos "
+                                      "run), or ledger:DIR:JOBID")
     parser.add_argument("--expect-failed", type=int, default=0, metavar="N",
                         help="exact number of failed mixes expected in OTHER "
                              "(default 0: OTHER must equal CLEAN everywhere)")
@@ -60,8 +114,8 @@ def main():
                              "the worker slot")
     args = parser.parse_args()
 
-    clean = load_cells(args.clean)
-    other = load_cells(args.other)
+    clean = load_cells(resolve_path(args.clean))
+    other = load_cells(resolve_path(args.other))
 
     problems = []
     if len(clean["cells"]) != len(other["cells"]):
